@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+(§VII).  Besides the pytest-benchmark timing, each benchmark renders the
+reproduced numbers as plain text and writes them to ``benchmarks/results/``
+so they can be compared against the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, text: str) -> str:
+    """Write a rendered table/figure to benchmarks/results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text.rstrip() + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def trace():
+    """The calibrated synthetic revocation trace (shared across benchmarks)."""
+    from repro.workloads.revocation_trace import generate_trace
+
+    return generate_trace()
+
+
+@pytest.fixture(scope="session")
+def population():
+    """The full-size synthetic city-population model (47,980 cities)."""
+    from repro.workloads.population import generate_population
+
+    return generate_population()

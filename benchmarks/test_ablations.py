@@ -1,0 +1,124 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These are not paper figures; they quantify the trade-offs the paper discusses
+qualitatively:
+
+* Δ sweep — attack window vs per-RA dissemination bandwidth (§III fn. 3, §V);
+* hash truncation — 20-byte vs full 32-byte digests in the status size (§VI);
+* CDN TTL — origin load with and without edge caching (§II, §VII-B);
+* dictionary splitting by expiry — RA storage reduction (§VIII).
+"""
+
+from repro.analysis.overhead import figure_7, status_size_for_dictionary, storage_overhead
+from repro.analysis.reporting import format_table
+from repro.cdn.geography import GeoLocation, Region
+from repro.cdn.network import CDNNetwork
+from repro.ritm.config import PAPER_DELTA_SWEEP, RITMConfig
+
+from conftest import write_result
+
+
+def test_ablation_delta_attack_window_vs_bandwidth(benchmark, trace):
+    """Sweep Δ: the 2Δ attack window shrinks while per-day bandwidth grows."""
+
+    def sweep():
+        rows = []
+        result = figure_7(trace)
+        for label, delta in PAPER_DELTA_SWEEP.items():
+            config = RITMConfig.for_label(label)
+            series = result.series[label]
+            per_day = series.mean_bytes() * (86_400 / delta)
+            rows.append((label, config.attack_window_seconds, series.mean_bytes(), per_day))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["delta", "attack window [s]", "bytes per pull", "bytes per day"],
+        [[label, window, f"{pull:.0f}", f"{per_day / 1e6:.2f} MB"] for label, window, pull, per_day in rows],
+        title="Ablation — delta: attack window vs per-RA dissemination bandwidth",
+    )
+    write_result("ablation_delta_sweep", table)
+
+    windows = [window for _, window, _, _ in rows]
+    per_day = [day for _, _, _, day in rows]
+    assert windows == sorted(windows)  # larger delta, larger window
+    assert per_day == sorted(per_day, reverse=True)  # larger delta, less daily traffic
+
+
+def test_ablation_digest_truncation(benchmark):
+    """20-byte truncated hashes (paper) vs full 32-byte SHA-256 in status size."""
+
+    def measure():
+        truncated = status_size_for_dictionary(20_000)
+        # Full-width digests: rebuild the same dictionary with 32-byte hashes.
+        from repro.crypto.signing import KeyPair
+        from repro.dictionary.authdict import CADictionary
+        from repro.pki.serial import SerialNumber
+        from repro.ritm.messages import encode_status
+        from repro.workloads.revocation_trace import serials_for_count
+
+        keys = KeyPair.generate(b"ablation-digest")
+        dictionary = CADictionary("Ablate-CA", keys, delta=60, chain_length=64, digest_size=32)
+        values = serials_for_count(20_001, seed=9)
+        dictionary.insert([SerialNumber(v) for v in values[:20_000]], now=0)
+        full = len(encode_status(dictionary.prove(SerialNumber(values[-1]))))
+        return truncated.absent_status_bytes, full
+
+    truncated_bytes, full_bytes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = format_table(
+        ["digest size", "absence status bytes"],
+        [["20 bytes (paper)", truncated_bytes], ["32 bytes", full_bytes]],
+        title="Ablation — hash truncation vs revocation-status size",
+    )
+    write_result("ablation_digest_truncation", table)
+    assert full_bytes > truncated_bytes
+    # Truncation saves roughly (32-20)/32 of the hash material in the proof.
+    assert (full_bytes - truncated_bytes) / full_bytes > 0.15
+
+
+def test_ablation_cdn_ttl(benchmark):
+    """Edge caching (TTL = Δ) slashes origin load versus the paper's TTL=0 worst case."""
+
+    def measure():
+        results = {}
+        for ttl in (0.0, 60.0):
+            cdn = CDNNetwork(edges_per_region=1)
+            cdn.publish("/head", b"\x00" * 300, now=0.0, ttl_seconds=ttl)
+            # 50 RAs in the same region poll within one delta.
+            for index in range(50):
+                cdn.download("/head", GeoLocation(Region.EUROPE, 0.3), now=1.0 + index * 0.1)
+            results[ttl] = cdn.total_origin_bytes()
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = format_table(
+        ["edge TTL", "bytes pulled from origin (50 RA polls)"],
+        [[f"{ttl:.0f} s", volume] for ttl, volume in results.items()],
+        title="Ablation — CDN caching vs origin load",
+    )
+    write_result("ablation_cdn_ttl", table)
+    assert results[60.0] < results[0.0] / 10
+
+
+def test_ablation_dictionary_splitting(benchmark):
+    """§VIII: splitting dictionaries by certificate expiry lets RAs drop old entries."""
+
+    def measure():
+        whole = storage_overhead(1_381_992)
+        # Assume revocations spread across 39-month validity; after splitting
+        # into quarterly dictionaries, entries for expired certificates
+        # (roughly half under a uniform issuance model) can be deleted.
+        retained = storage_overhead(1_381_992 // 2)
+        return whole, retained
+
+    whole, retained = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = format_table(
+        ["strategy", "entries", "storage", "memory"],
+        [
+            ["single append-only dictionary", whole.revocations, whole.storage_bytes, whole.memory_bytes],
+            ["split by expiry (expired dropped)", retained.revocations, retained.storage_bytes, retained.memory_bytes],
+        ],
+        title="Ablation — ever-growing dictionary vs expiry-split dictionaries",
+    )
+    write_result("ablation_dictionary_splitting", table)
+    assert retained.storage_bytes < whole.storage_bytes

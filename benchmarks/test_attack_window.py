@@ -1,0 +1,49 @@
+"""Empirical attack window (§V): revocation-to-enforcement lag across an RA fleet.
+
+The paper argues analytically that RITM's effective attack window is 2Δ.
+This benchmark measures it: a fleet of RAs with independent pull phases
+replicates one CA's dictionary; the CA revokes a certificate mid-run; for
+every RA we record when a client connecting through it would first be
+refused.  The maximum observed lag must stay within 2Δ.
+"""
+
+from repro.analysis.attack_window import run_attack_window_simulation
+from repro.analysis.reporting import format_table
+
+from conftest import write_result
+
+
+def test_attack_window_within_two_delta(benchmark):
+    results = benchmark.pedantic(
+        lambda: [
+            run_attack_window_simulation(delta_seconds=delta, ra_count=30, seed=delta)
+            for delta in (10, 60)
+        ],
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for result in results:
+        rows.append(
+            [
+                f"{result.delta_seconds} s",
+                len(result.lags),
+                f"{result.mean_lag():.1f} s",
+                f"{result.max_lag():.1f} s",
+                f"{2 * result.delta_seconds} s",
+                f"{result.fraction_within(result.delta_seconds) * 100:.0f} %",
+            ]
+        )
+    table = format_table(
+        ["delta", "RAs", "mean lag", "max lag", "2*delta bound", "within 1*delta"],
+        rows,
+        title="Empirical attack window: revocation -> enforcement lag across the RA fleet",
+    )
+    write_result("attack_window", table)
+
+    for result in results:
+        assert result.within_two_delta()
+        # Most RAs (those whose pull fires after the CA's publication within
+        # the same period) enforce within a single delta.
+        assert result.fraction_within(result.delta_seconds) > 0.5

@@ -1,0 +1,78 @@
+"""Fig. 6: monthly CDN bill for a CA disseminating revocations via RITM.
+
+Reproduces the paper's cost simulation for the CA owning the largest CRL,
+with 10 clients per RA (≈230 million RAs world-wide) over the 19 billing
+cycles from January 2014 to August 2015, for Δ ∈ {10 s, 1 min, 1 h, 1 day}.
+
+Absolute dollar amounts depend on per-request accounting details the paper
+does not specify; the reproduced claims are the orders of magnitude, the
+steep decrease with Δ, and the Heartbleed bump in the April 2014 cycle.
+"""
+
+from repro.analysis.cost import CostModelConfig, simulate_costs
+from repro.analysis.reporting import format_table, human_usd
+
+from conftest import write_result
+
+#: Paper's approximate per-Δ monthly cost ranges at 10 clients/RA (Fig. 6).
+PAPER_RANGES_USD = {
+    "10s": (54_000, 60_000),
+    "1m": (9_500, 13_500),
+    "1h": (1_500, 3_500),
+    "1d": (250, 450),
+}
+
+
+def test_fig6_monthly_cost(benchmark, trace, population):
+    result = benchmark.pedantic(
+        lambda: simulate_costs(
+            config=CostModelConfig(clients_per_ra=10), trace=trace, population=population
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for label, cycles in result.monthly.items():
+        for cycle in cycles:
+            rows.append(
+                [
+                    label,
+                    cycle.cycle_index,
+                    cycle.month,
+                    f"{cycle.bytes_per_ra / 1024:.1f} KB",
+                    human_usd(cycle.cost_usd),
+                ]
+            )
+    table = format_table(
+        ["delta", "cycle", "month", "bytes/RA", "monthly bill"],
+        rows,
+        title=(
+            "Figure 6 — monthly bills for a CA using a CDN (10 clients per RA, "
+            f"{result.total_ras:,} RAs)"
+        ),
+    )
+    summary = format_table(
+        ["delta", "average bill", "peak bill (cycle)", "paper range (avg)"],
+        [
+            [
+                label,
+                human_usd(result.average_cost(label)),
+                f"{human_usd(result.peak_cycle(label).cost_usd)} ({result.peak_cycle(label).month})",
+                f"${PAPER_RANGES_USD[label][0]:,} - ${PAPER_RANGES_USD[label][1]:,}",
+            ]
+            for label in result.monthly
+        ],
+        title="Summary vs. paper",
+    )
+    write_result("fig6_monthly_cost", table + "\n\n" + summary)
+
+    averages = {label: result.average_cost(label) for label in result.monthly}
+    # Shape: steep decrease with growing delta.
+    assert averages["10s"] > 4 * averages["1m"] > 4 * averages["1h"] >= averages["1d"]
+    # Order of magnitude: tens of thousands of dollars at delta = 10 s,
+    # thousands or less at delta >= 1 h.
+    assert 10_000 < averages["10s"] < 1_000_000
+    assert averages["1h"] < 10_000
+    # The Heartbleed cycle is the most expensive one for daily updates.
+    assert result.peak_cycle("1d").month == "2014-04"

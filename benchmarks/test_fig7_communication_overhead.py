@@ -1,0 +1,65 @@
+"""Fig. 7: per-RA download volume per Δ during the Heartbleed week.
+
+The paper reports ~4 KB per Δ for standard revocation rates (dominated by the
+254 dictionaries' freshness statements), below 5 KB per Δ at the Heartbleed
+peak for small Δ, around 25 KB for Δ = 1 hour, and about 230 KB for Δ = 1 day.
+"""
+
+from repro.analysis.overhead import figure_7
+from repro.analysis.reporting import format_table
+
+from conftest import write_result
+
+#: Paper's approximate peak download per Δ (bytes) during the Heartbleed week.
+PAPER_PEAKS = {
+    "10s": 5_000,
+    "1m": 5_200,
+    "5m": 7_000,
+    "1h": 25_000,
+    "1d": 230_000,
+}
+
+
+def test_fig7_communication_overhead(benchmark, trace):
+    result = benchmark(figure_7, trace)
+
+    rows = []
+    for label, series in result.series.items():
+        rows.append(
+            [
+                label,
+                f"{series.min_bytes() / 1024:.1f} KB",
+                f"{series.mean_bytes() / 1024:.1f} KB",
+                f"{series.max_bytes() / 1024:.1f} KB",
+                f"{PAPER_PEAKS[label] / 1024:.1f} KB",
+            ]
+        )
+    table = format_table(
+        ["delta", "min/delta", "mean/delta", "max/delta", "paper peak"],
+        rows,
+        title=(
+            "Figure 7 — per-RA download per delta, Heartbleed week "
+            f"(14-20 Apr 2014), {result.dictionaries} dictionaries"
+        ),
+    )
+    write_result("fig7_communication_overhead", table)
+
+    series = result.series
+    baseline = result.baseline_bytes()
+    # Standard rate: a few KB per delta, dominated by freshness statements.
+    assert 3_000 < baseline < 8_000
+    # Small deltas stay close to the baseline even at the Heartbleed peak.
+    assert series["10s"].max_bytes() < 1.5 * baseline
+    assert series["1m"].max_bytes() < 2.0 * baseline
+    # One-hour updates peak in the tens of kilobytes.
+    assert 10_000 < series["1h"].max_bytes() < 60_000
+    # Daily updates peak in the hundreds of kilobytes (paper: ~230 KB).
+    assert 150_000 < series["1d"].max_bytes() < 400_000
+    # Monotone: larger delta never means less data per update.
+    assert (
+        series["10s"].mean_bytes()
+        <= series["1m"].mean_bytes()
+        <= series["5m"].mean_bytes()
+        <= series["1h"].mean_bytes()
+        <= series["1d"].mean_bytes()
+    )

@@ -1,0 +1,64 @@
+"""Table II: average monthly cost as a function of Δ and clients per RA.
+
+The paper reports average costs (in thousands of USD) for 30, 250, and 1,000
+clients per RA and Δ ∈ {10 s, 1 min, 1 h, 1 day}.  The reproduced shape:
+costs scale inversely with the clients-per-RA density and fall steeply as Δ
+grows.
+"""
+
+from repro.analysis.cost import TABLE2_CLIENTS_PER_RA, table_2
+from repro.analysis.reporting import format_table
+
+from conftest import write_result
+
+#: Table II as printed in the paper (thousands of USD).
+PAPER_TABLE2 = {
+    (30, "10s"): 18.574,
+    (30, "1m"): 3.450,
+    (30, "1h"): 0.647,
+    (30, "1d"): 0.108,
+    (250, "10s"): 2.229,
+    (250, "1m"): 0.414,
+    (250, "1h"): 0.078,
+    (250, "1d"): 0.013,
+    (1_000, "10s"): 0.557,
+    (1_000, "1m"): 0.103,
+    (1_000, "1h"): 0.019,
+    (1_000, "1d"): 0.003,
+}
+
+
+def test_table2_cost_per_ra(benchmark, trace, population):
+    cells = benchmark.pedantic(
+        lambda: table_2(trace=trace, population=population), rounds=1, iterations=1
+    )
+    lookup = {(cell.clients_per_ra, cell.delta_label): cell.average_cost_usd for cell in cells}
+
+    rows = []
+    for clients_per_ra in TABLE2_CLIENTS_PER_RA:
+        row = [clients_per_ra]
+        for label in ("10s", "1m", "1h", "1d"):
+            measured = lookup[(clients_per_ra, label)] / 1_000.0
+            paper = PAPER_TABLE2[(clients_per_ra, label)]
+            row.append(f"{measured:.3f} (paper {paper:.3f})")
+        rows.append(row)
+    table = format_table(
+        ["clients/RA", "d=10s [k$]", "d=1m [k$]", "d=1h [k$]", "d=1d [k$]"],
+        rows,
+        title="Table II — average monthly cost in thousands of USD (measured vs paper)",
+    )
+    write_result("table2_cost_per_ra", table)
+
+    # Shape 1: cost is inversely proportional to clients-per-RA.
+    for label in ("10s", "1m", "1h", "1d"):
+        assert lookup[(30, label)] > lookup[(250, label)] > lookup[(1_000, label)]
+        ratio = lookup[(30, label)] / lookup[(1_000, label)]
+        assert 25 < ratio < 40  # paper's ratio is 1000/30 ≈ 33
+    # Shape 2: cost falls steeply with delta for every density.
+    for clients_per_ra in TABLE2_CLIENTS_PER_RA:
+        assert (
+            lookup[(clients_per_ra, "10s")]
+            > lookup[(clients_per_ra, "1m")]
+            > lookup[(clients_per_ra, "1h")]
+            >= lookup[(clients_per_ra, "1d")]
+        )

@@ -1,0 +1,67 @@
+"""Table IV: comparison of revocation mechanisms.
+
+Regenerates the paper's comparison table — per-scheme storage and connection
+counts (global and per client) plus the violated-properties column — from the
+functional baseline implementations, and checks every cell against the
+paper's symbolic formulas evaluated at the same parameter instantiation.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.baselines.comparison import (
+    DEFAULT_PARAMETERS,
+    PAPER_FORMULAS,
+    build_comparison_table,
+    evaluate_formula,
+)
+
+from conftest import write_result
+
+
+def test_table4_comparison(benchmark):
+    rows = benchmark(build_comparison_table)
+
+    rendered = format_table(
+        [
+            "method",
+            "storage (global)",
+            "storage (client)",
+            "conn (global)",
+            "conn (client)",
+            "violated",
+            "paper formula (storage global)",
+        ],
+        [
+            [
+                row.scheme,
+                f"{row.storage_global:.3e}",
+                f"{row.storage_client:,}",
+                f"{row.conn_global:.3e}",
+                f"{row.conn_client:,}",
+                row.violated_properties,
+                row.formula_storage_global,
+            ]
+            for row in rows
+        ],
+        title=(
+            "Table IV — comparison of revocation mechanisms "
+            f"(n_rev={DEFAULT_PARAMETERS.n_revocations:,}, n_cl={DEFAULT_PARAMETERS.n_clients:.1e}, "
+            f"n_s={DEFAULT_PARAMETERS.n_servers:.1e}, n_ca={DEFAULT_PARAMETERS.n_cas}, "
+            f"n_ra={DEFAULT_PARAMETERS.n_ras:.1e})"
+        ),
+    )
+    write_result("table4_comparison", rendered)
+
+    by_name = {row.scheme: row for row in rows}
+    # Every cell equals the paper's formula at the same parameters.
+    for name, row in by_name.items():
+        formulas = PAPER_FORMULAS[name]
+        assert row.storage_global == evaluate_formula(formulas["storage_global"], DEFAULT_PARAMETERS)
+        assert row.storage_client == evaluate_formula(formulas["storage_client"], DEFAULT_PARAMETERS)
+        assert row.conn_global == evaluate_formula(formulas["conn_global"], DEFAULT_PARAMETERS)
+        assert row.conn_client == evaluate_formula(formulas["conn_client"], DEFAULT_PARAMETERS)
+        assert row.violated_properties == formulas["violated"]
+    # RITM's headline properties: clients store nothing, need no connections,
+    # and no desired property is violated.
+    assert by_name["RITM"].storage_client == 0
+    assert by_name["RITM"].conn_client == 0
+    assert by_name["RITM"].violated_properties == "-"

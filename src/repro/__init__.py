@@ -1,0 +1,23 @@
+"""RITM: Revocation in the Middle — a full Python reproduction.
+
+The package is organised as the paper's system is:
+
+* :mod:`repro.crypto`      — hash chains, sorted Merkle trees, Ed25519;
+* :mod:`repro.pki`         — certificates, CAs, chains, standard validation;
+* :mod:`repro.dictionary`  — authenticated revocation dictionaries (Fig. 2);
+* :mod:`repro.tls`         — record layer, handshake, sessions, endpoints;
+* :mod:`repro.net`         — simulated clock, packets, paths, middleboxes;
+* :mod:`repro.cdn`         — origin, edge servers, geography, pricing;
+* :mod:`repro.ritm`        — Revocation Agents, RITM clients/servers/CAs,
+  dissemination, consistency checking, deployment models (the paper's core);
+* :mod:`repro.baselines`   — CRL, CRLSet, OCSP (+stapling), short-lived
+  certificates, log-based schemes, RevCast, and the Table IV comparison;
+* :mod:`repro.workloads`   — synthetic revocation traces, certificate
+  corpora, city populations, PlanetLab-style vantage points;
+* :mod:`repro.analysis`    — the experiment harnesses behind every table and
+  figure of §VII.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

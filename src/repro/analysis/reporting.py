@@ -1,0 +1,107 @@
+"""Plain-text rendering of the reproduction's tables and figures.
+
+Everything the benchmarks produce is rendered as monospace text: tables with
+aligned columns for the paper's tables, and simple series/CDF listings for
+its figures.  Keeping the rendering in one place makes the benchmark output
+uniform and easy to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in materialised:
+        lines.append(render_row(row))
+    return "\n".join(lines)
+
+
+def format_series(
+    points: Sequence[Tuple[object, object]],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+    max_points: int = 40,
+) -> str:
+    """Render an (x, y) series, downsampling long series for readability."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    step = max(1, len(points) // max_points)
+    sampled = list(points[::step])
+    if points and sampled[-1] != points[-1]:
+        sampled.append(points[-1])
+    lines.append(f"{x_label:>24} | {y_label}")
+    for x_value, y_value in sampled:
+        lines.append(f"{str(x_value):>24} | {y_value}")
+    return "\n".join(lines)
+
+
+def format_cdf_summary(
+    samples: Sequence[float], label: str, thresholds: Sequence[float] = (0.5, 1.0, 2.0)
+) -> str:
+    """Summarise a latency CDF: percentiles plus fraction-below thresholds."""
+    if not samples:
+        return f"{label}: no samples"
+    ordered = sorted(samples)
+
+    def percentile(fraction: float) -> float:
+        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    parts = [
+        f"{label}: n={len(ordered)}",
+        f"p50={percentile(0.50):.3f}s",
+        f"p90={percentile(0.90):.3f}s",
+        f"p99={percentile(0.99):.3f}s",
+    ]
+    for threshold in thresholds:
+        below = sum(1 for sample in ordered if sample <= threshold) / len(ordered)
+        parts.append(f"<= {threshold:.1f}s: {below * 100:.1f}%")
+    return "  ".join(parts)
+
+
+def cdf_points(samples: Sequence[float], points: int = 50) -> List[Tuple[float, float]]:
+    """Reduce samples to ``points`` evenly spaced CDF points (value, fraction)."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    result: List[Tuple[float, float]] = []
+    for index in range(points):
+        fraction = (index + 1) / points
+        value = ordered[min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))]
+        result.append((value, fraction))
+    return result
+
+
+def human_bytes(count: float) -> str:
+    """1532 → '1.5 KB' etc."""
+    units = ["B", "KB", "MB", "GB", "TB", "PB"]
+    value = float(count)
+    for unit in units:
+        if abs(value) < 1024.0 or unit == units[-1]:
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{value:.1f} PB"
+
+
+def human_usd(amount: float) -> str:
+    if amount >= 1_000:
+        return f"${amount / 1_000:.3f}k"
+    return f"${amount:.2f}"

@@ -1,0 +1,246 @@
+"""Table III: processing-time microbenchmarks, plus dictionary-update timing.
+
+The paper times five operations (500 repetitions each, reporting max/min/avg
+in microseconds):
+
+* RA — TLS detection (DPI fast path);
+* RA — certificate parsing (a three-certificate chain, the common case);
+* RA — proof construction;
+* Client — proof validation;
+* Client — signature + freshness validation;
+
+and separately the time for a CA to ``insert`` and an RA to ``update`` a
+batch of 1,000 new revocations.
+
+Absolute numbers from this pure-Python implementation are much larger than
+the paper's C-speed figures (particularly the Ed25519 verification); what is
+expected to reproduce is the *ordering* of costs and the conclusion that the
+per-connection overhead is a negligible fraction of a TLS handshake.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.crypto.signing import KeyPair
+from repro.dictionary.authdict import CADictionary, ReplicaDictionary
+from repro.dictionary.freshness import statement_is_fresh
+from repro.pki.serial import SerialNumber
+from repro.ritm.dpi import DPIEngine
+from repro.tls.connection import ServerConnectionConfig, TLSServerConnection
+from repro.tls.messages import ClientHello
+from repro.tls.records import ContentType, TLSRecord
+from repro.tls.extensions import ritm_support_extension
+from repro.workloads.certificates import generate_corpus
+from repro.workloads.revocation_trace import serials_for_count
+
+#: Repetitions used by the paper.
+PAPER_REPETITIONS = 500
+
+
+@dataclass
+class TimingRow:
+    """One row of Table III."""
+
+    entity: str
+    operation: str
+    max_us: float
+    min_us: float
+    avg_us: float
+    repetitions: int
+
+
+@dataclass
+class Table3Result:
+    rows: List[TimingRow]
+
+    def row(self, operation: str) -> TimingRow:
+        for row in self.rows:
+            if row.operation == operation:
+                return row
+        raise KeyError(operation)
+
+    def client_total_avg_us(self) -> float:
+        """The client-side per-connection total (proof + signature/freshness)."""
+        return (
+            self.row("Proof validation").avg_us
+            + self.row("Sig. and freshness valid.").avg_us
+        )
+
+    def ra_handshake_avg_us(self) -> float:
+        return (
+            self.row("Certificates parsing (DPI)").avg_us
+            + self.row("Proof construction").avg_us
+        )
+
+
+def _time_operation(operation: Callable[[], object], repetitions: int) -> TimingRow:
+    durations: List[float] = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        operation()
+        durations.append((time.perf_counter() - start) * 1e6)
+    return TimingRow(
+        entity="",
+        operation="",
+        max_us=max(durations),
+        min_us=min(durations),
+        avg_us=sum(durations) / len(durations),
+        repetitions=repetitions,
+    )
+
+
+def _with_labels(row: TimingRow, entity: str, operation: str) -> TimingRow:
+    return TimingRow(
+        entity=entity,
+        operation=operation,
+        max_us=row.max_us,
+        min_us=row.min_us,
+        avg_us=row.avg_us,
+        repetitions=row.repetitions,
+    )
+
+
+def run_table_3(
+    repetitions: int = PAPER_REPETITIONS,
+    dictionary_size: int = 20_000,
+    signature_repetitions: Optional[int] = None,
+) -> Table3Result:
+    """Measure every Table III row.
+
+    ``dictionary_size`` controls the dictionary the proofs are built against
+    (proof cost grows logarithmically, so 20k entries already exercises a
+    realistic depth).  ``signature_repetitions`` can be lowered because the
+    pure-Python Ed25519 verification is orders of magnitude slower than the
+    other operations.
+    """
+    if signature_repetitions is None:
+        signature_repetitions = max(10, repetitions // 25)
+
+    # --- fixtures -------------------------------------------------------------
+    corpus = generate_corpus(ca_count=1, domains_per_ca=1, use_intermediates=True)
+    chain = corpus.chains[0]
+    dpi = DPIEngine()
+
+    hello_record = TLSRecord(
+        ContentType.HANDSHAKE,
+        ClientHello(extensions=(ritm_support_extension(),)).to_bytes(),
+    )
+    server = TLSServerConnection(ServerConnectionConfig(chain=chain))
+    server_flight = server.process_record(hello_record, now=1_400_000_000)[0]
+    server_payload = server_flight.to_bytes()
+
+    keys = KeyPair.generate(b"table3")
+    dictionary = CADictionary(ca_name="Timing-CA", keys=keys, delta=10, chain_length=128)
+    serial_values = serials_for_count(dictionary_size + 1, seed=3)
+    dictionary.insert([SerialNumber(value) for value in serial_values[:dictionary_size]], now=0)
+    absent_serial = SerialNumber(serial_values[-1])
+    status = dictionary.prove(absent_serial)
+    signed_root = dictionary.signed_root
+    freshness = dictionary.latest_freshness
+
+    rows: List[TimingRow] = []
+
+    rows.append(
+        _with_labels(
+            _time_operation(lambda: dpi.is_tls(server_payload), repetitions),
+            "RA",
+            "TLS detection (DPI)",
+        )
+    )
+    rows.append(
+        _with_labels(
+            _time_operation(lambda: dpi.inspect(server_payload), repetitions),
+            "RA",
+            "Certificates parsing (DPI)",
+        )
+    )
+    rows.append(
+        _with_labels(
+            _time_operation(lambda: dictionary.prove(absent_serial), repetitions),
+            "RA",
+            "Proof construction",
+        )
+    )
+    rows.append(
+        _with_labels(
+            _time_operation(lambda: status.proof.verify(signed_root.root), repetitions),
+            "Client",
+            "Proof validation",
+        )
+    )
+    rows.append(
+        _with_labels(
+            _time_operation(
+                lambda: (
+                    signed_root.verify(keys.public),
+                    statement_is_fresh(signed_root, freshness, now=5, delta=10),
+                ),
+                signature_repetitions,
+            ),
+            "Client",
+            "Sig. and freshness valid.",
+        )
+    )
+    return Table3Result(rows=rows)
+
+
+# -- dictionary update timing (§VII-D "Computation", first paragraph) ---------------------
+
+
+@dataclass
+class DictionaryUpdateTiming:
+    batch_size: int
+    ca_insert_ms: float
+    ra_update_ms: float
+
+
+def time_dictionary_update(
+    batch_size: int = 1_000, existing_entries: int = 10_000, seed: int = 17
+) -> DictionaryUpdateTiming:
+    """Time a CA ``insert`` and an RA ``update`` of ``batch_size`` revocations."""
+    keys = KeyPair.generate(b"dict-update")
+    dictionary = CADictionary(ca_name="Update-CA", keys=keys, delta=10, chain_length=64)
+    replica = ReplicaDictionary("Update-CA", keys.public)
+
+    serial_values = serials_for_count(existing_entries + batch_size, seed=seed)
+    existing = [SerialNumber(value) for value in serial_values[:existing_entries]]
+    batch = [SerialNumber(value) for value in serial_values[existing_entries:]]
+    if existing:
+        bootstrap = dictionary.insert(existing, now=0)
+        replica.update(bootstrap)
+
+    start = time.perf_counter()
+    issuance = dictionary.insert(batch, now=1)
+    ca_insert_ms = (time.perf_counter() - start) * 1e3
+
+    start = time.perf_counter()
+    replica.update(issuance)
+    ra_update_ms = (time.perf_counter() - start) * 1e3
+
+    return DictionaryUpdateTiming(
+        batch_size=batch_size, ca_insert_ms=ca_insert_ms, ra_update_ms=ra_update_ms
+    )
+
+
+@dataclass
+class ThroughputEstimate:
+    """§VII-D's derived throughput claims."""
+
+    non_tls_packets_per_second: float
+    handshakes_per_second: float
+    client_validations_per_second: float
+
+
+def throughput_from_table3(table3: Table3Result) -> ThroughputEstimate:
+    """Convert the Table III averages into the paper's packets/handshakes/sec."""
+    detection = table3.row("TLS detection (DPI)").avg_us
+    handshake = table3.ra_handshake_avg_us()
+    client = table3.client_total_avg_us()
+    return ThroughputEstimate(
+        non_tls_packets_per_second=1e6 / detection if detection else float("inf"),
+        handshakes_per_second=1e6 / handshake if handshake else float("inf"),
+        client_validations_per_second=1e6 / client if client else float("inf"),
+    )

@@ -1,0 +1,110 @@
+"""Short-Lived Certificates (Rivest 1998; Topalovic et al. 2012).
+
+SLCs sidestep revocation entirely: certificates are valid for a few days and
+simply expire.  There is nothing for the client to check — but also nothing
+anyone can do inside the validity window, so the attack window equals the
+certificate lifetime, and every server must be reconfigured to fetch a fresh
+certificate from its CA on a tight schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.baselines.base import (
+    CheckContext,
+    CheckResult,
+    ComparisonParameters,
+    GroundTruth,
+    RevocationScheme,
+    SchemeProperties,
+)
+
+#: Typical SLC lifetime: 4 days.
+DEFAULT_LIFETIME_SECONDS = 4 * 86_400.0
+
+
+@dataclass
+class IssuedShortLivedCertificate:
+    serial_value: int
+    issued_at: float
+    lifetime: float
+
+    def expires_at(self) -> float:
+        return self.issued_at + self.lifetime
+
+
+class ShortLivedCertificateScheme(RevocationScheme):
+    """Revocation by expiry."""
+
+    name = "Short-Lived Certificates"
+
+    def __init__(
+        self, ground_truth: GroundTruth, lifetime_seconds: float = DEFAULT_LIFETIME_SECONDS
+    ) -> None:
+        super().__init__(ground_truth)
+        self.lifetime_seconds = lifetime_seconds
+        #: Per-server record of the currently deployed short-lived certificate.
+        self._deployed: Dict[str, IssuedShortLivedCertificate] = {}
+        self.reissue_count = 0
+
+    def server_refresh(self, server_name: str, serial_value: int, now: float) -> None:
+        """The server-side cron job: fetch a fresh certificate from the CA."""
+        self._deployed[server_name] = IssuedShortLivedCertificate(
+            serial_value=serial_value, issued_at=now, lifetime=self.lifetime_seconds
+        )
+        self.reissue_count += 1
+
+    def check(self, context: CheckContext) -> CheckResult:
+        deployed = self._deployed.get(context.server_name)
+        if deployed is None:
+            # First contact: assume the server deployed a certificate when the
+            # connection's certificate was issued.
+            deployed = IssuedShortLivedCertificate(
+                serial_value=context.serial.value,
+                issued_at=context.now,
+                lifetime=self.lifetime_seconds,
+            )
+            self._deployed[context.server_name] = deployed
+
+        expired = context.now > deployed.expires_at()
+        revoked_in_truth = self.ground_truth.is_revoked(context.serial, context.now)
+        # Inside the lifetime nothing can be revoked; the client only notices
+        # once the CA stops re-issuing and the certificate expires.
+        effective_revoked = expired and revoked_in_truth
+        note = ""
+        if revoked_in_truth and not expired:
+            note = "compromise within certificate lifetime: undetectable until expiry"
+        return CheckResult(
+            scheme=self.name,
+            revoked=effective_revoked,
+            connections_made=0,
+            bytes_downloaded=0,
+            latency_seconds=0.0,
+            privacy_leaked_to=[],
+            staleness_bound_seconds=self.lifetime_seconds,
+            notes=note,
+        )
+
+    def properties(self) -> SchemeProperties:
+        return SchemeProperties(
+            near_instant=False,
+            privacy=True,
+            efficiency=True,
+            transparency=False,
+            no_server_changes=False,
+        )
+
+    def client_storage_entries(self, totals: ComparisonParameters) -> int:
+        return 0
+
+    def global_storage_entries(self, totals: ComparisonParameters) -> int:
+        return 0  # no revocation state exists anywhere
+
+    def client_connections(self, totals: ComparisonParameters) -> int:
+        return 0
+
+    def global_connections(self, totals: ComparisonParameters) -> int:
+        # Every server must contact its CA every lifetime period.
+        return totals.n_servers

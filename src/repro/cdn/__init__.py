@@ -1,0 +1,33 @@
+"""CDN substrate: origin, edge servers, fabric, geography, pricing."""
+
+from repro.cdn.edge import EdgeFetchResult, EdgeServer
+from repro.cdn.geography import (
+    EDGE_RTT_SECONDS,
+    FIRST_TIER_PRICE_PER_GB,
+    POPULATION_SHARE,
+    GeoLocation,
+    Region,
+    all_regions,
+)
+from repro.cdn.network import CDNNetwork, DownloadResult
+from repro.cdn.origin import DistributionPoint, StoredObject
+from repro.cdn.pricing import GB, BillingCycleUsage, PricingModel, RegionalUsage
+
+__all__ = [
+    "Region",
+    "GeoLocation",
+    "all_regions",
+    "POPULATION_SHARE",
+    "FIRST_TIER_PRICE_PER_GB",
+    "EDGE_RTT_SECONDS",
+    "DistributionPoint",
+    "StoredObject",
+    "EdgeServer",
+    "EdgeFetchResult",
+    "CDNNetwork",
+    "DownloadResult",
+    "PricingModel",
+    "BillingCycleUsage",
+    "RegionalUsage",
+    "GB",
+]

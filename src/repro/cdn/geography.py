@@ -1,0 +1,109 @@
+"""Geographic regions used by the CDN model.
+
+Amazon CloudFront (the example CDN of §VII-B/C) prices data transfer per
+*edge-location region*.  The paper estimates the number of RAs per region
+from city-population data and bills the CA for the traffic those RAs pull.
+This module defines the regions, their 2015-era list prices, and typical
+wide-area round-trip latencies from a client in the region to its closest
+edge server — the ingredients of both the cost model (Fig. 6, Table II) and
+the download-time CDF (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Tuple
+
+
+class Region(Enum):
+    """CloudFront pricing regions (2015 price list granularity)."""
+
+    UNITED_STATES = "United States"
+    EUROPE = "Europe"
+    HONG_KONG_SINGAPORE = "Hong Kong, Philippines, S. Korea, Singapore & Taiwan"
+    JAPAN = "Japan"
+    SOUTH_AMERICA = "South America"
+    AUSTRALIA = "Australia"
+    INDIA = "India"
+
+
+#: Per-GB price (USD) for the first pricing tier, per region (2015 list prices).
+FIRST_TIER_PRICE_PER_GB: Dict[Region, float] = {
+    Region.UNITED_STATES: 0.085,
+    Region.EUROPE: 0.085,
+    Region.HONG_KONG_SINGAPORE: 0.140,
+    Region.JAPAN: 0.140,
+    Region.SOUTH_AMERICA: 0.250,
+    Region.AUSTRALIA: 0.140,
+    Region.INDIA: 0.170,
+}
+
+#: Tier boundaries in GB/month and the multiplicative discount relative to the
+#: first tier (CloudFront's published tiers: 10 TB, 40 TB, 100 TB, 350 TB, ...).
+PRICE_TIERS_GB: Tuple[Tuple[float, float], ...] = (
+    (10_240.0, 1.00),
+    (40_960.0, 0.94),
+    (102_400.0, 0.88),
+    (358_400.0, 0.82),
+    (float("inf"), 0.76),
+)
+
+#: Approximate share of the world's (urban) population per region, used when a
+#: synthetic population is partitioned into regions.
+POPULATION_SHARE: Dict[Region, float] = {
+    Region.UNITED_STATES: 0.18,
+    Region.EUROPE: 0.25,
+    Region.HONG_KONG_SINGAPORE: 0.17,
+    Region.JAPAN: 0.06,
+    Region.SOUTH_AMERICA: 0.14,
+    Region.AUSTRALIA: 0.02,
+    Region.INDIA: 0.18,
+}
+
+#: (median RTT seconds, spread) from a vantage point in the region to its
+#: closest CloudFront edge, used by the PlanetLab latency model.
+EDGE_RTT_SECONDS: Dict[Region, Tuple[float, float]] = {
+    Region.UNITED_STATES: (0.020, 0.015),
+    Region.EUROPE: (0.025, 0.015),
+    Region.HONG_KONG_SINGAPORE: (0.045, 0.030),
+    Region.JAPAN: (0.035, 0.020),
+    Region.SOUTH_AMERICA: (0.080, 0.050),
+    Region.AUSTRALIA: (0.070, 0.040),
+    Region.INDIA: (0.090, 0.060),
+}
+
+#: (median, spread) of last-mile downstream bandwidth in bytes/second.
+EDGE_BANDWIDTH_BYTES: Dict[Region, Tuple[float, float]] = {
+    Region.UNITED_STATES: (6.0e6, 3.0e6),
+    Region.EUROPE: (6.0e6, 3.0e6),
+    Region.HONG_KONG_SINGAPORE: (5.0e6, 2.5e6),
+    Region.JAPAN: (7.0e6, 3.0e6),
+    Region.SOUTH_AMERICA: (2.0e6, 1.0e6),
+    Region.AUSTRALIA: (3.0e6, 1.5e6),
+    Region.INDIA: (1.5e6, 1.0e6),
+}
+
+
+@dataclass(frozen=True)
+class GeoLocation:
+    """A coarse location: a region plus a within-region distance factor.
+
+    ``distance_factor`` scales the regional RTT: 0 means "right next to the
+    edge server", 1 means "at the far end of the region".
+    """
+
+    region: Region
+    distance_factor: float = 0.5
+
+    def rtt_to_edge(self) -> float:
+        median, spread = EDGE_RTT_SECONDS[self.region]
+        return max(0.001, median + (self.distance_factor - 0.5) * 2 * spread)
+
+    def bandwidth_to_edge(self) -> float:
+        median, spread = EDGE_BANDWIDTH_BYTES[self.region]
+        return max(100_000.0, median - (self.distance_factor - 0.5) * 2 * spread)
+
+
+def all_regions() -> Tuple[Region, ...]:
+    return tuple(Region)

@@ -1,0 +1,182 @@
+"""Pure-Python Ed25519 (RFC 8032) signatures.
+
+The paper (§VI) signs dictionary roots with Ed25519 to keep the signed root
+small: 32-byte public keys and 64-byte signatures.  No third-party crypto
+library is assumed to be available, so this module implements the scheme from
+scratch on top of Python integers.  It follows the structure of the original
+reference implementation by Bernstein et al. (public domain), modernised for
+Python 3 and extended with input validation.
+
+The implementation favours clarity over speed — signing and verifying take on
+the order of ten milliseconds each — which is acceptable because RITM signs a
+root at most once per Δ and clients cache the verified root for the lifetime
+of the freshness chain.  For the latency-critical per-connection operations
+the paper (and this reproduction) relies on hash-only proofs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+from repro.errors import CryptoError, SignatureError
+
+# --------------------------------------------------------------------------
+# Curve parameters (edwards25519)
+# --------------------------------------------------------------------------
+
+#: Field prime 2^255 - 19.
+P = 2**255 - 19
+#: Group order.
+L = 2**252 + 27742317777372353535851937790883648493
+#: Curve constant d = -121665/121666 mod p.
+D = -121665 * pow(121666, P - 2, P) % P
+#: sqrt(-1) mod p, used during point decompression.
+SQRT_M1 = pow(2, (P - 1) // 4, P)
+
+#: Size in bytes of public keys and of each signature half.
+KEY_SIZE = 32
+SIGNATURE_SIZE = 64
+
+_Point = Tuple[int, int, int, int]  # extended homogeneous coordinates (X, Y, Z, T)
+
+
+def _sha512(data: bytes) -> bytes:
+    return hashlib.sha512(data).digest()
+
+
+def _sha512_int(data: bytes) -> int:
+    return int.from_bytes(_sha512(data), "little")
+
+
+# --------------------------------------------------------------------------
+# Point arithmetic in extended homogeneous coordinates
+# --------------------------------------------------------------------------
+
+
+def _point_add(p: _Point, q: _Point) -> _Point:
+    x1, y1, z1, t1 = p
+    x2, y2, z2, t2 = q
+    a = (y1 - x1) * (y2 - x2) % P
+    b = (y1 + x1) * (y2 + x2) % P
+    c = 2 * t1 * t2 * D % P
+    d = 2 * z1 * z2 % P
+    e, f, g, h = b - a, d - c, d + c, b + a
+    return (e * f % P, g * h % P, f * g % P, e * h % P)
+
+
+def _point_double(p: _Point) -> _Point:
+    # Doubling is a special case of addition on this curve; reuse it for
+    # simplicity (the curve is complete, so addition works for P == Q).
+    return _point_add(p, p)
+
+
+def _scalar_mult(scalar: int, point: _Point) -> _Point:
+    """Double-and-add scalar multiplication (not constant time)."""
+    result: _Point = (0, 1, 1, 0)  # neutral element
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = _point_add(result, addend)
+        addend = _point_double(addend)
+        scalar >>= 1
+    return result
+
+
+def _recover_x(y: int, sign: int) -> int:
+    if y >= P:
+        raise CryptoError("point decompression failed: y out of range")
+    x2 = (y * y - 1) * pow(D * y * y + 1, P - 2, P) % P
+    if x2 == 0:
+        if sign:
+            raise CryptoError("point decompression failed: invalid sign bit")
+        return 0
+    x = pow(x2, (P + 3) // 8, P)
+    if (x * x - x2) % P != 0:
+        x = x * SQRT_M1 % P
+    if (x * x - x2) % P != 0:
+        raise CryptoError("point decompression failed: not a square")
+    if x & 1 != sign:
+        x = P - x
+    return x
+
+
+# Base point B.
+_BASE_Y = 4 * pow(5, P - 2, P) % P
+_BASE_X = _recover_x(_BASE_Y, 0)
+BASE_POINT: _Point = (_BASE_X, _BASE_Y, 1, _BASE_X * _BASE_Y % P)
+
+
+def _point_compress(p: _Point) -> bytes:
+    x, y, z, _ = p
+    zinv = pow(z, P - 2, P)
+    x, y = x * zinv % P, y * zinv % P
+    return int.to_bytes(y | ((x & 1) << 255), KEY_SIZE, "little")
+
+
+def _point_decompress(data: bytes) -> _Point:
+    if len(data) != KEY_SIZE:
+        raise CryptoError(f"compressed point must be {KEY_SIZE} bytes")
+    y = int.from_bytes(data, "little")
+    sign = y >> 255
+    y &= (1 << 255) - 1
+    x = _recover_x(y, sign)
+    return (x, y, 1, x * y % P)
+
+
+def _point_equal(p: _Point, q: _Point) -> bool:
+    x1, y1, z1, _ = p
+    x2, y2, z2, _ = q
+    return (x1 * z2 - x2 * z1) % P == 0 and (y1 * z2 - y2 * z1) % P == 0
+
+
+# --------------------------------------------------------------------------
+# Key generation / signing / verification
+# --------------------------------------------------------------------------
+
+
+def _secret_expand(secret: bytes) -> Tuple[int, bytes]:
+    if len(secret) != KEY_SIZE:
+        raise CryptoError(f"secret key seed must be {KEY_SIZE} bytes")
+    h = _sha512(secret)
+    a = int.from_bytes(h[:32], "little")
+    a &= (1 << 254) - 8
+    a |= 1 << 254
+    return a, h[32:]
+
+
+def publickey(secret: bytes) -> bytes:
+    """Derive the 32-byte public key from a 32-byte secret seed."""
+    a, _ = _secret_expand(secret)
+    return _point_compress(_scalar_mult(a, BASE_POINT))
+
+
+def sign(secret: bytes, message: bytes) -> bytes:
+    """Produce a 64-byte Ed25519 signature of ``message``."""
+    a, prefix = _secret_expand(secret)
+    public = _point_compress(_scalar_mult(a, BASE_POINT))
+    r = _sha512_int(prefix + message) % L
+    r_point = _point_compress(_scalar_mult(r, BASE_POINT))
+    h = _sha512_int(r_point + public + message) % L
+    s = (r + h * a) % L
+    return r_point + int.to_bytes(s, 32, "little")
+
+
+def verify(public: bytes, message: bytes, signature: bytes) -> bool:
+    """Return ``True`` iff ``signature`` is a valid signature of ``message``."""
+    if len(public) != KEY_SIZE:
+        raise SignatureError(f"public key must be {KEY_SIZE} bytes")
+    if len(signature) != SIGNATURE_SIZE:
+        raise SignatureError(f"signature must be {SIGNATURE_SIZE} bytes")
+    try:
+        a_point = _point_decompress(public)
+        r_point = _point_decompress(signature[:32])
+    except CryptoError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= L:
+        return False
+    h = _sha512_int(signature[:32] + public + message) % L
+    sb = _scalar_mult(s, BASE_POINT)
+    rha = _point_add(r_point, _scalar_mult(h, a_point))
+    return _point_equal(sb, rha)

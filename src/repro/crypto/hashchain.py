@@ -1,0 +1,131 @@
+"""Hash chains and freshness statements (paper §II, §III, Fig. 2).
+
+A CA that signs a dictionary root also commits to the anchor ``H^m(v)`` of a
+hash chain of length ``m`` built from a random seed ``v``.  Each subsequent
+period Δ in which no new revocation is issued, the CA releases the next
+pre-image ``H^(m-p)(v)`` as a *freshness statement*: a short, unforgeable
+proof that the CA still considers the signed root current ``p`` periods after
+it was signed.
+
+Anyone holding the anchor can verify a freshness statement by re-hashing it
+``p`` times (or ``p + 1`` times — the client tolerates one period of clock
+skew, paper §III step 5c) and comparing against the anchor.  Nobody but the
+CA can produce the next statement, because doing so would require inverting
+the hash function.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.hashing import DEFAULT_DIGEST_SIZE, hash_chain_link
+from repro.errors import HashChainError
+
+
+def chain_apply(value: bytes, times: int, digest_size: int = DEFAULT_DIGEST_SIZE) -> bytes:
+    """Apply the chain hash ``times`` times to ``value`` (``H^times(value)``)."""
+    if times < 0:
+        raise ValueError("cannot apply a hash chain a negative number of times")
+    current = value
+    for _ in range(times):
+        current = hash_chain_link(current, digest_size)
+    return current
+
+
+@dataclass
+class HashChain:
+    """A CA-side hash chain of length ``m`` anchored at ``H^m(seed)``.
+
+    Parameters
+    ----------
+    length:
+        The chain length ``m``: the number of freshness statements that can be
+        released before a new signed root (and new chain) is required.
+    seed:
+        The random value ``v``.  Generated with :func:`os.urandom` if omitted.
+    digest_size:
+        Size of each chain link in bytes.
+    """
+
+    length: int
+    seed: bytes = field(default_factory=lambda: os.urandom(32))
+    digest_size: int = DEFAULT_DIGEST_SIZE
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("hash chain length must be at least 1")
+        # Pre-compute every link once; the chain is short (m is typically the
+        # number of Δ periods the CA expects between revocations) and CAs
+        # release links in reverse order, so caching them avoids O(m^2) work.
+        links = [self.seed]
+        for _ in range(self.length):
+            links.append(hash_chain_link(links[-1], self.digest_size))
+        self._links = links
+
+    @property
+    def anchor(self) -> bytes:
+        """The public anchor ``H^m(v)`` embedded in the signed root."""
+        return self._links[self.length]
+
+    def statement(self, period: int) -> bytes:
+        """Return the freshness statement ``H^(m-period)(v)`` for period ``period``.
+
+        ``period`` 0 is the anchor itself (the moment the root was signed);
+        the last releasable statement is ``period == length`` (the seed).
+        """
+        if not 0 <= period <= self.length:
+            raise HashChainError(
+                f"period {period} outside the chain's range [0, {self.length}]"
+            )
+        return self._links[self.length - period]
+
+    def remaining(self, period: int) -> int:
+        """Number of further statements available after ``period``."""
+        return max(0, self.length - period)
+
+
+def verify_freshness(
+    anchor: bytes,
+    statement: bytes,
+    periods_elapsed: int,
+    tolerance: int = 1,
+    digest_size: int = DEFAULT_DIGEST_SIZE,
+) -> bool:
+    """Verify a freshness statement against its anchor.
+
+    Implements the client check of paper §III step 5c: the statement is
+    accepted if hashing it ``periods_elapsed`` times — or any count up to
+    ``periods_elapsed + tolerance`` times — yields the anchor.  The paper uses
+    ``tolerance = 1`` (accept ``p'`` or ``p' + 1``), which corresponds to the
+    2Δ acceptance window.
+    """
+    if periods_elapsed < 0:
+        return False
+    current = chain_apply(statement, periods_elapsed, digest_size)
+    for _ in range(tolerance + 1):
+        if current == anchor:
+            return True
+        current = hash_chain_link(current, digest_size)
+    return False
+
+
+def statement_age(
+    anchor: bytes,
+    statement: bytes,
+    max_periods: int,
+    digest_size: int = DEFAULT_DIGEST_SIZE,
+) -> Optional[int]:
+    """Return how many periods old ``statement`` is, or ``None`` if unlinked.
+
+    Used by RAs when comparing freshness statements received from peers: the
+    statement linked to the anchor by the *fewest* hash applications is the
+    most recent one.
+    """
+    current = statement
+    for age in range(max_periods + 1):
+        if current == anchor:
+            return age
+        current = hash_chain_link(current, digest_size)
+    return None

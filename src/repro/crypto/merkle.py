@@ -1,0 +1,310 @@
+"""Sorted Merkle hash tree with presence and absence proofs.
+
+This is the structure underlying RITM's authenticated dictionaries (paper
+§II, §III).  Leaves are ``(key, value)`` pairs kept in lexicographic order of
+their keys; in RITM the key is a certificate serial number and the value is
+the revocation's sequence number within the CA's dictionary.
+
+Because the leaves are sorted, the tree can prove two kinds of statements
+about a queried key:
+
+* *presence*: the key is in the tree — an ordinary audit path from the leaf
+  to the root;
+* *absence*: the key is not in the tree — audit paths for the two adjacent
+  leaves that would surround the key, showing they sit at consecutive leaf
+  positions and that the queried key falls strictly between them (with the
+  obvious one-sided variants when the key would sort before the first or
+  after the last leaf, and a trivial variant for the empty tree).
+
+Proof sizes are logarithmic in the number of leaves, which is what gives RITM
+its 500–900-byte revocation statuses even for the largest CRL in the paper's
+dataset.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.crypto.hashing import DEFAULT_DIGEST_SIZE, hash_leaf, hash_node
+from repro.errors import ProofError
+
+#: Sentinel digest for the empty tree: the hash of an empty leaf namespace.
+def empty_root(digest_size: int = DEFAULT_DIGEST_SIZE) -> bytes:
+    """Root digest of a tree with no leaves."""
+    return hash_leaf(b"", digest_size)
+
+
+def _encode_leaf(key: bytes, value: bytes) -> bytes:
+    """Length-prefixed leaf encoding (prevents key/value boundary ambiguity)."""
+    return len(key).to_bytes(2, "big") + key + value
+
+
+@dataclass(frozen=True)
+class AuditStep:
+    """One step of an audit path: a sibling digest and its side."""
+
+    sibling: bytes
+    sibling_is_left: bool
+
+
+@dataclass(frozen=True)
+class PresenceProof:
+    """Proof that ``(key, value)`` is the leaf at ``leaf_index`` of the tree."""
+
+    key: bytes
+    value: bytes
+    leaf_index: int
+    tree_size: int
+    path: Tuple[AuditStep, ...]
+
+    def root(self, digest_size: int = DEFAULT_DIGEST_SIZE) -> bytes:
+        """Recompute the root implied by this proof."""
+        digest = hash_leaf(_encode_leaf(self.key, self.value), digest_size)
+        for step in self.path:
+            if step.sibling_is_left:
+                digest = hash_node(step.sibling, digest, digest_size)
+            else:
+                digest = hash_node(digest, step.sibling, digest_size)
+        return digest
+
+    def verify(self, expected_root: bytes, digest_size: int = DEFAULT_DIGEST_SIZE) -> bool:
+        """Check the proof against ``expected_root``.
+
+        Besides recomputing the root, the verifier checks that the *shape* of
+        the audit path (number of steps and the side of each sibling) is the
+        one implied by ``leaf_index`` and ``tree_size``.  This binds the
+        claimed leaf position to the root, which the absence proof's
+        adjacency check depends on.
+        """
+        if self.leaf_index < 0 or self.leaf_index >= self.tree_size:
+            return False
+        if [s.sibling_is_left for s in self.path] != _expected_sides(
+            self.leaf_index, self.tree_size
+        ):
+            return False
+        return self.root(digest_size) == expected_root
+
+    def encoded_size(self, digest_size: int = DEFAULT_DIGEST_SIZE) -> int:
+        """Approximate wire size in bytes (used by the overhead analysis)."""
+        # key + value + two 4-byte integers + one digest and one side bit per step
+        return len(self.key) + len(self.value) + 8 + len(self.path) * (digest_size + 1)
+
+
+def _expected_sides(leaf_index: int, tree_size: int) -> List[bool]:
+    """Sibling sides an honest audit path must have for this position/size."""
+    sides: List[bool] = []
+    node_index, level_size = leaf_index, tree_size
+    while level_size > 1:
+        sibling_index = node_index ^ 1
+        if sibling_index < level_size:
+            sides.append(sibling_index < node_index)
+        node_index //= 2
+        level_size = (level_size + 1) // 2
+    return sides
+
+
+@dataclass(frozen=True)
+class AbsenceProof:
+    """Proof that ``key`` is not present in the tree.
+
+    ``left`` is the presence proof of the greatest leaf smaller than ``key``
+    (``None`` if the key would sort before every leaf) and ``right`` the
+    smallest leaf greater than ``key`` (``None`` if it would sort after every
+    leaf).  For an empty tree both are ``None`` and ``tree_size`` is zero.
+    """
+
+    key: bytes
+    tree_size: int
+    left: Optional[PresenceProof] = None
+    right: Optional[PresenceProof] = None
+
+    def verify(self, expected_root: bytes, digest_size: int = DEFAULT_DIGEST_SIZE) -> bool:
+        """Check adjacency, ordering, and both audit paths against the root."""
+        if self.tree_size == 0:
+            return self.left is None and self.right is None and (
+                expected_root == empty_root(digest_size)
+            )
+        if self.left is None and self.right is None:
+            return False
+        if self.left is not None:
+            if not self.left.verify(expected_root, digest_size):
+                return False
+            if not self.left.key < self.key:
+                return False
+            if self.left.tree_size != self.tree_size:
+                return False
+        if self.right is not None:
+            if not self.right.verify(expected_root, digest_size):
+                return False
+            if not self.key < self.right.key:
+                return False
+            if self.right.tree_size != self.tree_size:
+                return False
+        if self.left is not None and self.right is not None:
+            # The two leaves must be adjacent: nothing can hide between them.
+            if self.right.leaf_index != self.left.leaf_index + 1:
+                return False
+        elif self.left is None:
+            # Key sorts before every leaf: the right neighbour must be leaf 0.
+            if self.right.leaf_index != 0:
+                return False
+        else:
+            # Key sorts after every leaf: the left neighbour must be the last leaf.
+            if self.left.leaf_index != self.tree_size - 1:
+                return False
+        return True
+
+    def encoded_size(self, digest_size: int = DEFAULT_DIGEST_SIZE) -> int:
+        size = len(self.key) + 4
+        if self.left is not None:
+            size += self.left.encoded_size(digest_size)
+        if self.right is not None:
+            size += self.right.encoded_size(digest_size)
+        return size
+
+
+MembershipProof = Union[PresenceProof, AbsenceProof]
+
+
+class SortedMerkleTree:
+    """A Merkle tree over key-sorted leaves supporting incremental appends.
+
+    The tree keeps its leaves in a sorted list; the hash levels are rebuilt
+    lazily the first time the root (or a proof) is requested after a
+    modification, so batched inserts pay for a single rebuild.
+    """
+
+    def __init__(self, digest_size: int = DEFAULT_DIGEST_SIZE) -> None:
+        self._digest_size = digest_size
+        self._keys: List[bytes] = []
+        self._values: List[bytes] = []
+        self._levels: List[List[bytes]] = []
+        self._dirty = True
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, key: bytes, value: bytes) -> int:
+        """Insert a leaf, keeping keys sorted and unique.
+
+        Returns the leaf index at which the key now resides.  Raises
+        :class:`ProofError` if the key is already present (RITM dictionaries
+        never revoke the same serial twice).
+        """
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            raise ProofError(f"duplicate key {key.hex()} inserted into sorted tree")
+        self._keys.insert(index, key)
+        self._values.insert(index, value)
+        self._dirty = True
+        return index
+
+    def insert_batch(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
+        """Insert many leaves; the hash levels are rebuilt only once."""
+        for key, value in items:
+            self.insert(key, value)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: bytes) -> bool:
+        return self._find(key) is not None
+
+    def keys(self) -> Sequence[bytes]:
+        return tuple(self._keys)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the value stored under ``key``, or ``None``."""
+        index = self._find(key)
+        return None if index is None else self._values[index]
+
+    def root(self) -> bytes:
+        """Current root digest (empty-tree sentinel if there are no leaves)."""
+        self._rebuild_if_needed()
+        if not self._keys:
+            return empty_root(self._digest_size)
+        return self._levels[-1][0]
+
+    def prove_presence(self, key: bytes) -> PresenceProof:
+        """Build a presence proof; raises :class:`ProofError` if absent."""
+        index = self._find(key)
+        if index is None:
+            raise ProofError(f"key {key.hex()} is not in the tree")
+        return self._presence_proof_at(index)
+
+    def prove_absence(self, key: bytes) -> AbsenceProof:
+        """Build an absence proof; raises :class:`ProofError` if present."""
+        if self._find(key) is not None:
+            raise ProofError(f"key {key.hex()} is present; cannot prove absence")
+        size = len(self._keys)
+        if size == 0:
+            return AbsenceProof(key=key, tree_size=0)
+        index = bisect.bisect_left(self._keys, key)
+        left = self._presence_proof_at(index - 1) if index > 0 else None
+        right = self._presence_proof_at(index) if index < size else None
+        return AbsenceProof(key=key, tree_size=size, left=left, right=right)
+
+    def prove(self, key: bytes) -> MembershipProof:
+        """Return a presence proof if the key is stored, else an absence proof."""
+        if key in self:
+            return self.prove_presence(key)
+        return self.prove_absence(key)
+
+    # -- internals ----------------------------------------------------------
+
+    def _find(self, key: bytes) -> Optional[int]:
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            return index
+        return None
+
+    def _rebuild_if_needed(self) -> None:
+        if not self._dirty:
+            return
+        if not self._keys:
+            self._levels = []
+            self._dirty = False
+            return
+        level = [
+            hash_leaf(_encode_leaf(key, value), self._digest_size)
+            for key, value in zip(self._keys, self._values)
+        ]
+        levels = [level]
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(hash_node(level[i], level[i + 1], self._digest_size))
+            if len(level) % 2 == 1:
+                # Odd node is promoted unchanged to the next level.
+                nxt.append(level[-1])
+            level = nxt
+            levels.append(level)
+        self._levels = levels
+        self._dirty = False
+
+    def _presence_proof_at(self, index: int) -> PresenceProof:
+        self._rebuild_if_needed()
+        path: List[AuditStep] = []
+        node_index = index
+        for level in self._levels[:-1]:
+            sibling_index = node_index ^ 1
+            if sibling_index < len(level):
+                path.append(
+                    AuditStep(
+                        sibling=level[sibling_index],
+                        sibling_is_left=sibling_index < node_index,
+                    )
+                )
+            # When the node is the promoted odd node it has no sibling at this
+            # level; it simply carries up, so no audit step is emitted.
+            node_index //= 2
+        return PresenceProof(
+            key=self._keys[index],
+            value=self._values[index],
+            leaf_index=index,
+            tree_size=len(self._keys),
+            path=tuple(path),
+        )

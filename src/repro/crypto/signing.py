@@ -1,0 +1,96 @@
+"""Key-pair abstraction over the raw Ed25519 functions.
+
+RITM's trust model has exactly one class of signer — certification
+authorities — but several verifiers (RAs, clients, edge servers).  This module
+wraps :mod:`repro.crypto.ed25519` in small value objects so that the rest of
+the code never handles raw byte seeds directly, and so an alternative
+signature scheme could be swapped in for experiments.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.crypto import ed25519
+from repro.errors import SignatureError
+
+#: Signature size in bytes (used by the overhead model, paper §VI: 64 bytes).
+SIGNATURE_SIZE = ed25519.SIGNATURE_SIZE
+PUBLIC_KEY_SIZE = ed25519.KEY_SIZE
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """An Ed25519 verification key."""
+
+    key_bytes: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.key_bytes) != PUBLIC_KEY_SIZE:
+            raise SignatureError(
+                f"public key must be {PUBLIC_KEY_SIZE} bytes, got {len(self.key_bytes)}"
+            )
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Return ``True`` iff ``signature`` signs ``message`` under this key."""
+        return ed25519.verify(self.key_bytes, message, signature)
+
+    def verify_or_raise(self, message: bytes, signature: bytes) -> None:
+        """Like :meth:`verify` but raises :class:`SignatureError` on failure."""
+        if not self.verify(message, signature):
+            raise SignatureError("signature verification failed")
+
+    def fingerprint(self) -> str:
+        """Short hex identifier, convenient for logs and dictionaries."""
+        return self.key_bytes.hex()[:16]
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """An Ed25519 signing key (seed form)."""
+
+    seed: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.seed) != PUBLIC_KEY_SIZE:
+            raise SignatureError(f"seed must be {PUBLIC_KEY_SIZE} bytes")
+
+    @classmethod
+    def generate(cls, rng_seed: bytes | None = None) -> "PrivateKey":
+        """Generate a fresh key, or derive one deterministically from ``rng_seed``.
+
+        Deterministic derivation is used by tests and by the workload
+        generators so that experiments are reproducible run to run.
+        """
+        if rng_seed is None:
+            return cls(os.urandom(PUBLIC_KEY_SIZE))
+        import hashlib
+
+        return cls(hashlib.sha256(b"repro-key:" + rng_seed).digest())
+
+    def public_key(self) -> PublicKey:
+        return PublicKey(ed25519.publickey(self.seed))
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign ``message``, returning the 64-byte signature."""
+        return ed25519.sign(self.seed, message)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """Convenience bundle of a private key and its public counterpart."""
+
+    private: PrivateKey
+    public: PublicKey
+
+    @classmethod
+    def generate(cls, rng_seed: bytes | None = None) -> "KeyPair":
+        private = PrivateKey.generate(rng_seed)
+        return cls(private=private, public=private.public_key())
+
+    def sign(self, message: bytes) -> bytes:
+        return self.private.sign(message)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return self.public.verify(message, signature)

@@ -1,0 +1,224 @@
+"""Expiry-split dictionaries ("Ever-growing dictionaries", paper §VIII).
+
+A single append-only dictionary can never shrink, so an RA would eventually
+store revocations for certificates that expired long ago.  The paper's
+proposed relaxation: a CA maintains several dictionaries at once, each
+dedicated to certificates that expire before a given date.  Because the CA/B
+Forum caps certificate lifetimes (39 months at the time of the paper), a
+revocation only ever needs to live in the shard covering its certificate's
+expiry; once a shard's entire expiry window is in the past, RAs can delete
+the whole shard.
+
+This module implements that scheme on top of the ordinary
+:class:`~repro.dictionary.authdict.CADictionary` / ``ReplicaDictionary``
+pair:
+
+* :class:`ShardedCADictionary` — the CA side: routes each revocation to the
+  shard covering the certificate's expiry time, refreshes every live shard
+  each Δ, and retires shards whose window has passed;
+* :class:`ShardedReplica` — the RA side: one replica per shard, with
+  ``prune_expired`` reclaiming the storage the paper's §VIII is about.
+
+Each shard is a fully independent authenticated dictionary (own signed root,
+own freshness chain), so all the security arguments of the base construction
+apply unchanged per shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.crypto.signing import KeyPair, PublicKey
+from repro.dictionary.authdict import CADictionary, ReplicaDictionary, RevocationIssuance
+from repro.dictionary.proofs import RevocationStatus
+from repro.errors import DictionaryError
+from repro.pki.serial import SerialNumber
+
+#: CA/B Forum maximum certificate lifetime at the time of the paper: 39 months.
+MAX_CERTIFICATE_LIFETIME_SECONDS = 39 * 30 * 86_400
+#: Default shard width: one calendar quarter of expiry dates per dictionary.
+DEFAULT_SHARD_SECONDS = 90 * 86_400
+
+
+def shard_name(ca_name: str, shard_index: int) -> str:
+    """The per-shard dictionary name (doubles as its dissemination path key)."""
+    return f"{ca_name}#expiry-{shard_index}"
+
+
+@dataclass(frozen=True)
+class ShardKey:
+    """Identifies one expiry shard: every certificate expiring in
+    ``[index * width, (index + 1) * width)`` lands in this shard."""
+
+    index: int
+    width_seconds: int
+
+    @property
+    def window_start(self) -> int:
+        return self.index * self.width_seconds
+
+    @property
+    def window_end(self) -> int:
+        return (self.index + 1) * self.width_seconds
+
+    def is_expired(self, now: float) -> bool:
+        """The whole shard is obsolete once every certificate in it has expired."""
+        return now >= self.window_end
+
+    @classmethod
+    def for_expiry(cls, expiry: int, width_seconds: int = DEFAULT_SHARD_SECONDS) -> "ShardKey":
+        if expiry < 0:
+            raise DictionaryError("certificate expiry cannot be negative")
+        return cls(index=expiry // width_seconds, width_seconds=width_seconds)
+
+
+class ShardedCADictionary:
+    """The CA side of expiry-split dictionaries."""
+
+    def __init__(
+        self,
+        ca_name: str,
+        keys: KeyPair,
+        delta: int,
+        chain_length: int = 1024,
+        shard_seconds: int = DEFAULT_SHARD_SECONDS,
+        digest_size: int = 20,
+    ) -> None:
+        self.ca_name = ca_name
+        self._keys = keys
+        self.delta = delta
+        self.chain_length = chain_length
+        self.shard_seconds = shard_seconds
+        self._digest_size = digest_size
+        self._shards: Dict[int, CADictionary] = {}
+        self._retired: List[int] = []
+
+    # -- shard management -------------------------------------------------------
+
+    def shard_for_expiry(self, expiry: int) -> Tuple[ShardKey, CADictionary]:
+        """The (possibly newly created) shard covering ``expiry``."""
+        key = ShardKey.for_expiry(expiry, self.shard_seconds)
+        if key.index not in self._shards:
+            self._shards[key.index] = CADictionary(
+                ca_name=shard_name(self.ca_name, key.index),
+                keys=self._keys,
+                delta=self.delta,
+                chain_length=self.chain_length,
+                digest_size=self._digest_size,
+            )
+        return key, self._shards[key.index]
+
+    def shard_keys(self) -> List[ShardKey]:
+        return [ShardKey(index, self.shard_seconds) for index in sorted(self._shards)]
+
+    def live_shards(self, now: float) -> List[Tuple[ShardKey, CADictionary]]:
+        """Shards still covering unexpired certificates."""
+        return [
+            (key, self._shards[key.index])
+            for key in self.shard_keys()
+            if not key.is_expired(now)
+        ]
+
+    def retire_expired(self, now: float) -> List[ShardKey]:
+        """Drop shards whose entire expiry window has passed; returns them."""
+        retired = [key for key in self.shard_keys() if key.is_expired(now)]
+        for key in retired:
+            del self._shards[key.index]
+            self._retired.append(key.index)
+        return retired
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def total_revocations(self) -> int:
+        return sum(shard.size for shard in self._shards.values())
+
+    # -- CA operations ---------------------------------------------------------------
+
+    def revoke(
+        self, serials_with_expiry: Iterable[Tuple[SerialNumber, int]], now: int
+    ) -> List[Tuple[ShardKey, RevocationIssuance]]:
+        """Revoke certificates, routing each serial to its expiry shard.
+
+        Returns one issuance message per touched shard (batched per shard, as
+        the base dictionary's ``insert`` supports).
+        """
+        by_shard: Dict[int, List[SerialNumber]] = {}
+        keys: Dict[int, ShardKey] = {}
+        for serial, expiry in serials_with_expiry:
+            key, _ = self.shard_for_expiry(expiry)
+            by_shard.setdefault(key.index, []).append(serial)
+            keys[key.index] = key
+        issuances: List[Tuple[ShardKey, RevocationIssuance]] = []
+        for index, serials in sorted(by_shard.items()):
+            issuances.append((keys[index], self._shards[index].insert(serials, now)))
+        return issuances
+
+    def refresh_all(self, now: int) -> Dict[int, object]:
+        """Refresh every live shard (freshness statement or re-signed root)."""
+        return {
+            key.index: shard.refresh(now) for key, shard in self.live_shards(now)
+        }
+
+    def prove(self, serial: SerialNumber, expiry: int, now: Optional[int] = None) -> RevocationStatus:
+        """Status for ``serial`` from the shard covering its certificate's expiry."""
+        key, shard = self.shard_for_expiry(expiry)
+        if shard.signed_root is None:
+            shard.refresh(int(now) if now is not None else 0)
+        return shard.prove(serial)
+
+    def storage_size_bytes(self) -> int:
+        return sum(shard.storage_size_bytes() for shard in self._shards.values())
+
+
+class ShardedReplica:
+    """The RA side: one replica per shard, prunable as shards expire."""
+
+    def __init__(self, ca_name: str, ca_public_key: PublicKey, shard_seconds: int = DEFAULT_SHARD_SECONDS) -> None:
+        self.ca_name = ca_name
+        self._ca_public_key = ca_public_key
+        self.shard_seconds = shard_seconds
+        self._replicas: Dict[int, ReplicaDictionary] = {}
+
+    def _replica_for(self, shard_index: int) -> ReplicaDictionary:
+        if shard_index not in self._replicas:
+            self._replicas[shard_index] = ReplicaDictionary(
+                shard_name(self.ca_name, shard_index), self._ca_public_key
+            )
+        return self._replicas[shard_index]
+
+    def apply_issuance(self, key: ShardKey, issuance: RevocationIssuance) -> None:
+        self._replica_for(key.index).update(issuance)
+
+    def apply_freshness(self, shard_index: int, statement) -> None:
+        self._replica_for(shard_index).apply_freshness(statement)
+
+    def prove(self, serial: SerialNumber, expiry: int) -> RevocationStatus:
+        key = ShardKey.for_expiry(expiry, self.shard_seconds)
+        replica = self._replicas.get(key.index)
+        if replica is None:
+            raise DictionaryError(
+                f"no replica for shard {key.index} of {self.ca_name!r}; sync required"
+            )
+        return replica.prove(serial)
+
+    def prune_expired(self, now: float) -> int:
+        """Delete replicas whose shard window has fully passed; returns entries freed."""
+        freed = 0
+        for index in list(self._replicas):
+            if ShardKey(index, self.shard_seconds).is_expired(now):
+                freed += self._replicas[index].size
+                del self._replicas[index]
+        return freed
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._replicas)
+
+    def total_revocations(self) -> int:
+        return sum(replica.size for replica in self._replicas.values())
+
+    def storage_size_bytes(self) -> int:
+        return sum(replica.storage_size_bytes() for replica in self._replicas.values())

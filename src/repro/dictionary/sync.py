@@ -1,0 +1,114 @@
+"""Replica synchronization protocol (paper §III, "Dissemination").
+
+Every revocation-issuance message carries the dictionary size ``n``, so an RA
+can detect that its replica fell behind (e.g. it missed a CDN object while
+offline).  To recover, the RA tells an edge server (or the CA's distribution
+point) how many *valid consecutive revocations* it has observed, and receives
+every later revocation, in order, plus the current signed root.
+
+The CA keeps the full ordered revocation history, so serving a sync request
+is a slice operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.dictionary.authdict import CADictionary, ReplicaDictionary, RevocationIssuance
+from repro.dictionary.freshness import FreshnessStatement
+from repro.dictionary.signed_root import SignedRoot
+from repro.errors import DesynchronizedError
+from repro.pki.serial import SerialNumber
+
+
+@dataclass(frozen=True)
+class SyncRequest:
+    """An RA's request: "I hold ``have_count`` consecutive revocations of ``ca_name``"."""
+
+    ca_name: str
+    have_count: int
+
+    def encoded_size(self) -> int:
+        return len(self.ca_name.encode("utf-8")) + 4
+
+
+@dataclass(frozen=True)
+class SyncResponse:
+    """The missing suffix of the revocation history plus the current root."""
+
+    ca_name: str
+    first_number: int
+    serials: Tuple[SerialNumber, ...]
+    signed_root: SignedRoot
+    freshness: Optional[FreshnessStatement] = None
+
+    def encoded_size(self) -> int:
+        size = len(self.ca_name.encode("utf-8")) + 4 + self.signed_root.encoded_size()
+        size += sum(len(serial.to_bytes()) for serial in self.serials)
+        if self.freshness is not None:
+            size += self.freshness.encoded_size()
+        return size
+
+    def as_issuance(self) -> RevocationIssuance:
+        """Repackage the missing suffix as an ordinary issuance message."""
+        return RevocationIssuance(
+            ca_name=self.ca_name,
+            serials=self.serials,
+            first_number=self.first_number,
+            signed_root=self.signed_root,
+        )
+
+
+class SyncServer:
+    """Serves sync requests from the CA's master dictionary and history."""
+
+    def __init__(self, dictionary: CADictionary) -> None:
+        self._dictionary = dictionary
+        self._history: List[SerialNumber] = []
+
+    def record_issuance(self, issuance: RevocationIssuance) -> None:
+        """Track the ordered revocation history as the CA issues revocations."""
+        if issuance.first_number != len(self._history) + 1:
+            raise DesynchronizedError(
+                "sync server history out of order with the CA dictionary"
+            )
+        self._history.extend(issuance.serials)
+
+    def history_length(self) -> int:
+        return len(self._history)
+
+    def serve(self, request: SyncRequest) -> SyncResponse:
+        """Return everything the requester is missing."""
+        if request.ca_name != self._dictionary.ca_name:
+            raise DesynchronizedError(
+                f"sync request for {request.ca_name!r} served by {self._dictionary.ca_name!r}"
+            )
+        if request.have_count > len(self._history):
+            raise DesynchronizedError(
+                "requester claims more revocations than the CA has issued"
+            )
+        signed_root = self._dictionary.signed_root
+        if signed_root is None:
+            raise DesynchronizedError("CA has not signed a root yet; nothing to sync")
+        missing = tuple(self._history[request.have_count :])
+        return SyncResponse(
+            ca_name=request.ca_name,
+            first_number=request.have_count + 1,
+            serials=missing,
+            signed_root=signed_root,
+            freshness=self._dictionary.latest_freshness,
+        )
+
+
+def resynchronize(replica: ReplicaDictionary, server: SyncServer) -> int:
+    """Bring ``replica`` up to date against ``server``; returns entries applied."""
+    response = server.serve(SyncRequest(ca_name=replica.ca_name, have_count=replica.size))
+    applied = len(response.serials)
+    if response.serials:
+        replica.update(response.as_issuance())
+    else:
+        replica.install_root(response.signed_root)
+    if response.freshness is not None:
+        replica.apply_freshness(response.freshness)
+    return applied

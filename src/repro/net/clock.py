@@ -1,0 +1,50 @@
+"""Simulated time.
+
+The paper expresses time in Unix seconds and assumes loose synchronisation
+between parties (§II).  Every component in this reproduction takes the
+current time as an explicit argument, and experiments drive a single
+:class:`SimulatedClock` forward, which makes runs deterministic and lets the
+benches sweep the Δ parameter without waiting in real time.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedClock:
+    """A monotonically non-decreasing clock measured in (fractional) seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("the simulated clock cannot move backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to ``timestamp`` (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+
+class SkewedClock:
+    """A view of a reference clock with a constant offset.
+
+    Used to model the "loosely time synchronized" assumption: clients and RAs
+    may disagree with the CA by a bounded skew, which the 2Δ acceptance
+    window must absorb.
+    """
+
+    def __init__(self, reference: SimulatedClock, skew_seconds: float = 0.0) -> None:
+        self._reference = reference
+        self.skew_seconds = skew_seconds
+
+    def now(self) -> float:
+        return self._reference.now() + self.skew_seconds

@@ -1,0 +1,54 @@
+"""Links: propagation latency plus transmission time.
+
+Link timing drives two of the paper's experiments: the download-time CDF of
+Fig. 5 (edge-server → RA transfers across geographically spread vantage
+points) and the "less than 1 % of a 30 ms handshake" latency argument of
+§VII-D.  A link is characterised by a one-way propagation delay and a
+bandwidth; transferring ``size`` bytes takes ``latency + size / bandwidth``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+
+
+@dataclass(frozen=True)
+class Link:
+    """A unidirectional link between two adjacent hops."""
+
+    latency_seconds: float
+    bandwidth_bytes_per_second: float = 12_500_000.0  # 100 Mbit/s default
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0:
+            raise NetworkError("link latency cannot be negative")
+        if self.bandwidth_bytes_per_second <= 0:
+            raise NetworkError("link bandwidth must be positive")
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """One-way delivery time for a message of ``size_bytes``."""
+        if size_bytes < 0:
+            raise NetworkError("message size cannot be negative")
+        return self.latency_seconds + size_bytes / self.bandwidth_bytes_per_second
+
+    def round_trip_time(self, request_bytes: int = 0, response_bytes: int = 0) -> float:
+        """Request/response exchange time over this link."""
+        return self.transfer_time(request_bytes) + self.transfer_time(response_bytes)
+
+
+def lan_link() -> Link:
+    """A typical LAN hop (0.5 ms, 1 Gbit/s)."""
+    return Link(latency_seconds=0.0005, bandwidth_bytes_per_second=125_000_000.0, name="lan")
+
+
+def metro_link() -> Link:
+    """A metro/regional hop (5 ms, 1 Gbit/s)."""
+    return Link(latency_seconds=0.005, bandwidth_bytes_per_second=125_000_000.0, name="metro")
+
+
+def wan_link(latency_seconds: float = 0.04) -> Link:
+    """A wide-area hop (default 40 ms, 100 Mbit/s)."""
+    return Link(latency_seconds=latency_seconds, bandwidth_bytes_per_second=12_500_000.0, name="wan")

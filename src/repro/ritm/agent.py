@@ -1,0 +1,300 @@
+"""The Revocation Agent (RA): RITM's middlebox.
+
+The RA sits on the client↔server path and implements §III of the paper:
+
+1. it watches ClientHello messages for the RITM extension and creates
+   per-connection state (Eq. 4);
+2. when the matching ServerHello/Certificate flight passes by, it determines
+   the issuing CA and serial number, builds a revocation status (Eq. 3) from
+   its replica dictionary, and appends it to the packet towards the client;
+3. once the connection is established it keeps piggybacking a fresh status on
+   the first server→client packet after every Δ;
+4. it stays completely transparent for non-TLS traffic and for clients that
+   did not request RITM;
+5. when another RA has already attached a status it only replaces it if its
+   own dictionary view is more recent (§VIII, "Multiple RAs"), and it feeds
+   every observed signed root to the consistency checker.
+
+Dictionary replicas are updated out of band by the dissemination module
+(:mod:`repro.ritm.dissemination`); the RA itself only reads them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.signing import PublicKey
+from repro.dictionary.authdict import ReplicaDictionary, RevocationIssuance
+from repro.dictionary.freshness import FreshnessStatement
+from repro.dictionary.proofs import RevocationStatus
+from repro.errors import DesynchronizedError, DictionaryError, TLSError
+from repro.net.node import Middlebox
+from repro.net.packet import Direction, Packet
+from repro.pki.certificate import CertificateChain
+from repro.pki.serial import SerialNumber
+from repro.ritm.config import RITMConfig
+from repro.ritm.consistency import ConsistencyChecker
+from repro.ritm.dpi import DPIEngine, InspectionResult
+from repro.ritm.messages import decode_status_bundle, encode_status_bundle
+from repro.ritm.state import ConnectionState, ConnectionTable
+from repro.tls.connection import HandshakeStage
+from repro.tls.records import ContentType, TLSRecord, parse_records, serialize_records
+
+
+@dataclass
+class AgentStatistics:
+    """Operational counters for one RA."""
+
+    packets_seen: int = 0
+    packets_forwarded_transparently: int = 0
+    supported_connections: int = 0
+    statuses_attached: int = 0
+    statuses_replaced: int = 0
+    statuses_deferred_to_peer: int = 0
+    unknown_ca: int = 0
+    resumptions_recovered: int = 0
+
+
+class RevocationAgent(Middlebox):
+    """An on-path middlebox that serves revocation statuses to RITM clients."""
+
+    def __init__(
+        self,
+        name: str,
+        config: Optional[RITMConfig] = None,
+        per_packet_processing_seconds: float = 3e-6,
+    ) -> None:
+        super().__init__(name)
+        self.config = config if config is not None else RITMConfig()
+        self.replicas: Dict[str, ReplicaDictionary] = {}
+        self.connections = ConnectionTable()
+        self.dpi = DPIEngine()
+        self.consistency = ConsistencyChecker(owner=name)
+        self.stats = AgentStatistics()
+        #: Server identity → (CA name, serial) cache used to recover the
+        #: certificate identity on abbreviated (resumed) handshakes.
+        self._server_cache: Dict[Tuple[str, int], Tuple[str, SerialNumber]] = {}
+        self._per_packet_processing_seconds = per_packet_processing_seconds
+
+    # -- dictionary management -------------------------------------------------
+
+    def register_ca(self, ca_name: str, public_key: PublicKey) -> ReplicaDictionary:
+        """Create (or return) the replica dictionary for one CA."""
+        if ca_name not in self.replicas:
+            self.replicas[ca_name] = ReplicaDictionary(
+                ca_name, public_key, digest_size=self.config.digest_size
+            )
+        return self.replicas[ca_name]
+
+    def replica_for(self, ca_name: str) -> Optional[ReplicaDictionary]:
+        return self.replicas.get(ca_name)
+
+    def apply_issuance(self, issuance: RevocationIssuance) -> None:
+        replica = self.replicas.get(issuance.ca_name)
+        if replica is None:
+            raise DictionaryError(
+                f"RA {self.name!r} has no replica for CA {issuance.ca_name!r}"
+            )
+        replica.update(issuance)
+        self.consistency.observe_root(issuance.signed_root)
+
+    def apply_freshness(self, statement: FreshnessStatement) -> None:
+        replica = self.replicas.get(statement.ca_name)
+        if replica is None:
+            raise DictionaryError(
+                f"RA {self.name!r} has no replica for CA {statement.ca_name!r}"
+            )
+        replica.apply_freshness(statement)
+
+    # -- middlebox interface ------------------------------------------------------
+
+    def processing_delay(self, packet: Packet) -> float:
+        return self._per_packet_processing_seconds
+
+    def process_packet(self, packet: Packet, now: float) -> List[Packet]:
+        self.stats.packets_seen += 1
+        if not self.dpi.is_tls(packet.payload):
+            self.stats.packets_forwarded_transparently += 1
+            return [packet]
+
+        inspection = self.dpi.inspect(packet.payload)
+        if inspection.parse_error is not None:
+            # Malformed TLS: forward untouched, never break the connection.
+            self.stats.packets_forwarded_transparently += 1
+            return [packet]
+
+        if packet.direction is Direction.CLIENT_TO_SERVER:
+            return [self._handle_client_to_server(packet, inspection, now)]
+        return [self._handle_server_to_client(packet, inspection, now)]
+
+    # -- client → server ------------------------------------------------------------
+
+    def _handle_client_to_server(
+        self, packet: Packet, inspection: InspectionResult, now: float
+    ) -> Packet:
+        if inspection.client_hello is not None and inspection.client_requests_ritm:
+            state = self.connections.lookup(packet.flow)
+            if state is None:
+                state = self.connections.create(packet.flow, now)
+                self.stats.supported_connections += 1
+            state.stage = HandshakeStage.CLIENT_HELLO
+            state.session_id = inspection.client_hello.session_id
+            state.last_activity = now
+        else:
+            self.connections.touch(packet.flow, now)
+        return packet
+
+    # -- server → client ------------------------------------------------------------
+
+    def _handle_server_to_client(
+        self, packet: Packet, inspection: InspectionResult, now: float
+    ) -> Packet:
+        state = self.connections.lookup(packet.flow)
+        if state is None:
+            # Not a supported connection: transparent forwarding.
+            self.stats.packets_forwarded_transparently += 1
+            return packet
+        state.last_activity = now
+
+        if inspection.server_hello is not None:
+            state.stage = HandshakeStage.SERVER_HELLO
+            if inspection.server_hello.session_id:
+                state.session_id = inspection.server_hello.session_id
+
+        if inspection.certificate_chain is not None:
+            self._learn_certificate(packet, state, inspection.certificate_chain)
+        elif inspection.server_hello is not None and not state.knows_certificate():
+            # Abbreviated handshake: recover the identity from the server cache.
+            cached = self._server_cache.get((packet.flow.src_ip, packet.flow.src_port))
+            if cached is not None:
+                state.ca_name, state.serial = cached
+                self.stats.resumptions_recovered += 1
+
+        packet = self._maybe_attach_status(packet, state, inspection, now)
+
+        if inspection.finished_seen:
+            state.stage = HandshakeStage.ESTABLISHED
+        return packet
+
+    def _learn_certificate(
+        self, packet: Packet, state: ConnectionState, chain: CertificateChain
+    ) -> None:
+        leaf = chain.leaf
+        state.ca_name = leaf.issuer
+        state.serial = leaf.serial
+        self._server_cache[(packet.flow.src_ip, packet.flow.src_port)] = (
+            leaf.issuer,
+            leaf.serial,
+        )
+        if state.session_id:
+            self.connections.remember_session(state.session_id, leaf.issuer, leaf.serial)
+        state.chain = chain  # kept for full-chain proving (§VIII)
+
+    # -- status attachment -------------------------------------------------------------
+
+    def _maybe_attach_status(
+        self,
+        packet: Packet,
+        state: ConnectionState,
+        inspection: InspectionResult,
+        now: float,
+    ) -> Packet:
+        handshake_moment = (
+            inspection.server_hello is not None or inspection.certificate_chain is not None
+        )
+        refresh_moment = (
+            state.is_established()
+            and (inspection.has_application_data or inspection.finished_seen)
+            and state.needs_status(now, self.config.status_refresh_seconds)
+        )
+        if not handshake_moment and not refresh_moment:
+            return packet
+        if not state.knows_certificate():
+            return packet
+
+        statuses = self._build_statuses(state, now)
+        if statuses is None:
+            return packet
+
+        if inspection.has_ritm_status:
+            return self._reconcile_with_existing_status(packet, state, statuses, now)
+
+        new_payload = packet.payload + self._status_record(statuses).to_bytes()
+        state.mark_status_sent(now)
+        self.stats.statuses_attached += 1
+        return packet.with_payload(new_payload)
+
+    def _build_statuses(
+        self, state: ConnectionState, now: float
+    ) -> Optional[List[RevocationStatus]]:
+        replica = self.replicas.get(state.ca_name or "")
+        if replica is None or replica.signed_root is None:
+            self.stats.unknown_ca += 1
+            return None
+        try:
+            statuses = [replica.prove(state.serial)]
+        except DesynchronizedError:
+            return None
+        if self.config.prove_full_chain:
+            chain: Optional[CertificateChain] = getattr(state, "chain", None)
+            if chain is not None:
+                for certificate in list(chain)[1:]:
+                    issuer_replica = self.replicas.get(certificate.issuer)
+                    if issuer_replica is not None and issuer_replica.signed_root is not None:
+                        statuses.append(issuer_replica.prove(certificate.serial))
+        return statuses
+
+    def _status_record(self, statuses: List[RevocationStatus]) -> TLSRecord:
+        return TLSRecord(ContentType.RITM_STATUS, encode_status_bundle(statuses))
+
+    def _reconcile_with_existing_status(
+        self,
+        packet: Packet,
+        state: ConnectionState,
+        our_statuses: List[RevocationStatus],
+        now: float,
+    ) -> Packet:
+        """Multiple-RA handling (§VIII): keep the most recent status only."""
+        try:
+            records = parse_records(packet.payload)
+        except TLSError:
+            return packet
+        existing: List[RevocationStatus] = []
+        passthrough: List[TLSRecord] = []
+        for record in records:
+            if record.is_ritm_status():
+                try:
+                    existing.extend(decode_status_bundle(record.payload))
+                except TLSError:
+                    continue
+            else:
+                passthrough.append(record)
+
+        for status in existing:
+            self.consistency.observe_root(status.signed_root)
+
+        ours = our_statuses[0].signed_root
+        theirs = existing[0].signed_root if existing else None
+        our_view_is_newer = theirs is None or (
+            ours.size,
+            ours.timestamp,
+        ) > (theirs.size, theirs.timestamp)
+
+        if not our_view_is_newer:
+            self.stats.statuses_deferred_to_peer += 1
+            state.mark_status_sent(now)
+            return packet
+
+        passthrough.append(self._status_record(our_statuses))
+        state.mark_status_sent(now)
+        self.stats.statuses_replaced += 1
+        return packet.with_payload(serialize_records(passthrough))
+
+    # -- housekeeping ---------------------------------------------------------------------
+
+    def expire_idle_connections(self, now: float) -> int:
+        return self.connections.expire_idle(now)
+
+    def dictionary_sizes(self) -> Dict[str, int]:
+        return {name: replica.size for name, replica in self.replicas.items()}

@@ -1,0 +1,182 @@
+"""The RITM-enabled certification authority.
+
+Wraps a :class:`~repro.pki.ca.CertificationAuthority` (issuance half) with
+the RITM half: the CA's master authenticated dictionary, the Δ-periodic
+refresh duty, and publication of dissemination objects to the CDN.
+
+Published object layout (per CA):
+
+* ``/ritm/<ca>/head``          — the small polling object: size, signed root,
+  latest freshness statement (pulled by every RA every Δ);
+* ``/ritm/<ca>/issuance/<k>``  — the k-th revocation batch (pulled only by
+  RAs that detect they are behind);
+* ``/ritm/<ca>/manifest``      — the bootstrap manifest of §VIII
+  ("/RITM.json"): where the dictionary lives and which Δ the CA uses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.cdn.network import CDNNetwork
+from repro.dictionary.authdict import CADictionary, RevocationIssuance
+from repro.dictionary.freshness import FreshnessStatement
+from repro.dictionary.signed_root import SignedRoot
+from repro.dictionary.sync import SyncServer
+from repro.errors import DictionaryError
+from repro.pki.ca import CertificationAuthority
+from repro.pki.serial import SerialNumber
+from repro.ritm.config import RITMConfig
+from repro.ritm.messages import DictionaryHead, encode_head, encode_issuance
+
+
+def head_path(ca_name: str) -> str:
+    return f"/ritm/{ca_name}/head"
+
+
+def issuance_path(ca_name: str, batch_number: int) -> str:
+    return f"/ritm/{ca_name}/issuance/{batch_number}"
+
+
+def manifest_path(ca_name: str) -> str:
+    return f"/ritm/{ca_name}/manifest"
+
+
+@dataclass
+class PublicationStats:
+    """Bytes and object counts the CA has pushed to the distribution point."""
+
+    heads_published: int = 0
+    issuances_published: int = 0
+    bytes_uploaded: int = 0
+
+
+class RITMCertificationAuthority:
+    """A CA participating in RITM: dictionary owner and CDN publisher."""
+
+    def __init__(
+        self,
+        authority: CertificationAuthority,
+        config: Optional[RITMConfig] = None,
+        cdn: Optional[CDNNetwork] = None,
+    ) -> None:
+        self.authority = authority
+        self.config = config if config is not None else RITMConfig()
+        self.cdn = cdn
+        self.dictionary = CADictionary(
+            ca_name=authority.name,
+            keys=self._keys_of(authority),
+            delta=self.config.delta_seconds,
+            chain_length=self.config.chain_length,
+            digest_size=self.config.digest_size,
+        )
+        self.sync_server = SyncServer(self.dictionary)
+        self.publication_stats = PublicationStats()
+        self._batch_counter = 0
+
+    @staticmethod
+    def _keys_of(authority: CertificationAuthority):
+        # The issuance CA object keeps its key pair private by convention; the
+        # RITM service is part of the same trust domain and reuses it.
+        return authority._keys  # noqa: SLF001 - intentional same-trust-domain access
+
+    # -- identity -----------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.authority.name
+
+    @property
+    def public_key(self):
+        return self.authority.public_key
+
+    # -- bootstrap ------------------------------------------------------------------
+
+    def bootstrap(self, now: float) -> SignedRoot:
+        """Sign the initial (possibly empty) dictionary and publish everything."""
+        result = self.dictionary.refresh(int(now))
+        if not isinstance(result, SignedRoot):
+            raise DictionaryError("bootstrap expected a signed root")
+        self._publish_manifest(now)
+        self._publish_head(now)
+        return result
+
+    # -- revocation -----------------------------------------------------------------
+
+    def revoke(
+        self, serials: Iterable[SerialNumber], now: float, reason: str = "unspecified"
+    ) -> RevocationIssuance:
+        """Revoke serials, update the dictionary, and publish the new batch."""
+        serial_list = list(serials)
+        for serial in serial_list:
+            self.authority.revoke(serial, now=int(now), reason=reason)
+        issuance = self.dictionary.insert(serial_list, int(now))
+        self.sync_server.record_issuance(issuance)
+        self._batch_counter += 1
+        if self.cdn is not None:
+            content = encode_issuance(issuance)
+            self.cdn.publish(
+                issuance_path(self.name, self._batch_counter),
+                content,
+                now,
+                ttl_seconds=self.config.cdn_ttl_seconds,
+            )
+            self.publication_stats.issuances_published += 1
+            self.publication_stats.bytes_uploaded += len(content)
+        self._publish_head(now)
+        return issuance
+
+    # -- periodic duty -------------------------------------------------------------------
+
+    def refresh(self, now: float):
+        """The CA's every-Δ duty: freshness statement (or a re-signed root)."""
+        result = self.dictionary.refresh(int(now))
+        self._publish_head(now)
+        return result
+
+    # -- views -----------------------------------------------------------------------------
+
+    def head(self) -> DictionaryHead:
+        signed_root = self.dictionary.signed_root
+        freshness = self.dictionary.latest_freshness
+        if signed_root is None or freshness is None:
+            raise DictionaryError(f"CA {self.name!r} has not been bootstrapped yet")
+        return DictionaryHead(
+            ca_name=self.name,
+            size=self.dictionary.size,
+            signed_root=signed_root,
+            freshness=freshness,
+        )
+
+    def issuance_count(self) -> int:
+        return self._batch_counter
+
+    def manifest(self) -> dict:
+        """The §VIII bootstrap manifest (would live at ``/RITM.json``)."""
+        return {
+            "ca": self.name,
+            "delta_seconds": self.config.delta_seconds,
+            "head": head_path(self.name),
+            "issuance_prefix": f"/ritm/{self.name}/issuance/",
+        }
+
+    # -- internals ------------------------------------------------------------------------------
+
+    def _publish_head(self, now: float) -> None:
+        if self.cdn is None:
+            return
+        content = encode_head(self.head())
+        self.cdn.publish(
+            head_path(self.name), content, now, ttl_seconds=self.config.cdn_ttl_seconds
+        )
+        self.publication_stats.heads_published += 1
+        self.publication_stats.bytes_uploaded += len(content)
+
+    def _publish_manifest(self, now: float) -> None:
+        if self.cdn is None:
+            return
+        content = json.dumps(self.manifest()).encode("utf-8")
+        self.cdn.publish(manifest_path(self.name), content, now, ttl_seconds=86_400.0)
+        self.publication_stats.bytes_uploaded += len(content)

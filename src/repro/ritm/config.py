@@ -1,0 +1,99 @@
+"""RITM configuration: the Δ parameter, deployment models, and policy knobs.
+
+Δ (``delta_seconds``) is the central trade-off of the paper: CAs refresh
+their dictionaries at least every Δ, RAs pull every Δ, established
+connections receive a new status every Δ, and clients accept a status that is
+at most 2Δ old.  The paper analyses Δ from 10 seconds to 1 day; the named
+constructors below match the values used in its figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.crypto.hashing import DEFAULT_DIGEST_SIZE
+from repro.errors import ConfigurationError
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 86_400
+
+#: The Δ values swept in the paper's evaluation (Figs. 6 and 7, Table II).
+PAPER_DELTA_SWEEP = {
+    "10s": 10,
+    "1m": SECONDS_PER_MINUTE,
+    "5m": 5 * SECONDS_PER_MINUTE,
+    "1h": SECONDS_PER_HOUR,
+    "1d": SECONDS_PER_DAY,
+}
+
+
+class DeploymentModel(Enum):
+    """Where RAs are placed (paper §IV)."""
+
+    CLOSE_TO_SERVER = "close-to-server"
+    CLOSE_TO_CLIENT = "close-to-client"
+
+
+@dataclass(frozen=True)
+class RITMConfig:
+    """Parameters shared by CAs, RAs, and clients in one RITM deployment."""
+
+    #: The dissemination/refresh period Δ, in seconds.
+    delta_seconds: int = 10
+    #: How many freshness statements a hash chain provides before a new
+    #: signed root is required.
+    chain_length: int = 8640
+    #: Client tolerance in Δ periods (1 → the paper's 2Δ acceptance window).
+    freshness_tolerance_periods: int = 1
+    #: Hash truncation (20 bytes in the paper; 32 for the ablation).
+    digest_size: int = DEFAULT_DIGEST_SIZE
+    #: Deployment model, which determines downgrade-attack protection.
+    deployment: DeploymentModel = DeploymentModel.CLOSE_TO_CLIENT
+    #: Whether RAs request absence proofs for every certificate in the chain
+    #: (§VIII "Certificate chains") or only the leaf.
+    prove_full_chain: bool = False
+    #: CDN TTL for published objects (0 = no caching, the paper's worst case).
+    cdn_ttl_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delta_seconds <= 0:
+            raise ConfigurationError("delta_seconds must be positive")
+        if self.chain_length < 1:
+            raise ConfigurationError("chain_length must be at least 1")
+        if self.freshness_tolerance_periods < 0:
+            raise ConfigurationError("freshness_tolerance_periods cannot be negative")
+        if not 1 <= self.digest_size <= 32:
+            raise ConfigurationError("digest_size must be between 1 and 32 bytes")
+
+    @property
+    def attack_window_seconds(self) -> int:
+        """The effective attack window: (1 + tolerance) * Δ — 2Δ by default (§V)."""
+        return (1 + self.freshness_tolerance_periods) * self.delta_seconds
+
+    @property
+    def status_refresh_seconds(self) -> int:
+        """How often an RA pushes a fresh status on an established connection."""
+        return self.delta_seconds
+
+    def with_delta(self, delta_seconds: int) -> "RITMConfig":
+        """A copy with a different Δ (used by the parameter sweeps)."""
+        return RITMConfig(
+            delta_seconds=delta_seconds,
+            chain_length=self.chain_length,
+            freshness_tolerance_periods=self.freshness_tolerance_periods,
+            digest_size=self.digest_size,
+            deployment=self.deployment,
+            prove_full_chain=self.prove_full_chain,
+            cdn_ttl_seconds=self.cdn_ttl_seconds,
+        )
+
+    @classmethod
+    def for_label(cls, label: str, **overrides) -> "RITMConfig":
+        """Config for one of the paper's Δ labels ("10s", "1m", "5m", "1h", "1d")."""
+        if label not in PAPER_DELTA_SWEEP:
+            raise ConfigurationError(
+                f"unknown delta label {label!r}; expected one of {sorted(PAPER_DELTA_SWEEP)}"
+            )
+        return cls(delta_seconds=PAPER_DELTA_SWEEP[label], **overrides)

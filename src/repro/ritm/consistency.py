@@ -1,0 +1,130 @@
+"""Consistency checking and CA accountability (paper §III "Consistency
+Checking" and §V "Misbehaving CA").
+
+Because dictionaries are append-only and every signed root binds one exact
+dictionary version, a CA that shows different dictionary contents to
+different parts of the system must eventually produce two different signed
+roots with the same size — cryptographic evidence of equivocation.  RAs (and
+optionally clients) therefore keep every root they observe, compare roots
+with random edge servers or peers, and report conflicts.
+
+The module provides:
+
+* :class:`ConsistencyChecker` — the per-party store of observed roots, with
+  conflict detection on every new observation;
+* :class:`MisbehaviorReport` — the portable evidence (two conflicting signed
+  roots) that can be handed to a software vendor;
+* :class:`GossipExchange` — a minimal gossip round between two parties, as
+  suggested in §V (Chuat et al.-style root exchange).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.signing import PublicKey
+from repro.dictionary.signed_root import SignedRoot
+from repro.errors import MisbehaviorDetected
+
+
+@dataclass(frozen=True)
+class MisbehaviorReport:
+    """Cryptographic evidence that a CA equivocated about its dictionary."""
+
+    ca_name: str
+    first: SignedRoot
+    second: SignedRoot
+    detected_by: str
+
+    def is_valid_evidence(self, ca_public_key: PublicKey) -> bool:
+        """Evidence is valid when both roots verify and genuinely conflict."""
+        return (
+            self.first.verify(ca_public_key)
+            and self.second.verify(ca_public_key)
+            and self.first.conflicts_with(self.second)
+        )
+
+
+class ConsistencyChecker:
+    """Stores observed signed roots and flags equivocation."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        #: ca_name -> {dictionary size -> first root observed at that size}
+        self._roots: Dict[str, Dict[int, SignedRoot]] = {}
+        self.reports: List[MisbehaviorReport] = []
+        self.roots_observed = 0
+
+    def observe_root(self, root: SignedRoot) -> Optional[MisbehaviorReport]:
+        """Record a root; returns a report if it conflicts with a stored one."""
+        self.roots_observed += 1
+        by_size = self._roots.setdefault(root.ca_name, {})
+        existing = by_size.get(root.size)
+        if existing is None:
+            by_size[root.size] = root
+            return None
+        if existing.conflicts_with(root):
+            report = MisbehaviorReport(
+                ca_name=root.ca_name,
+                first=existing,
+                second=root,
+                detected_by=self.owner,
+            )
+            self.reports.append(report)
+            return report
+        return None
+
+    def observe_or_raise(self, root: SignedRoot) -> None:
+        """Like :meth:`observe_root` but raises on detected misbehavior."""
+        report = self.observe_root(root)
+        if report is not None:
+            raise MisbehaviorDetected(
+                f"CA {root.ca_name!r} equivocated at dictionary size {root.size}",
+                evidence=report,
+            )
+
+    def latest_root(self, ca_name: str) -> Optional[SignedRoot]:
+        by_size = self._roots.get(ca_name)
+        if not by_size:
+            return None
+        return by_size[max(by_size)]
+
+    def known_roots(self, ca_name: str) -> List[SignedRoot]:
+        return [self._roots[ca_name][size] for size in sorted(self._roots.get(ca_name, {}))]
+
+    def has_detected_misbehavior(self, ca_name: Optional[str] = None) -> bool:
+        if ca_name is None:
+            return bool(self.reports)
+        return any(report.ca_name == ca_name for report in self.reports)
+
+
+@dataclass
+class GossipExchange:
+    """One gossip round: two parties swap their latest roots per CA."""
+
+    reports: List[MisbehaviorReport] = field(default_factory=list)
+
+    def exchange(self, left: ConsistencyChecker, right: ConsistencyChecker) -> List[MisbehaviorReport]:
+        """Swap every known root both ways; returns any new reports."""
+        new_reports: List[MisbehaviorReport] = []
+        for source, sink in ((left, right), (right, left)):
+            for ca_name in list(source._roots):
+                for root in source.known_roots(ca_name):
+                    report = sink.observe_root(root)
+                    if report is not None:
+                        new_reports.append(report)
+        self.reports.extend(new_reports)
+        return new_reports
+
+
+def cross_check_edge(
+    checker: ConsistencyChecker, edge_roots: List[SignedRoot]
+) -> List[MisbehaviorReport]:
+    """Compare a party's view with roots downloaded from a (random) edge server."""
+    reports: List[MisbehaviorReport] = []
+    for root in edge_roots:
+        report = checker.observe_root(root)
+        if report is not None:
+            reports.append(report)
+    return reports

@@ -1,0 +1,174 @@
+"""Deployment models (paper §IV): wiring clients, RAs, and servers into paths.
+
+Two placements are modelled:
+
+* **close to the client** — the RA sits at the gateway of the client's access
+  network; all of the client's TLS traffic crosses it, and the network
+  operator vouches (out of band, e.g. authenticated DHCP) that RITM is in
+  force, so the client sets ``expect_ritm_protection`` and refuses
+  connections that arrive without a status;
+* **close to the server** — the RA is co-located with the data-center TLS
+  terminator; the terminator confirms support inside the ServerHello, which
+  the client uses as its downgrade defence.
+
+The builders return a ready-to-run :class:`~repro.net.path.PathEngine`
+together with the participating endpoints, so examples, tests, and
+benchmarks can set up a full RITM conversation in a couple of lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net.link import Link, lan_link, metro_link, wan_link
+from repro.net.packet import FiveTuple, make_flow
+from repro.net.path import NetworkPath, PathEngine
+from repro.net.clock import SimulatedClock
+from repro.pki.ca import TrustStore
+from repro.pki.certificate import CertificateChain
+from repro.ritm.agent import RevocationAgent
+from repro.ritm.client import RITMClient
+from repro.ritm.config import DeploymentModel, RITMConfig
+from repro.ritm.server import RITMServer, TLSTerminator
+
+
+@dataclass
+class Deployment:
+    """A fully wired client↔RA↔server path."""
+
+    model: DeploymentModel
+    client: RITMClient
+    server: RITMServer
+    agents: List[RevocationAgent]
+    engine: PathEngine
+    flow: FiveTuple
+
+    def run_handshake(self, now: Optional[float] = None) -> bool:
+        """Drive the TLS handshake end to end; returns client acceptance."""
+        start = self.engine.clock.now() if now is None else now
+        hello = self.client.client_hello_packet(self.flow, start)
+        self.engine.send_from_client(hello)
+        return self.client.is_connection_usable
+
+    def deliver_from_server(self, payload: bytes) -> None:
+        """Push one application-data packet from the server to the client."""
+        packet = self.server.send_application_data(self.flow, payload, self.engine.clock.now())
+        self.engine.send_from_server(packet)
+
+
+def _client_for(
+    client_ip: str,
+    server_name: str,
+    trust_store: TrustStore,
+    ca_public_keys: Dict[str, object],
+    config: RITMConfig,
+    expect_protection: bool,
+) -> RITMClient:
+    return RITMClient(
+        ip_address=client_ip,
+        server_name=server_name,
+        trust_store=trust_store,
+        ca_public_keys=ca_public_keys,
+        config=config,
+        expect_ritm_protection=expect_protection,
+    )
+
+
+def build_close_to_client_deployment(
+    server_chain: CertificateChain,
+    trust_store: TrustStore,
+    ca_public_keys: Dict[str, object],
+    config: Optional[RITMConfig] = None,
+    agent: Optional[RevocationAgent] = None,
+    client_ip: str = "12.34.56.78",
+    server_ip: str = "98.76.54.32",
+    clock: Optional[SimulatedClock] = None,
+    extra_middleboxes: Optional[List] = None,
+) -> Deployment:
+    """RA at the access-network gateway (the paper's Fig. 3 topology)."""
+    config = config if config is not None else RITMConfig(deployment=DeploymentModel.CLOSE_TO_CLIENT)
+    agent = agent if agent is not None else RevocationAgent("gateway-ra", config)
+    client = _client_for(
+        client_ip, server_chain.leaf.subject, trust_store, ca_public_keys, config, True
+    )
+    server = RITMServer(server_ip, server_chain)
+    middleboxes: List = [agent]
+    if extra_middleboxes:
+        middleboxes.extend(extra_middleboxes)
+    links: List[Link] = [lan_link()] + [wan_link() for _ in range(len(middleboxes))]
+    path = NetworkPath(client=client, server=server, middleboxes=middleboxes, links=links)
+    engine = PathEngine(path, clock=clock)
+    flow = make_flow(client_ip, 9012, server_ip, 443)
+    return Deployment(
+        model=DeploymentModel.CLOSE_TO_CLIENT,
+        client=client,
+        server=server,
+        agents=[agent],
+        engine=engine,
+        flow=flow,
+    )
+
+
+def build_close_to_server_deployment(
+    server_chain: CertificateChain,
+    trust_store: TrustStore,
+    ca_public_keys: Dict[str, object],
+    config: Optional[RITMConfig] = None,
+    agent: Optional[RevocationAgent] = None,
+    client_ip: str = "12.34.56.78",
+    server_ip: str = "98.76.54.32",
+    clock: Optional[SimulatedClock] = None,
+    extra_middleboxes: Optional[List] = None,
+) -> Deployment:
+    """RA co-located with a TLS terminator at the data-center ingress."""
+    config = config if config is not None else RITMConfig(deployment=DeploymentModel.CLOSE_TO_SERVER)
+    agent = agent if agent is not None else RevocationAgent("terminator-ra", config)
+    client = _client_for(
+        client_ip, server_chain.leaf.subject, trust_store, ca_public_keys, config, True
+    )
+    server = TLSTerminator(server_ip, server_chain)
+    middleboxes: List = []
+    if extra_middleboxes:
+        middleboxes.extend(extra_middleboxes)
+    middleboxes.append(agent)  # the RA is the last hop before the terminator
+    links: List[Link] = [wan_link() for _ in range(len(middleboxes))] + [lan_link()]
+    path = NetworkPath(client=client, server=server, middleboxes=middleboxes, links=links)
+    engine = PathEngine(path, clock=clock)
+    flow = make_flow(client_ip, 9012, server_ip, 443)
+    return Deployment(
+        model=DeploymentModel.CLOSE_TO_SERVER,
+        client=client,
+        server=server,
+        agents=[agent],
+        engine=engine,
+        flow=flow,
+    )
+
+
+def build_unprotected_path(
+    server_chain: CertificateChain,
+    trust_store: TrustStore,
+    ca_public_keys: Dict[str, object],
+    config: Optional[RITMConfig] = None,
+    client_ip: str = "12.34.56.78",
+    server_ip: str = "98.76.54.32",
+    clock: Optional[SimulatedClock] = None,
+) -> Deployment:
+    """A path with *no* RA — used to demonstrate downgrade detection."""
+    config = config if config is not None else RITMConfig()
+    client = _client_for(
+        client_ip, server_chain.leaf.subject, trust_store, ca_public_keys, config, True
+    )
+    server = RITMServer(server_ip, server_chain)
+    path = NetworkPath(client=client, server=server, middleboxes=[], links=[metro_link()])
+    engine = PathEngine(path, clock=clock)
+    flow = make_flow(client_ip, 9012, server_ip, 443)
+    return Deployment(
+        model=DeploymentModel.CLOSE_TO_CLIENT,
+        client=client,
+        server=server,
+        agents=[],
+        engine=engine,
+        flow=flow,
+    )

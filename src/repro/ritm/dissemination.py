@@ -1,0 +1,169 @@
+"""RA-side dissemination: pulling dictionary updates from the CDN every Δ.
+
+Implements the pull loop of §III/§VI: every Δ each RA issues an HTTP GET for
+each CA's small *head* object from its closest edge server.  If the head
+shows the replica is current, only the freshness statement is applied (the
+common case whose cost dominates Fig. 7).  If the head's size is larger than
+the replica's, the RA fetches the missing issuance batches (or falls back to
+the sync protocol) and applies them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cdn.geography import GeoLocation
+from repro.cdn.network import CDNNetwork
+from repro.dictionary.sync import SyncRequest, SyncServer
+from repro.errors import CDNError, DictionaryError
+from repro.ritm.agent import RevocationAgent
+from repro.ritm.ca_service import RITMCertificationAuthority, head_path, issuance_path
+from repro.ritm.messages import decode_head, decode_issuance
+
+
+@dataclass
+class PullResult:
+    """What one Δ-periodic pull cycle transferred and applied."""
+
+    time: float
+    bytes_downloaded: int = 0
+    latency_seconds: float = 0.0
+    heads_checked: int = 0
+    freshness_applied: int = 0
+    issuances_applied: int = 0
+    serials_applied: int = 0
+    resyncs: int = 0
+    errors: List[str] = field(default_factory=list)
+
+
+class RADisseminationClient:
+    """The piece of an RA that talks to the dissemination network."""
+
+    def __init__(
+        self,
+        agent: RevocationAgent,
+        cdn: CDNNetwork,
+        location: GeoLocation,
+        sync_servers: Optional[Dict[str, SyncServer]] = None,
+    ) -> None:
+        self.agent = agent
+        self.cdn = cdn
+        self.location = location
+        #: Direct CA sync endpoints, used when the CDN does not (yet) have the
+        #: needed issuance batches — the paper's desynchronization recovery.
+        self.sync_servers = sync_servers if sync_servers is not None else {}
+        #: Highest issuance batch already applied, per CA.
+        self._applied_batches: Dict[str, int] = {}
+        self.pull_history: List[PullResult] = []
+
+    def register_sync_server(self, ca_name: str, server: SyncServer) -> None:
+        self.sync_servers[ca_name] = server
+
+    # -- the Δ-periodic pull -------------------------------------------------------
+
+    def pull(self, now: float) -> PullResult:
+        """One pull cycle over every CA the RA replicates."""
+        result = PullResult(time=now)
+        for ca_name, replica in self.agent.replicas.items():
+            try:
+                self._pull_one(ca_name, replica, now, result)
+            except (CDNError, DictionaryError) as exc:
+                result.errors.append(f"{ca_name}: {exc}")
+        self.pull_history.append(result)
+        return result
+
+    def _pull_one(self, ca_name: str, replica, now: float, result: PullResult) -> None:
+        download = self.cdn.download(head_path(ca_name), self.location, now)
+        result.bytes_downloaded += download.bytes_on_wire
+        result.latency_seconds += download.latency_seconds
+        result.heads_checked += 1
+        head = decode_head(download.content)
+
+        self.agent.consistency.observe_root(head.signed_root)
+
+        if replica.signed_root is None or replica.is_desynchronized(head.size):
+            applied = self._catch_up(ca_name, replica, head, now, result)
+            result.serials_applied += applied
+            if replica.size == head.size and (
+                replica.signed_root is None
+                or head.signed_root.timestamp > replica.signed_root.timestamp
+            ):
+                # Bootstrap (empty dictionary) or a re-signed root over the
+                # content we just caught up to.
+                replica.install_root(head.signed_root)
+        elif head.signed_root.root == replica.signed_root.root:
+            # Same content; a newer signed root only appears when the CA's
+            # hash chain ran out and it re-signed the same dictionary.
+            if head.signed_root.timestamp > replica.signed_root.timestamp:
+                replica.install_root(head.signed_root)
+
+        replica.apply_freshness(head.freshness)
+        result.freshness_applied += 1
+
+    def _catch_up(self, ca_name, replica, head, now, result: PullResult) -> int:
+        """Fetch and apply the missing issuance batches (or fall back to sync)."""
+        applied_serials = 0
+        batch = self._applied_batches.get(ca_name, 0)
+        while replica.size < head.size:
+            batch += 1
+            path = issuance_path(ca_name, batch)
+            if not self.cdn.origin.exists(path):
+                applied_serials += self._resync(ca_name, replica, result)
+                break
+            download = self.cdn.download(path, self.location, now)
+            result.bytes_downloaded += download.bytes_on_wire
+            result.latency_seconds += download.latency_seconds
+            issuance = decode_issuance(download.content)
+            if issuance.first_number > replica.size + 1:
+                # A gap: earlier batches were purged or missed; full resync.
+                applied_serials += self._resync(ca_name, replica, result)
+                break
+            if issuance.first_number <= replica.size:
+                continue  # already have this batch
+            replica.update(issuance)
+            self.agent.consistency.observe_root(issuance.signed_root)
+            result.issuances_applied += 1
+            applied_serials += len(issuance.serials)
+        self._applied_batches[ca_name] = batch
+        return applied_serials
+
+    def _resync(self, ca_name: str, replica, result: PullResult) -> int:
+        server = self.sync_servers.get(ca_name)
+        if server is None:
+            result.errors.append(f"{ca_name}: desynchronized and no sync server known")
+            return 0
+        response = server.serve(SyncRequest(ca_name=ca_name, have_count=replica.size))
+        result.bytes_downloaded += response.encoded_size()
+        if response.serials:
+            replica.update(response.as_issuance())
+        else:
+            replica.install_root(response.signed_root)
+        if response.freshness is not None:
+            replica.apply_freshness(response.freshness)
+        result.resyncs += 1
+        return len(response.serials)
+
+    # -- bookkeeping ------------------------------------------------------------------
+
+    def total_bytes_downloaded(self) -> int:
+        return sum(pull.bytes_downloaded for pull in self.pull_history)
+
+    def average_pull_latency(self) -> float:
+        if not self.pull_history:
+            return 0.0
+        return sum(pull.latency_seconds for pull in self.pull_history) / len(self.pull_history)
+
+
+def attach_agent_to_cas(
+    agent: RevocationAgent,
+    cas: List[RITMCertificationAuthority],
+    cdn: CDNNetwork,
+    location: GeoLocation,
+) -> RADisseminationClient:
+    """Wire an RA to a set of RITM CAs: register replicas and sync servers."""
+    client = RADisseminationClient(agent, cdn, location)
+    for ca in cas:
+        agent.register_ca(ca.name, ca.public_key)
+        client.register_sync_server(ca.name, ca.sync_server)
+    return client

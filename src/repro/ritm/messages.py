@@ -1,0 +1,336 @@
+"""Binary wire formats for RITM messages.
+
+Two kinds of messages leave a process in RITM and therefore need a byte
+encoding:
+
+* the *revocation status* (Eq. 3) an RA piggybacks on TLS traffic towards the
+  client — carried in a dedicated ``RITM_STATUS`` TLS record;
+* the *dissemination objects* a CA publishes to the CDN and RAs pull every Δ:
+  a small "head" object (dictionary size, signed root, current freshness
+  statement) and per-batch "issuance" objects with the newly revoked serials.
+
+The encodings are simple length-prefixed structures; their sizes are what the
+paper's communication-overhead numbers (Fig. 7, §VII-D) are about, so the
+codec is also the source of truth for the analysis module.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.crypto.merkle import AbsenceProof, AuditStep, PresenceProof
+from repro.dictionary.authdict import RevocationIssuance
+from repro.dictionary.freshness import FreshnessStatement
+from repro.dictionary.proofs import RevocationStatus
+from repro.dictionary.signed_root import SignedRoot
+from repro.errors import ProofError, TLSError
+from repro.pki.serial import SerialNumber
+
+
+def _pack_bytes(data: bytes) -> bytes:
+    return struct.pack(">H", len(data)) + data
+
+
+def _unpack_bytes(buffer: bytes, offset: int) -> Tuple[bytes, int]:
+    if offset + 2 > len(buffer):
+        raise TLSError("truncated RITM field")
+    (length,) = struct.unpack_from(">H", buffer, offset)
+    offset += 2
+    if offset + length > len(buffer):
+        raise TLSError("truncated RITM field body")
+    return buffer[offset : offset + length], offset + length
+
+
+# -- signed roots -------------------------------------------------------------
+
+
+def encode_signed_root(root: SignedRoot) -> bytes:
+    return b"".join(
+        [
+            _pack_bytes(root.ca_name.encode("utf-8")),
+            _pack_bytes(root.root),
+            struct.pack(">QQQ", root.size, root.timestamp, root.chain_length),
+            _pack_bytes(root.anchor),
+            _pack_bytes(root.signature),
+        ]
+    )
+
+
+def decode_signed_root(data: bytes, offset: int = 0) -> Tuple[SignedRoot, int]:
+    ca_name, offset = _unpack_bytes(data, offset)
+    root, offset = _unpack_bytes(data, offset)
+    if offset + 24 > len(data):
+        raise TLSError("truncated signed root")
+    size, timestamp, chain_length = struct.unpack_from(">QQQ", data, offset)
+    offset += 24
+    anchor, offset = _unpack_bytes(data, offset)
+    signature, offset = _unpack_bytes(data, offset)
+    return (
+        SignedRoot(
+            ca_name=ca_name.decode("utf-8"),
+            root=root,
+            size=size,
+            anchor=anchor,
+            timestamp=timestamp,
+            chain_length=chain_length,
+            signature=signature,
+        ),
+        offset,
+    )
+
+
+# -- freshness statements -------------------------------------------------------
+
+
+def encode_freshness(statement: FreshnessStatement) -> bytes:
+    return b"".join(
+        [
+            _pack_bytes(statement.ca_name.encode("utf-8")),
+            _pack_bytes(statement.value),
+            struct.pack(">Q", statement.dictionary_size),
+        ]
+    )
+
+
+def decode_freshness(data: bytes, offset: int = 0) -> Tuple[FreshnessStatement, int]:
+    ca_name, offset = _unpack_bytes(data, offset)
+    value, offset = _unpack_bytes(data, offset)
+    if offset + 8 > len(data):
+        raise TLSError("truncated freshness statement")
+    (size,) = struct.unpack_from(">Q", data, offset)
+    offset += 8
+    return (
+        FreshnessStatement(
+            ca_name=ca_name.decode("utf-8"), value=value, dictionary_size=size
+        ),
+        offset,
+    )
+
+
+# -- Merkle proofs ----------------------------------------------------------------
+
+_PRESENCE_TAG = 1
+_ABSENCE_TAG = 2
+
+
+def _encode_presence(proof: PresenceProof) -> bytes:
+    parts = [
+        _pack_bytes(proof.key),
+        _pack_bytes(proof.value),
+        struct.pack(">QQH", proof.leaf_index, proof.tree_size, len(proof.path)),
+    ]
+    for step in proof.path:
+        parts.append(struct.pack(">B", int(step.sibling_is_left)))
+        parts.append(_pack_bytes(step.sibling))
+    return b"".join(parts)
+
+
+def _decode_presence(data: bytes, offset: int) -> Tuple[PresenceProof, int]:
+    key, offset = _unpack_bytes(data, offset)
+    value, offset = _unpack_bytes(data, offset)
+    if offset + 18 > len(data):
+        raise TLSError("truncated presence proof")
+    leaf_index, tree_size, path_len = struct.unpack_from(">QQH", data, offset)
+    offset += 18
+    steps: List[AuditStep] = []
+    for _ in range(path_len):
+        if offset + 1 > len(data):
+            raise TLSError("truncated audit step")
+        is_left = bool(data[offset])
+        offset += 1
+        sibling, offset = _unpack_bytes(data, offset)
+        steps.append(AuditStep(sibling=sibling, sibling_is_left=is_left))
+    return (
+        PresenceProof(
+            key=key,
+            value=value,
+            leaf_index=leaf_index,
+            tree_size=tree_size,
+            path=tuple(steps),
+        ),
+        offset,
+    )
+
+
+def encode_proof(proof: Union[PresenceProof, AbsenceProof]) -> bytes:
+    if isinstance(proof, PresenceProof):
+        return struct.pack(">B", _PRESENCE_TAG) + _encode_presence(proof)
+    if isinstance(proof, AbsenceProof):
+        parts = [struct.pack(">B", _ABSENCE_TAG), _pack_bytes(proof.key)]
+        parts.append(struct.pack(">Q", proof.tree_size))
+        flags = (1 if proof.left is not None else 0) | (2 if proof.right is not None else 0)
+        parts.append(struct.pack(">B", flags))
+        if proof.left is not None:
+            parts.append(_encode_presence(proof.left))
+        if proof.right is not None:
+            parts.append(_encode_presence(proof.right))
+        return b"".join(parts)
+    raise ProofError(f"cannot encode proof of type {type(proof).__name__}")
+
+
+def decode_proof(data: bytes, offset: int = 0) -> Tuple[Union[PresenceProof, AbsenceProof], int]:
+    if offset + 1 > len(data):
+        raise TLSError("truncated proof tag")
+    tag = data[offset]
+    offset += 1
+    if tag == _PRESENCE_TAG:
+        return _decode_presence(data, offset)
+    if tag == _ABSENCE_TAG:
+        key, offset = _unpack_bytes(data, offset)
+        if offset + 9 > len(data):
+            raise TLSError("truncated absence proof header")
+        (tree_size,) = struct.unpack_from(">Q", data, offset)
+        offset += 8
+        flags = data[offset]
+        offset += 1
+        left: Optional[PresenceProof] = None
+        right: Optional[PresenceProof] = None
+        if flags & 1:
+            left, offset = _decode_presence(data, offset)
+        if flags & 2:
+            right, offset = _decode_presence(data, offset)
+        return AbsenceProof(key=key, tree_size=tree_size, left=left, right=right), offset
+    raise TLSError(f"unknown proof tag {tag}")
+
+
+# -- revocation status (Eq. 3) ----------------------------------------------------
+
+
+def encode_status(status: RevocationStatus) -> bytes:
+    """Serialize a revocation status for a ``RITM_STATUS`` TLS record."""
+    return b"".join(
+        [
+            _pack_bytes(status.ca_name.encode("utf-8")),
+            _pack_bytes(status.serial.to_bytes()),
+            _pack_bytes(encode_proof(status.proof)),
+            _pack_bytes(encode_signed_root(status.signed_root)),
+            _pack_bytes(encode_freshness(status.freshness)),
+        ]
+    )
+
+
+def decode_status(data: bytes, offset: int = 0) -> Tuple[RevocationStatus, int]:
+    ca_name, offset = _unpack_bytes(data, offset)
+    serial_bytes, offset = _unpack_bytes(data, offset)
+    proof_bytes, offset = _unpack_bytes(data, offset)
+    root_bytes, offset = _unpack_bytes(data, offset)
+    freshness_bytes, offset = _unpack_bytes(data, offset)
+    proof, _ = decode_proof(proof_bytes)
+    signed_root, _ = decode_signed_root(root_bytes)
+    freshness, _ = decode_freshness(freshness_bytes)
+    return (
+        RevocationStatus(
+            ca_name=ca_name.decode("utf-8"),
+            serial=SerialNumber.from_bytes(serial_bytes),
+            proof=proof,
+            signed_root=signed_root,
+            freshness=freshness,
+        ),
+        offset,
+    )
+
+
+def encode_status_bundle(statuses: List[RevocationStatus]) -> bytes:
+    """Several statuses in one record (certificate-chain proving, §VIII)."""
+    parts = [struct.pack(">B", len(statuses))]
+    for status in statuses:
+        parts.append(_pack_bytes(encode_status(status)))
+    return b"".join(parts)
+
+
+def decode_status_bundle(data: bytes) -> List[RevocationStatus]:
+    if not data:
+        raise TLSError("empty RITM status record")
+    count = data[0]
+    offset = 1
+    statuses: List[RevocationStatus] = []
+    for _ in range(count):
+        status_bytes, offset = _unpack_bytes(data, offset)
+        status, _ = decode_status(status_bytes)
+        statuses.append(status)
+    return statuses
+
+
+# -- dissemination objects -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DictionaryHead:
+    """The small per-CA object RAs poll every Δ.
+
+    Contains everything needed to decide whether the replica is current: the
+    dictionary size, the latest signed root, and the latest freshness
+    statement.
+    """
+
+    ca_name: str
+    size: int
+    signed_root: SignedRoot
+    freshness: FreshnessStatement
+
+    def encoded_size(self) -> int:
+        return len(encode_head(self))
+
+
+def encode_head(head: DictionaryHead) -> bytes:
+    return b"".join(
+        [
+            _pack_bytes(head.ca_name.encode("utf-8")),
+            struct.pack(">Q", head.size),
+            _pack_bytes(encode_signed_root(head.signed_root)),
+            _pack_bytes(encode_freshness(head.freshness)),
+        ]
+    )
+
+
+def decode_head(data: bytes) -> DictionaryHead:
+    offset = 0
+    ca_name, offset = _unpack_bytes(data, offset)
+    if offset + 8 > len(data):
+        raise TLSError("truncated dictionary head")
+    (size,) = struct.unpack_from(">Q", data, offset)
+    offset += 8
+    root_bytes, offset = _unpack_bytes(data, offset)
+    freshness_bytes, offset = _unpack_bytes(data, offset)
+    signed_root, _ = decode_signed_root(root_bytes)
+    freshness, _ = decode_freshness(freshness_bytes)
+    return DictionaryHead(
+        ca_name=ca_name.decode("utf-8"),
+        size=size,
+        signed_root=signed_root,
+        freshness=freshness,
+    )
+
+
+def encode_issuance(issuance: RevocationIssuance) -> bytes:
+    parts = [
+        _pack_bytes(issuance.ca_name.encode("utf-8")),
+        struct.pack(">QH", issuance.first_number, len(issuance.serials)),
+    ]
+    for serial in issuance.serials:
+        parts.append(_pack_bytes(serial.to_bytes()))
+    parts.append(_pack_bytes(encode_signed_root(issuance.signed_root)))
+    return b"".join(parts)
+
+
+def decode_issuance(data: bytes) -> RevocationIssuance:
+    offset = 0
+    ca_name, offset = _unpack_bytes(data, offset)
+    if offset + 10 > len(data):
+        raise TLSError("truncated issuance header")
+    first_number, count = struct.unpack_from(">QH", data, offset)
+    offset += 10
+    serials = []
+    for _ in range(count):
+        serial_bytes, offset = _unpack_bytes(data, offset)
+        serials.append(SerialNumber.from_bytes(serial_bytes))
+    root_bytes, offset = _unpack_bytes(data, offset)
+    signed_root, _ = decode_signed_root(root_bytes)
+    return RevocationIssuance(
+        ca_name=ca_name.decode("utf-8"),
+        serials=tuple(serials),
+        first_number=first_number,
+        signed_root=signed_root,
+    )

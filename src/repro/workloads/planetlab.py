@@ -1,0 +1,65 @@
+"""PlanetLab-style vantage points for the dissemination-speed experiment.
+
+Fig. 5 of the paper measures download times from 80 PlanetLab nodes spread
+across the world, each fetching five different revocation messages ten times
+from Amazon CloudFront with caching disabled.  This module provides the
+vantage-point set: 80 deterministic locations distributed over the CDN
+regions roughly like the real PlanetLab deployment (weighted towards North
+America and Europe, where most PlanetLab sites are hosted).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cdn.geography import GeoLocation, Region
+
+#: Number of vantage points used in the paper's measurement.
+PLANETLAB_NODE_COUNT = 80
+#: Repetitions per (node, message) pair.
+REPETITIONS_PER_NODE = 10
+
+#: Share of PlanetLab sites per region (PlanetLab was university-hosted and
+#: concentrated in North America and Europe).
+PLANETLAB_REGION_SHARE: Dict[Region, float] = {
+    Region.UNITED_STATES: 0.40,
+    Region.EUROPE: 0.33,
+    Region.HONG_KONG_SINGAPORE: 0.10,
+    Region.JAPAN: 0.07,
+    Region.SOUTH_AMERICA: 0.04,
+    Region.AUSTRALIA: 0.03,
+    Region.INDIA: 0.03,
+}
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """One measurement node."""
+
+    name: str
+    location: GeoLocation
+
+
+def generate_vantage_points(
+    count: int = PLANETLAB_NODE_COUNT, seed: int = 5
+) -> List[VantagePoint]:
+    """Deterministically place ``count`` vantage points across the regions."""
+    rng = random.Random(seed)
+    nodes: List[VantagePoint] = []
+    regions = list(PLANETLAB_REGION_SHARE)
+    counts = {region: int(round(count * share)) for region, share in PLANETLAB_REGION_SHARE.items()}
+    drift = count - sum(counts.values())
+    counts[Region.UNITED_STATES] += drift
+    index = 0
+    for region in regions:
+        for _ in range(counts[region]):
+            nodes.append(
+                VantagePoint(
+                    name=f"planetlab-{index:03d}",
+                    location=GeoLocation(region=region, distance_factor=rng.random()),
+                )
+            )
+            index += 1
+    return nodes

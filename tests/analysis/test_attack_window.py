@@ -1,0 +1,37 @@
+"""Tests for the fleet-scale attack-window simulation."""
+
+import pytest
+
+from repro.analysis.attack_window import run_attack_window_simulation
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_attack_window_simulation(delta_seconds=10, ra_count=12, seed=5)
+
+
+class TestAttackWindowSimulation:
+    def test_every_ra_eventually_enforces(self, result):
+        assert len(result.lags) == 12
+
+    def test_lags_are_positive_and_bounded_by_two_delta(self, result):
+        assert all(0 <= lag <= 20 for lag in result.lags)
+        assert result.within_two_delta()
+
+    def test_mean_lag_is_roughly_half_a_delta(self, result):
+        # Pull phases are uniform in [0, delta); the expected lag is ~delta/2.
+        assert 1.0 < result.mean_lag() < 10.0
+
+    def test_fraction_within_is_monotone(self, result):
+        assert result.fraction_within(5) <= result.fraction_within(10) <= result.fraction_within(20)
+        assert result.fraction_within(20) == 1.0
+
+    def test_deterministic_for_fixed_seed(self):
+        first = run_attack_window_simulation(delta_seconds=10, ra_count=6, seed=9)
+        second = run_attack_window_simulation(delta_seconds=10, ra_count=6, seed=9)
+        assert first.lags == second.lags
+
+    def test_larger_delta_gives_larger_lags(self):
+        small = run_attack_window_simulation(delta_seconds=10, ra_count=8, seed=3)
+        large = run_attack_window_simulation(delta_seconds=60, ra_count=8, seed=3)
+        assert large.mean_lag() > small.mean_lag()

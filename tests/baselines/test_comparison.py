@@ -1,0 +1,117 @@
+"""Tests for the RITM adapter and the Table IV comparison harness."""
+
+import pytest
+
+from repro.baselines.base import CheckContext, ComparisonParameters, GroundTruth
+from repro.baselines.comparison import (
+    DEFAULT_PARAMETERS,
+    PAPER_FORMULAS,
+    build_comparison_table,
+    default_scheme_factories,
+    evaluate_formula,
+)
+from repro.baselines.ritm_adapter import RITMAdapterScheme
+from repro.pki.serial import SerialNumber
+
+
+def ctx(serial: int, now: float):
+    return CheckContext(
+        client_id="client-1", server_name="site.example", serial=SerialNumber(serial), now=now
+    )
+
+
+class TestRITMAdapter:
+    def test_clean_and_revoked_serials(self):
+        truth = GroundTruth(ca_name="Adapter-CA")
+        scheme = RITMAdapterScheme(truth)
+        assert scheme.check(ctx(5, now=1_000)).revoked is False
+        truth.revoke(SerialNumber(5), now=1_500)
+        assert scheme.check(ctx(5, now=2_000)).revoked is True
+
+    def test_no_client_connection_and_no_privacy_leak(self):
+        truth = GroundTruth(ca_name="Adapter-CA")
+        scheme = RITMAdapterScheme(truth)
+        result = scheme.check(ctx(5, now=1_000))
+        assert result.connections_made == 0
+        assert result.privacy_leaked_to == []
+        assert result.staleness_bound_seconds == 2 * scheme.delta_seconds
+
+    def test_revocation_visible_within_two_delta(self):
+        truth = GroundTruth(ca_name="Adapter-CA")
+        scheme = RITMAdapterScheme(truth, delta_seconds=10)
+        scheme.check(ctx(7, now=1_000))
+        truth.revoke(SerialNumber(7), now=1_005)
+        result = scheme.check(ctx(7, now=1_012))
+        assert result.revoked is True
+
+    def test_status_bytes_are_compact(self):
+        truth = GroundTruth(ca_name="Adapter-CA")
+        for value in range(1, 2_000):
+            truth.revoke(SerialNumber(value), now=500)
+        scheme = RITMAdapterScheme(truth)
+        result = scheme.check(ctx(1_000_000, now=1_000))
+        assert result.bytes_downloaded < 1_500
+
+    def test_no_properties_violated(self):
+        assert RITMAdapterScheme(GroundTruth()).properties().violated_letters() == "-"
+
+
+class TestComparisonTable:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row.scheme: row for row in build_comparison_table()}
+
+    def test_all_paper_rows_present(self, rows):
+        assert set(rows) == set(PAPER_FORMULAS)
+
+    def test_quantities_match_paper_formulas(self, rows):
+        """Every scheme's computed storage/connection counts equal the paper's
+        symbolic formulas evaluated at the same parameters."""
+        for name, row in rows.items():
+            formulas = PAPER_FORMULAS[name]
+            assert row.storage_global == evaluate_formula(
+                formulas["storage_global"], DEFAULT_PARAMETERS
+            ), name
+            assert row.storage_client == evaluate_formula(
+                formulas["storage_client"], DEFAULT_PARAMETERS
+            ), name
+            assert row.conn_global == evaluate_formula(
+                formulas["conn_global"], DEFAULT_PARAMETERS
+            ), name
+            assert row.conn_client == evaluate_formula(
+                formulas["conn_client"], DEFAULT_PARAMETERS
+            ), name
+
+    def test_violated_properties_match_paper(self, rows):
+        for name, row in rows.items():
+            assert row.violated_properties == PAPER_FORMULAS[name]["violated"], name
+
+    def test_ritm_is_the_only_scheme_without_violations(self, rows):
+        clean = [name for name, row in rows.items() if row.violated_properties == "-"]
+        assert clean == ["RITM"]
+
+    def test_clients_store_nothing_under_ritm(self, rows):
+        assert rows["RITM"].storage_client == 0
+        assert rows["RITM"].conn_client == 0
+
+    def test_custom_parameters_scale_formulas(self):
+        small = ComparisonParameters(
+            n_revocations=1_000, n_clients=10_000, n_servers=100, n_cas=5, n_ras=50
+        )
+        rows = {row.scheme: row for row in build_comparison_table(parameters=small)}
+        assert rows["CRL"].storage_global == 1_000 * (10_000 + 1)
+        assert rows["OCSP"].conn_global == 10_000 * 100
+        assert rows["RITM"].storage_global == 1_000 * 51
+        assert rows["RITM"].conn_global == 5
+
+    def test_default_factories_are_functional(self):
+        truth = GroundTruth(ca_name="Func-CA")
+        truth.revoke(SerialNumber(11), now=100)
+        for name, factory in default_scheme_factories().items():
+            scheme = factory(truth)
+            result = scheme.check(ctx(11, now=100_000 + 10 * 86_400))
+            assert result.scheme == scheme.name
+
+    def test_evaluate_formula_handles_empty(self):
+        assert evaluate_formula("-", DEFAULT_PARAMETERS) == 0
+        assert evaluate_formula("", DEFAULT_PARAMETERS) == 0

@@ -1,0 +1,52 @@
+"""Shared fixtures for the RITM reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.signing import KeyPair
+from repro.pki.ca import CertificationAuthority, TrustStore
+from repro.pki.serial import SerialNumber
+from repro.ritm.config import RITMConfig
+from repro.workloads.certificates import generate_corpus
+
+
+@pytest.fixture(scope="session")
+def ca_keys() -> KeyPair:
+    """A deterministic CA key pair (Ed25519 keygen is slow in pure Python)."""
+    return KeyPair.generate(b"fixture-ca-keys")
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """One root CA, one intermediate, a handful of server chains."""
+    return generate_corpus(ca_count=1, domains_per_ca=3, use_intermediates=True)
+
+
+@pytest.fixture(scope="session")
+def flat_corpus():
+    """Two root CAs issuing directly (2-certificate chains)."""
+    return generate_corpus(ca_count=2, domains_per_ca=2, use_intermediates=False)
+
+
+@pytest.fixture()
+def config() -> RITMConfig:
+    """A small-Δ RITM configuration convenient for tests."""
+    return RITMConfig(delta_seconds=10, chain_length=64)
+
+
+@pytest.fixture()
+def root_ca() -> CertificationAuthority:
+    return CertificationAuthority("Test-Root-CA", key_seed=b"test-root-ca")
+
+
+@pytest.fixture()
+def trust_store(root_ca) -> TrustStore:
+    store = TrustStore()
+    store.add(root_ca)
+    return store
+
+
+def make_serials(count: int, start: int = 1) -> list[SerialNumber]:
+    """Consecutive serial numbers, convenient for dictionary tests."""
+    return [SerialNumber(value) for value in range(start, start + count)]

@@ -1,0 +1,121 @@
+"""Tests for the pure-Python Ed25519 implementation."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto import ed25519
+from repro.errors import SignatureError
+
+
+def seed(label: str) -> bytes:
+    return hashlib.sha256(label.encode()).digest()
+
+
+class TestKeyGeneration:
+    def test_public_key_is_32_bytes(self):
+        assert len(ed25519.publickey(seed("a"))) == 32
+
+    def test_public_key_is_deterministic(self):
+        assert ed25519.publickey(seed("a")) == ed25519.publickey(seed("a"))
+
+    def test_different_seeds_give_different_keys(self):
+        assert ed25519.publickey(seed("a")) != ed25519.publickey(seed("b"))
+
+    def test_bad_seed_length_rejected(self):
+        with pytest.raises(Exception):
+            ed25519.publickey(b"short")
+
+
+class TestSignVerify:
+    def test_signature_is_64_bytes(self):
+        signature = ed25519.sign(seed("k"), b"message")
+        assert len(signature) == 64
+
+    def test_roundtrip_verifies(self):
+        secret = seed("k")
+        public = ed25519.publickey(secret)
+        message = b"the quick brown fox"
+        assert ed25519.verify(public, message, ed25519.sign(secret, message))
+
+    def test_signing_is_deterministic(self):
+        secret = seed("k")
+        assert ed25519.sign(secret, b"m") == ed25519.sign(secret, b"m")
+
+    def test_modified_message_fails(self):
+        secret = seed("k")
+        public = ed25519.publickey(secret)
+        signature = ed25519.sign(secret, b"message")
+        assert not ed25519.verify(public, b"messagX", signature)
+
+    def test_modified_signature_fails(self):
+        secret = seed("k")
+        public = ed25519.publickey(secret)
+        signature = bytearray(ed25519.sign(secret, b"message"))
+        signature[3] ^= 0x01
+        assert not ed25519.verify(public, b"message", bytes(signature))
+
+    def test_wrong_key_fails(self):
+        signature = ed25519.sign(seed("k1"), b"message")
+        other_public = ed25519.publickey(seed("k2"))
+        assert not ed25519.verify(other_public, b"message", signature)
+
+    def test_empty_message(self):
+        secret = seed("k")
+        public = ed25519.publickey(secret)
+        assert ed25519.verify(public, b"", ed25519.sign(secret, b""))
+
+    def test_long_message(self):
+        secret = seed("k")
+        public = ed25519.publickey(secret)
+        message = b"\xab" * 5000
+        assert ed25519.verify(public, message, ed25519.sign(secret, message))
+
+    def test_bad_signature_length_raises(self):
+        public = ed25519.publickey(seed("k"))
+        with pytest.raises(SignatureError):
+            ed25519.verify(public, b"m", b"\x00" * 63)
+
+    def test_bad_public_key_length_raises(self):
+        with pytest.raises(SignatureError):
+            ed25519.verify(b"\x00" * 31, b"m", b"\x00" * 64)
+
+    def test_scalar_out_of_range_rejected(self):
+        secret = seed("k")
+        public = ed25519.publickey(secret)
+        signature = ed25519.sign(secret, b"m")
+        # Force s >= L: set the top bytes of the scalar half to 0xff.
+        forged = signature[:32] + b"\xff" * 32
+        assert not ed25519.verify(public, b"m", forged)
+
+    def test_rfc8032_test_vector_1(self):
+        # RFC 8032 §7.1 TEST 1 (empty message).
+        secret = bytes.fromhex(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60"
+        )
+        expected_public = bytes.fromhex(
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+        )
+        expected_signature = bytes.fromhex(
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+        )
+        assert ed25519.publickey(secret) == expected_public
+        assert ed25519.sign(secret, b"") == expected_signature
+        assert ed25519.verify(expected_public, b"", expected_signature)
+
+    def test_rfc8032_test_vector_2(self):
+        # RFC 8032 §7.1 TEST 2 (one-byte message 0x72).
+        secret = bytes.fromhex(
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb"
+        )
+        expected_public = bytes.fromhex(
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+        )
+        expected_signature = bytes.fromhex(
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+        )
+        assert ed25519.publickey(secret) == expected_public
+        assert ed25519.sign(secret, b"\x72") == expected_signature
+        assert ed25519.verify(expected_public, b"\x72", expected_signature)

@@ -1,0 +1,71 @@
+"""Property-based tests (hypothesis) for the sorted Merkle tree."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.merkle import SortedMerkleTree
+
+serial_values = st.integers(min_value=1, max_value=2**24 - 1)
+
+
+def to_key(value: int) -> bytes:
+    return value.to_bytes(3, "big")
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sets(serial_values, min_size=1, max_size=120), st.randoms(use_true_random=False))
+def test_every_member_has_valid_presence_proof(values, rng):
+    """Any inserted key can always be proven present against the root."""
+    ordered = list(values)
+    rng.shuffle(ordered)
+    tree = SortedMerkleTree()
+    for value in ordered:
+        tree.insert(to_key(value), b"\x00\x00\x00\x01")
+    root = tree.root()
+    probe = rng.choice(ordered)
+    proof = tree.prove_presence(to_key(probe))
+    assert proof.verify(root)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.sets(serial_values, min_size=1, max_size=120),
+    serial_values,
+)
+def test_membership_and_proofs_are_mutually_exclusive(values, probe):
+    """For any probe key, exactly one of presence/absence can be proven, and it verifies."""
+    tree = SortedMerkleTree()
+    for value in values:
+        tree.insert(to_key(value), b"\x00\x00\x00\x01")
+    root = tree.root()
+    proof = tree.prove(to_key(probe))
+    assert proof.verify(root)
+    from repro.crypto.merkle import PresenceProof
+
+    assert isinstance(proof, PresenceProof) == (probe in values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(serial_values, unique=True, min_size=2, max_size=80))
+def test_root_is_order_independent(values):
+    """The tree commits to the *set*, not the insertion order."""
+    forward = SortedMerkleTree()
+    for value in values:
+        forward.insert(to_key(value), b"\x00\x00\x00\x01")
+    backward = SortedMerkleTree()
+    for value in reversed(values):
+        backward.insert(to_key(value), b"\x00\x00\x00\x01")
+    assert forward.root() == backward.root()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(serial_values, min_size=2, max_size=80))
+def test_roots_differ_when_any_element_is_removed(values):
+    """Removing any single element changes the root (no silent deletions)."""
+    values = list(values)
+    full = SortedMerkleTree()
+    for value in values:
+        full.insert(to_key(value), b"\x00\x00\x00\x01")
+    partial = SortedMerkleTree()
+    for value in values[:-1]:
+        partial.insert(to_key(value), b"\x00\x00\x00\x01")
+    assert full.root() != partial.root()

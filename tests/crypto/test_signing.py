@@ -1,0 +1,65 @@
+"""Tests for the key-pair abstraction."""
+
+import pytest
+
+from repro.crypto.signing import PUBLIC_KEY_SIZE, SIGNATURE_SIZE, KeyPair, PrivateKey, PublicKey
+from repro.errors import SignatureError
+
+
+class TestKeyPair:
+    def test_deterministic_generation_from_seed(self):
+        a = KeyPair.generate(b"seed-1")
+        b = KeyPair.generate(b"seed-1")
+        assert a.public.key_bytes == b.public.key_bytes
+
+    def test_different_seeds_differ(self):
+        assert KeyPair.generate(b"a").public != KeyPair.generate(b"b").public
+
+    def test_random_generation_without_seed(self):
+        assert KeyPair.generate().public != KeyPair.generate().public
+
+    def test_sign_and_verify(self):
+        keys = KeyPair.generate(b"signer")
+        signature = keys.sign(b"payload")
+        assert len(signature) == SIGNATURE_SIZE
+        assert keys.verify(b"payload", signature)
+        assert not keys.verify(b"payloaX", signature)
+
+    def test_public_key_size_constant(self):
+        keys = KeyPair.generate(b"k")
+        assert len(keys.public.key_bytes) == PUBLIC_KEY_SIZE
+
+
+class TestPublicKey:
+    def test_rejects_wrong_length(self):
+        with pytest.raises(SignatureError):
+            PublicKey(b"\x01" * 16)
+
+    def test_verify_or_raise(self):
+        keys = KeyPair.generate(b"k")
+        signature = keys.sign(b"m")
+        keys.public.verify_or_raise(b"m", signature)
+        with pytest.raises(SignatureError):
+            keys.public.verify_or_raise(b"other", signature)
+
+    def test_fingerprint_is_short_hex(self):
+        fingerprint = KeyPair.generate(b"k").public.fingerprint()
+        assert len(fingerprint) == 16
+        int(fingerprint, 16)  # must be hex
+
+
+class TestPrivateKey:
+    def test_rejects_wrong_seed_length(self):
+        with pytest.raises(SignatureError):
+            PrivateKey(b"tiny")
+
+    def test_public_key_derivation_is_stable(self):
+        private = PrivateKey.generate(b"stable")
+        assert private.public_key() == private.public_key()
+
+    def test_cross_verification(self):
+        signer = PrivateKey.generate(b"one")
+        other = PrivateKey.generate(b"two")
+        signature = signer.sign(b"msg")
+        assert signer.public_key().verify(b"msg", signature)
+        assert not other.public_key().verify(b"msg", signature)

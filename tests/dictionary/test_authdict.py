@@ -1,0 +1,221 @@
+"""Tests for the CA master dictionary and RA replicas (Fig. 2 interface)."""
+
+import pytest
+
+from repro.crypto.signing import KeyPair
+from repro.dictionary.authdict import CADictionary, ReplicaDictionary
+from repro.dictionary.freshness import FreshnessStatement
+from repro.dictionary.signed_root import SignedRoot
+from repro.errors import DesynchronizedError, DictionaryError, SignatureError
+from repro.pki.serial import SerialNumber
+
+from tests.conftest import make_serials
+
+
+@pytest.fixture()
+def keys():
+    return KeyPair.generate(b"authdict-tests")
+
+
+@pytest.fixture()
+def master(keys):
+    return CADictionary("CA-X", keys, delta=10, chain_length=16)
+
+
+@pytest.fixture()
+def replica(keys):
+    return ReplicaDictionary("CA-X", keys.public)
+
+
+class TestInsert:
+    def test_insert_numbers_revocations_consecutively(self, master):
+        issuance = master.insert(make_serials(3), now=100)
+        assert issuance.first_number == 1
+        assert [number for number, _ in issuance.numbered_serials()] == [1, 2, 3]
+        second = master.insert(make_serials(2, start=10), now=110)
+        assert second.first_number == 4
+
+    def test_insert_updates_size_and_root(self, master):
+        issuance = master.insert(make_serials(5), now=100)
+        assert master.size == 5
+        assert issuance.signed_root.size == 5
+        assert issuance.signed_root.root == master.root()
+
+    def test_signed_root_verifies(self, master, keys):
+        issuance = master.insert(make_serials(1), now=100)
+        assert issuance.signed_root.verify(keys.public)
+
+    def test_empty_insert_rejected(self, master):
+        with pytest.raises(DictionaryError):
+            master.insert([], now=100)
+
+    def test_duplicate_serial_rejected(self, master):
+        master.insert(make_serials(3), now=100)
+        with pytest.raises(DictionaryError):
+            master.insert([SerialNumber(2)], now=110)
+
+    def test_contains_and_revocation_number(self, master):
+        master.insert([SerialNumber(7), SerialNumber(3)], now=100)
+        assert master.contains(SerialNumber(7))
+        assert not master.contains(SerialNumber(8))
+        assert master.revocation_number(SerialNumber(7)) == 1
+        assert master.revocation_number(SerialNumber(3)) == 2
+
+
+class TestRefresh:
+    def test_bootstrap_refresh_signs_empty_dictionary(self, master, keys):
+        result = master.refresh(now=50)
+        assert isinstance(result, SignedRoot)
+        assert result.size == 0
+        assert result.verify(keys.public)
+
+    def test_refresh_returns_freshness_statement_within_chain(self, master):
+        master.insert(make_serials(2), now=100)
+        statement = master.refresh(now=125)
+        assert isinstance(statement, FreshnessStatement)
+        assert statement.dictionary_size == 2
+
+    def test_refresh_resigns_root_when_chain_exhausted(self, master):
+        master.insert(make_serials(1), now=100)
+        old_root = master.signed_root
+        # chain_length=16, delta=10: 160 seconds later the chain is exhausted.
+        result = master.refresh(now=100 + 16 * 10)
+        assert isinstance(result, SignedRoot)
+        assert result.timestamp > old_root.timestamp
+        assert result.root == old_root.root  # content unchanged
+
+    def test_successive_statements_link_to_anchor(self, master, keys):
+        from repro.dictionary.freshness import statement_is_fresh
+
+        master.insert(make_serials(1), now=100)
+        for period in range(1, 5):
+            statement = master.refresh(now=100 + period * 10)
+            assert statement_is_fresh(master.signed_root, statement, now=100 + period * 10, delta=10)
+
+
+class TestProve:
+    def test_prove_requires_signed_root(self, keys):
+        fresh = CADictionary("CA-Y", keys, delta=10, chain_length=8)
+        with pytest.raises(DictionaryError):
+            fresh.prove(SerialNumber(1))
+
+    def test_prove_absent_and_present(self, master):
+        master.insert(make_serials(4), now=100)
+        absent = master.prove(SerialNumber(99))
+        present = master.prove(SerialNumber(2))
+        assert not absent.is_revoked
+        assert present.is_revoked
+
+    def test_status_sizes_are_compact(self, master):
+        master.insert(make_serials(100), now=100)
+        status = master.prove(SerialNumber(2000))
+        assert status.encoded_size() < 1500
+
+
+class TestReplicaUpdate:
+    def test_update_applies_issuance(self, master, replica):
+        issuance = master.insert(make_serials(5), now=100)
+        replica.update(issuance)
+        assert replica.size == 5
+        assert replica.root() == master.root()
+        assert replica.signed_root == issuance.signed_root
+
+    def test_update_rejects_wrong_ca(self, master, keys):
+        other = ReplicaDictionary("CA-Z", keys.public)
+        issuance = master.insert(make_serials(1), now=100)
+        with pytest.raises(DictionaryError):
+            other.update(issuance)
+
+    def test_update_rejects_bad_signature(self, master, replica):
+        from dataclasses import replace
+
+        issuance = master.insert(make_serials(1), now=100)
+        forged_root = replace(issuance.signed_root, signature=b"\x00" * 64)
+        forged = replace(issuance, signed_root=forged_root)
+        with pytest.raises(SignatureError):
+            replica.update(forged)
+
+    def test_update_rejects_gap_in_numbering(self, master, replica):
+        first = master.insert(make_serials(2), now=100)
+        second = master.insert(make_serials(2, start=10), now=110)
+        with pytest.raises(DesynchronizedError):
+            replica.update(second)  # first batch never applied
+
+    def test_update_rejects_tampered_serials(self, master, replica):
+        from dataclasses import replace
+
+        issuance = master.insert(make_serials(3), now=100)
+        tampered = replace(issuance, serials=(SerialNumber(100), SerialNumber(101), SerialNumber(102)))
+        with pytest.raises(DictionaryError):
+            replica.update(tampered)
+
+    def test_sequential_updates_track_master(self, master, replica):
+        for batch in range(3):
+            issuance = master.insert(make_serials(4, start=1 + batch * 10), now=100 + batch)
+            replica.update(issuance)
+        assert replica.size == master.size == 12
+        assert replica.root() == master.root()
+
+
+class TestReplicaFreshnessAndRoots:
+    def test_apply_freshness(self, master, replica):
+        issuance = master.insert(make_serials(2), now=100)
+        replica.update(issuance)
+        statement = master.refresh(now=120)
+        replica.apply_freshness(statement)
+        assert replica.latest_freshness == statement
+
+    def test_apply_freshness_requires_root(self, replica, master):
+        master.insert(make_serials(1), now=100)
+        statement = master.refresh(now=110)
+        with pytest.raises(DesynchronizedError):
+            replica.apply_freshness(statement)
+
+    def test_apply_freshness_rejects_unlinked_value(self, master, replica):
+        issuance = master.insert(make_serials(1), now=100)
+        replica.update(issuance)
+        bogus = FreshnessStatement(ca_name="CA-X", value=b"\x01" * 20, dictionary_size=1)
+        with pytest.raises(DictionaryError):
+            replica.apply_freshness(bogus)
+
+    def test_freshness_with_larger_size_flags_desync(self, master, replica):
+        issuance = master.insert(make_serials(1), now=100)
+        replica.update(issuance)
+        master.insert(make_serials(1, start=50), now=105)
+        statement = master.refresh(now=115)
+        with pytest.raises(DesynchronizedError):
+            replica.apply_freshness(statement)
+
+    def test_install_root_requires_matching_content(self, master, replica):
+        issuance = master.insert(make_serials(2), now=100)
+        replica.update(issuance)
+        master.insert(make_serials(1, start=70), now=110)
+        with pytest.raises(DesynchronizedError):
+            replica.install_root(master.signed_root)
+
+    def test_is_desynchronized(self, master, replica):
+        issuance = master.insert(make_serials(2), now=100)
+        replica.update(issuance)
+        assert not replica.is_desynchronized(2)
+        assert replica.is_desynchronized(3)
+
+    def test_replica_prove_matches_master(self, master, replica, keys):
+        issuance = master.insert(make_serials(10), now=100)
+        replica.update(issuance)
+        status = replica.prove(SerialNumber(123456))
+        status.verify(keys.public, now=105, delta=10)
+
+
+class TestStorageEstimates:
+    def test_storage_and_memory_scale_with_entries(self, master):
+        master.insert(make_serials(100), now=100)
+        storage = master.storage_size_bytes()
+        memory = master.memory_size_bytes()
+        assert storage == 100 * (3 + 4)
+        assert memory > storage
+
+    def test_config_validation(self, keys):
+        with pytest.raises(DictionaryError):
+            CADictionary("CA", keys, delta=0)
+        with pytest.raises(DictionaryError):
+            CADictionary("CA", keys, delta=10, chain_length=0)

@@ -1,0 +1,81 @@
+"""Property-based tests for the authenticated dictionary's core invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.signing import KeyPair
+from repro.dictionary.authdict import CADictionary, ReplicaDictionary
+from repro.errors import RevokedCertificateError
+from repro.pki.serial import SerialNumber
+
+KEYS = KeyPair.generate(b"property-dictionary")
+
+serial_values = st.integers(min_value=1, max_value=2**24 - 1)
+batches = st.lists(
+    st.sets(serial_values, min_size=1, max_size=15),
+    min_size=1,
+    max_size=5,
+)
+
+
+def distinct_batches(raw_batches):
+    """Make batches pairwise disjoint so no serial is revoked twice."""
+    seen = set()
+    result = []
+    for batch in raw_batches:
+        cleaned = sorted(value for value in batch if value not in seen)
+        seen.update(cleaned)
+        if cleaned:
+            result.append(cleaned)
+    return result
+
+
+@settings(max_examples=25, deadline=None)
+@given(batches)
+def test_replica_always_converges_to_master(raw_batches):
+    """Applying every issuance in order always reproduces the master state."""
+    cleaned = distinct_batches(raw_batches)
+    master = CADictionary("CA-H", KEYS, delta=10, chain_length=8)
+    replica = ReplicaDictionary("CA-H", KEYS.public)
+    now = 1000
+    for batch in cleaned:
+        issuance = master.insert([SerialNumber(value) for value in batch], now=now)
+        replica.update(issuance)
+        now += 10
+    assert replica.size == master.size
+    assert replica.root() == master.root()
+
+
+@settings(max_examples=25, deadline=None)
+@given(batches, serial_values)
+def test_status_verdict_matches_ground_truth(raw_batches, probe):
+    """For any serial, the verified status agrees with whether it was revoked."""
+    cleaned = distinct_batches(raw_batches)
+    master = CADictionary("CA-H", KEYS, delta=10, chain_length=8)
+    revoked = set()
+    now = 1000
+    for batch in cleaned:
+        master.insert([SerialNumber(value) for value in batch], now=now)
+        revoked.update(batch)
+        now += 10
+    status = master.prove(SerialNumber(probe))
+    assert status.is_revoked == (probe in revoked)
+    if probe in revoked:
+        with pytest.raises(RevokedCertificateError):
+            status.verify(KEYS.public, now=now, delta=10)
+    else:
+        status.verify(KEYS.public, now=now, delta=10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sets(serial_values, min_size=1, max_size=30))
+def test_append_only_roots_never_repeat(values):
+    """Every insertion produces a new, distinct signed root (append-only history)."""
+    master = CADictionary("CA-H", KEYS, delta=10, chain_length=8)
+    roots = set()
+    now = 1000
+    for value in sorted(values):
+        issuance = master.insert([SerialNumber(value)], now=now)
+        assert issuance.signed_root.root not in roots
+        roots.add(issuance.signed_root.root)
+        now += 10

@@ -1,0 +1,143 @@
+"""Tests for expiry-split dictionaries (§VIII 'Ever-growing dictionaries')."""
+
+import pytest
+
+from repro.crypto.signing import KeyPair
+from repro.dictionary.sharding import (
+    DEFAULT_SHARD_SECONDS,
+    ShardKey,
+    ShardedCADictionary,
+    ShardedReplica,
+    shard_name,
+)
+from repro.errors import DictionaryError, RevokedCertificateError
+from repro.pki.serial import SerialNumber
+
+QUARTER = DEFAULT_SHARD_SECONDS
+
+
+@pytest.fixture()
+def keys():
+    return KeyPair.generate(b"sharding-tests")
+
+
+@pytest.fixture()
+def sharded(keys):
+    return ShardedCADictionary("Shard-CA", keys, delta=10, chain_length=32)
+
+
+class TestShardKey:
+    def test_expiry_maps_to_window(self):
+        key = ShardKey.for_expiry(QUARTER + 5)
+        assert key.index == 1
+        assert key.window_start == QUARTER
+        assert key.window_end == 2 * QUARTER
+
+    def test_is_expired(self):
+        key = ShardKey.for_expiry(QUARTER // 2)
+        assert not key.is_expired(QUARTER - 1)
+        assert key.is_expired(QUARTER)
+
+    def test_negative_expiry_rejected(self):
+        with pytest.raises(DictionaryError):
+            ShardKey.for_expiry(-1)
+
+    def test_shard_name_is_unique_per_index(self):
+        assert shard_name("CA", 1) != shard_name("CA", 2)
+
+
+class TestShardedCADictionary:
+    def test_revocations_route_to_expiry_shards(self, sharded):
+        issuances = sharded.revoke(
+            [
+                (SerialNumber(1), QUARTER // 2),          # shard 0
+                (SerialNumber(2), QUARTER + 10),          # shard 1
+                (SerialNumber(3), QUARTER + 20),          # shard 1
+            ],
+            now=100,
+        )
+        assert sharded.shard_count == 2
+        assert {key.index for key, _ in issuances} == {0, 1}
+        sizes = {key.index: issuance.signed_root.size for key, issuance in issuances}
+        assert sizes == {0: 1, 1: 2}
+        assert sharded.total_revocations() == 3
+
+    def test_same_serial_may_appear_in_different_shards(self, sharded):
+        # Serial spaces are per-CA, but shards are independent dictionaries, so
+        # routing is purely by expiry; the same value in two shards must not clash.
+        sharded.revoke([(SerialNumber(7), 10)], now=100)
+        sharded.revoke([(SerialNumber(7), QUARTER + 10)], now=110)
+        assert sharded.total_revocations() == 2
+
+    def test_prove_uses_the_right_shard(self, sharded, keys):
+        sharded.revoke([(SerialNumber(5), QUARTER + 10)], now=100)
+        revoked_status = sharded.prove(SerialNumber(5), expiry=QUARTER + 10, now=105)
+        clean_status = sharded.prove(SerialNumber(5), expiry=10, now=105)
+        assert revoked_status.is_revoked
+        assert not clean_status.is_revoked
+        with pytest.raises(RevokedCertificateError):
+            revoked_status.verify(keys.public, now=106, delta=10)
+        clean_status.verify(keys.public, now=106, delta=10)
+
+    def test_refresh_all_touches_only_live_shards(self, sharded):
+        sharded.revoke([(SerialNumber(1), 10), (SerialNumber(2), QUARTER + 10)], now=100)
+        refreshed = sharded.refresh_all(now=QUARTER + 50)
+        # Shard 0's window has passed; only shard 1 is refreshed.
+        assert list(refreshed) == [1]
+
+    def test_retire_expired_drops_old_shards(self, sharded):
+        sharded.revoke([(SerialNumber(1), 10), (SerialNumber(2), QUARTER + 10)], now=100)
+        before = sharded.storage_size_bytes()
+        retired = sharded.retire_expired(now=QUARTER + 1)
+        assert [key.index for key in retired] == [0]
+        assert sharded.shard_count == 1
+        assert sharded.storage_size_bytes() < before
+
+    def test_live_shards(self, sharded):
+        sharded.revoke([(SerialNumber(1), 10), (SerialNumber(2), QUARTER + 10)], now=100)
+        live = sharded.live_shards(now=QUARTER + 1)
+        assert [key.index for key, _ in live] == [1]
+
+
+class TestShardedReplica:
+    def test_replica_tracks_shards_and_proves(self, sharded, keys):
+        replica = ShardedReplica("Shard-CA", keys.public)
+        issuances = sharded.revoke(
+            [(SerialNumber(1), 10), (SerialNumber(2), QUARTER + 10)], now=100
+        )
+        for key, issuance in issuances:
+            replica.apply_issuance(key, issuance)
+        assert replica.shard_count == 2
+        assert replica.total_revocations() == 2
+        status = replica.prove(SerialNumber(2), expiry=QUARTER + 10)
+        assert status.is_revoked
+
+    def test_prove_unknown_shard_requires_sync(self, keys):
+        replica = ShardedReplica("Shard-CA", keys.public)
+        with pytest.raises(DictionaryError):
+            replica.prove(SerialNumber(1), expiry=10)
+
+    def test_prune_expired_reclaims_storage(self, sharded, keys):
+        replica = ShardedReplica("Shard-CA", keys.public)
+        issuances = sharded.revoke(
+            [(SerialNumber(i), 10) for i in range(1, 51)]
+            + [(SerialNumber(100 + i), QUARTER + 10) for i in range(1, 11)],
+            now=100,
+        )
+        for key, issuance in issuances:
+            replica.apply_issuance(key, issuance)
+        before = replica.storage_size_bytes()
+        freed = replica.prune_expired(now=QUARTER + 1)
+        assert freed == 50
+        assert replica.shard_count == 1
+        assert replica.storage_size_bytes() < before
+
+    def test_freshness_applies_per_shard(self, sharded, keys):
+        replica = ShardedReplica("Shard-CA", keys.public)
+        issuances = sharded.revoke([(SerialNumber(1), QUARTER + 10)], now=100)
+        for key, issuance in issuances:
+            replica.apply_issuance(key, issuance)
+        refreshed = sharded.refresh_all(now=120)
+        replica.apply_freshness(1, refreshed[1])
+        status = replica.prove(SerialNumber(9), expiry=QUARTER + 10)
+        status.verify(keys.public, now=125, delta=10)

@@ -1,0 +1,97 @@
+"""Tests for standard certificate-chain validation."""
+
+import pytest
+
+from repro.crypto.signing import KeyPair
+from repro.pki.ca import CertificationAuthority, TrustStore
+from repro.pki.certificate import CertificateChain
+from repro.pki.validation import validate_chain
+
+
+NOW = 1_400_000_000
+
+
+@pytest.fixture()
+def world():
+    root = CertificationAuthority("Root", key_seed=b"val-root")
+    intermediate = CertificationAuthority("Issuing", key_seed=b"val-mid", parent=root)
+    keys = KeyPair.generate(b"val-server")
+    chain = intermediate.issue_chain_for("good.example", keys.public, now=NOW)
+    store = TrustStore()
+    store.add(root)
+    return root, intermediate, chain, store
+
+
+class TestValidateChain:
+    def test_valid_chain_passes(self, world):
+        _, _, chain, store = world
+        result = validate_chain(chain, store, now=NOW + 100, expected_subject="good.example")
+        assert result.valid
+        assert "trust-anchor" in result.checks
+
+    def test_subject_mismatch(self, world):
+        _, _, chain, store = world
+        result = validate_chain(chain, store, now=NOW + 100, expected_subject="other.example")
+        assert not result.valid
+        assert "does not match" in result.reason
+
+    def test_expired_certificate(self, world):
+        _, _, chain, store = world
+        far_future = NOW + 200 * 365 * 86_400
+        result = validate_chain(chain, store, now=far_future)
+        assert not result.valid
+        assert "validity window" in result.reason
+
+    def test_not_yet_valid_certificate(self, world):
+        _, _, chain, store = world
+        result = validate_chain(chain, store, now=NOW - 10)
+        assert not result.valid
+
+    def test_untrusted_root(self, world):
+        _, _, chain, _ = world
+        empty_store = TrustStore()
+        result = validate_chain(chain, empty_store, now=NOW + 100)
+        assert not result.valid
+        assert "trusted root" in result.reason
+
+    def test_wrong_issuer_signature(self, world):
+        root, intermediate, chain, store = world
+        # Re-sign the leaf with an unrelated key: the signature check must fail.
+        from dataclasses import replace
+
+        rogue = KeyPair.generate(b"rogue")
+        forged_leaf = replace(chain.leaf, signature=rogue.sign(chain.leaf.tbs_bytes()))
+        forged = CertificateChain(certificates=(forged_leaf,) + chain.certificates[1:])
+        result = validate_chain(forged, store, now=NOW + 100)
+        assert not result.valid
+        assert "does not verify" in result.reason
+
+    def test_out_of_order_chain(self, world):
+        _, _, chain, store = world
+        shuffled = CertificateChain(
+            certificates=(chain.certificates[0],) + tuple(reversed(chain.certificates[1:]))
+        )
+        result = validate_chain(shuffled, store, now=NOW + 100)
+        assert not result.valid
+
+    def test_issuer_without_ca_flag_rejected(self, world):
+        root, intermediate, chain, store = world
+        from dataclasses import replace
+
+        # Strip the CA flag from the intermediate and re-sign it with the root
+        # so only the CA-flag check can fail.
+        stripped = replace(chain.certificates[1], is_ca=False, signature=b"")
+        stripped = stripped.with_signature(root._keys.private)
+        forged = CertificateChain(
+            certificates=(chain.certificates[0], stripped, chain.certificates[2])
+        )
+        result = validate_chain(forged, store, now=NOW + 100)
+        assert not result.valid
+        assert "not a CA" in result.reason
+
+    def test_corpus_chains_validate(self, small_corpus):
+        for chain in small_corpus.chains:
+            result = validate_chain(
+                chain, small_corpus.trust_store, now=NOW + 5, expected_subject=chain.leaf.subject
+            )
+            assert result.valid, result.reason

@@ -1,0 +1,75 @@
+"""Shared fixtures for the RITM core tests: a small but complete deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import pytest
+
+from repro.cdn.geography import GeoLocation, Region
+from repro.cdn.network import CDNNetwork
+from repro.pki.ca import TrustStore
+from repro.ritm.agent import RevocationAgent
+from repro.ritm.ca_service import RITMCertificationAuthority
+from repro.ritm.config import RITMConfig
+from repro.ritm.dissemination import RADisseminationClient, attach_agent_to_cas
+from repro.workloads.certificates import CertificateCorpus, generate_corpus
+
+#: Simulation epoch: certificates in the corpus are issued at 1_400_000_000.
+EPOCH = 1_400_000_000
+
+
+@dataclass
+class RITMWorld:
+    """Everything a test needs: CAs, CDN, an RA kept in sync, and TLS chains."""
+
+    config: RITMConfig
+    corpus: CertificateCorpus
+    cdn: CDNNetwork
+    cas: List[RITMCertificationAuthority]
+    agent: RevocationAgent
+    dissemination: RADisseminationClient
+
+    @property
+    def trust_store(self) -> TrustStore:
+        return self.corpus.trust_store
+
+    def ca_public_keys(self) -> Dict[str, object]:
+        return {ca.name: ca.public_key for ca in self.cas}
+
+    def ca_by_name(self, name: str) -> RITMCertificationAuthority:
+        for ca in self.cas:
+            if ca.name == name:
+                return ca
+        raise KeyError(name)
+
+    def pull(self, now: float):
+        return self.dissemination.pull(now)
+
+
+def build_world(config: RITMConfig | None = None, now: float = EPOCH + 5) -> RITMWorld:
+    config = config if config is not None else RITMConfig(delta_seconds=10, chain_length=64)
+    corpus = generate_corpus(ca_count=2, domains_per_ca=2, use_intermediates=True, now=EPOCH)
+    cdn = CDNNetwork()
+    cas = []
+    for authority in corpus.authorities:
+        ca = RITMCertificationAuthority(authority, config, cdn)
+        ca.bootstrap(now=now)
+        cas.append(ca)
+    agent = RevocationAgent("test-ra", config)
+    dissemination = attach_agent_to_cas(agent, cas, cdn, GeoLocation(Region.EUROPE))
+    dissemination.pull(now=now + 1)
+    return RITMWorld(
+        config=config,
+        corpus=corpus,
+        cdn=cdn,
+        cas=cas,
+        agent=agent,
+        dissemination=dissemination,
+    )
+
+
+@pytest.fixture()
+def world() -> RITMWorld:
+    return build_world()

@@ -1,0 +1,128 @@
+"""Tests for the RA's Δ-periodic pull from the dissemination network."""
+
+import pytest
+
+from repro.cdn.geography import GeoLocation, Region
+from repro.ritm.agent import RevocationAgent
+from repro.ritm.dissemination import attach_agent_to_cas
+
+from tests.ritm.conftest import EPOCH, build_world
+
+
+class TestInitialSync:
+    def test_initial_pull_installs_roots_for_every_ca(self, world):
+        for ca in world.cas:
+            replica = world.agent.replica_for(ca.name)
+            assert replica is not None
+            assert replica.signed_root is not None
+            assert replica.size == 0
+
+    def test_pull_records_history_and_bytes(self, world):
+        result = world.pull(now=EPOCH + 20)
+        assert result.bytes_downloaded > 0
+        assert result.heads_checked == len(world.cas)
+        assert result.errors == []
+        assert world.dissemination.total_bytes_downloaded() > 0
+
+    def test_pull_latency_is_subsecond(self, world):
+        result = world.pull(now=EPOCH + 20)
+        # The paper's Fig. 5 claim: dissemination completes within seconds.
+        assert result.latency_seconds < 2.0
+
+
+class TestRevocationPropagation:
+    def test_new_revocation_reaches_replica_on_next_pull(self, world):
+        issuing = world.ca_by_name(world.corpus.chains[0].leaf.issuer)
+        serial = world.corpus.chains[0].leaf.serial
+        issuing.revoke([serial], now=EPOCH + 20)
+        replica = world.agent.replica_for(issuing.name)
+        assert not replica.contains(serial)
+        result = world.pull(now=EPOCH + 25)
+        assert result.issuances_applied == 1
+        assert result.serials_applied == 1
+        assert replica.contains(serial)
+        assert replica.root() == issuing.dictionary.root()
+
+    def test_multiple_batches_applied_in_order(self, world):
+        issuing = world.ca_by_name(world.corpus.chains[0].leaf.issuer)
+        serials = [chain.leaf.serial for chain in world.corpus.chains_by_ca[issuing.name]]
+        issuing.revoke([serials[0]], now=EPOCH + 20)
+        issuing.revoke([serials[1]], now=EPOCH + 30)
+        world.pull(now=EPOCH + 35)
+        replica = world.agent.replica_for(issuing.name)
+        assert replica.size == 2
+        assert replica.revocation_number(serials[0]) == 1
+        assert replica.revocation_number(serials[1]) == 2
+
+    def test_freshness_applied_every_pull(self, world):
+        ca = world.cas[0]
+        ca.refresh(now=EPOCH + 20)
+        result = world.pull(now=EPOCH + 21)
+        assert result.freshness_applied == len(world.cas)
+        replica = world.agent.replica_for(ca.name)
+        assert replica.latest_freshness is not None
+
+    def test_periodic_pull_keeps_statuses_fresh(self, world):
+        from repro.pki.serial import SerialNumber
+
+        issuing = world.cas[0]
+        now = EPOCH + 20
+        for step in range(5):
+            issuing.refresh(now=now)
+            world.pull(now=now + 1)
+            replica = world.agent.replica_for(issuing.name)
+            status = replica.prove(SerialNumber(123))
+            status.verify(issuing.public_key, now=int(now + 2), delta=world.config.delta_seconds)
+            now += world.config.delta_seconds
+
+
+class TestRecovery:
+    def test_cold_agent_catches_up_via_issuance_objects(self, world):
+        issuing = world.ca_by_name(world.corpus.chains[0].leaf.issuer)
+        serials = [chain.leaf.serial for chain in world.corpus.chains_by_ca[issuing.name]]
+        issuing.revoke([serials[0]], now=EPOCH + 20)
+        issuing.revoke([serials[1]], now=EPOCH + 30)
+
+        late_agent = RevocationAgent("late-ra", world.config)
+        late_dissemination = attach_agent_to_cas(
+            late_agent, world.cas, world.cdn, GeoLocation(Region.INDIA)
+        )
+        result = late_dissemination.pull(now=EPOCH + 40)
+        assert result.serials_applied == 2
+        assert late_agent.replica_for(issuing.name).size == 2
+
+    def test_missing_batches_trigger_sync_fallback(self, world):
+        issuing = world.ca_by_name(world.corpus.chains[0].leaf.issuer)
+        serials = [chain.leaf.serial for chain in world.corpus.chains_by_ca[issuing.name]]
+        issuing.revoke([serials[0]], now=EPOCH + 20)
+        issuing.revoke([serials[1]], now=EPOCH + 30)
+        # Simulate the CDN purging the first batch before a cold RA arrives.
+        from repro.ritm.ca_service import issuance_path
+
+        world.cdn.origin._objects.pop(issuance_path(issuing.name, 1))
+
+        cold_agent = RevocationAgent("cold-ra", world.config)
+        cold_dissemination = attach_agent_to_cas(
+            cold_agent, world.cas, world.cdn, GeoLocation(Region.JAPAN)
+        )
+        result = cold_dissemination.pull(now=EPOCH + 40)
+        assert result.resyncs >= 1
+        assert cold_agent.replica_for(issuing.name).size == 2
+
+    def test_desync_without_sync_server_reports_error(self, world):
+        issuing = world.ca_by_name(world.corpus.chains[0].leaf.issuer)
+        serial = world.corpus.chains[0].leaf.serial
+        issuing.revoke([serial], now=EPOCH + 20)
+        from repro.ritm.ca_service import issuance_path
+
+        world.cdn.origin._objects.pop(issuance_path(issuing.name, 1))
+
+        isolated_agent = RevocationAgent("isolated-ra", world.config)
+        isolated_agent.register_ca(issuing.name, issuing.public_key)
+        from repro.ritm.dissemination import RADisseminationClient
+
+        client = RADisseminationClient(
+            isolated_agent, world.cdn, GeoLocation(Region.EUROPE), sync_servers={}
+        )
+        result = client.pull(now=EPOCH + 40)
+        assert any("no sync server" in error for error in result.errors)

@@ -1,0 +1,91 @@
+"""Tests for the RA's deep-packet-inspection engine."""
+
+import pytest
+
+from repro.ritm.dpi import DPIEngine
+from repro.tls.extensions import ritm_support_extension
+from repro.tls.messages import CertificateMessage, ClientHello, Finished, ServerHello, ServerHelloDone
+from repro.tls.records import ContentType, TLSRecord
+
+
+@pytest.fixture()
+def dpi():
+    return DPIEngine()
+
+
+def handshake_payload(*messages) -> bytes:
+    return TLSRecord(ContentType.HANDSHAKE, b"".join(m.to_bytes() for m in messages)).to_bytes()
+
+
+class TestFastPath:
+    def test_tls_payload_detected(self, dpi):
+        assert dpi.is_tls(handshake_payload(ClientHello()))
+        assert dpi.stats.tls_packets == 1
+
+    def test_non_tls_payload_rejected(self, dpi):
+        assert not dpi.is_tls(b"GET / HTTP/1.1\r\n\r\n")
+        assert not dpi.is_tls(b"\x00\x01\x02")
+        assert dpi.stats.non_tls_packets == 2
+
+    def test_counters_accumulate(self, dpi):
+        dpi.is_tls(handshake_payload(ClientHello()))
+        dpi.is_tls(b"plain")
+        assert dpi.stats.packets_inspected == 2
+
+
+class TestInspection:
+    def test_client_hello_with_ritm_extension(self, dpi):
+        payload = handshake_payload(ClientHello(extensions=(ritm_support_extension(),)))
+        result = dpi.inspect(payload)
+        assert result.is_tls
+        assert result.client_hello is not None
+        assert result.client_requests_ritm
+
+    def test_client_hello_without_extension(self, dpi):
+        result = dpi.inspect(handshake_payload(ClientHello()))
+        assert result.client_hello is not None
+        assert not result.client_requests_ritm
+
+    def test_server_flight_extracts_certificate_chain(self, dpi, small_corpus):
+        chain = small_corpus.chains[0]
+        payload = handshake_payload(ServerHello(), CertificateMessage(chain), ServerHelloDone())
+        result = dpi.inspect(payload)
+        assert result.server_hello is not None
+        assert result.certificate_chain == chain
+        assert dpi.stats.certificates_parsed == 1
+
+    def test_finished_detection(self, dpi):
+        result = dpi.inspect(handshake_payload(Finished()))
+        assert result.finished_seen
+
+    def test_application_data_and_status_flags(self, dpi):
+        payload = (
+            TLSRecord(ContentType.APPLICATION_DATA, b"data").to_bytes()
+            + TLSRecord(ContentType.RITM_STATUS, b"\x01\x00\x00").to_bytes()
+        )
+        result = dpi.inspect(payload)
+        assert result.has_application_data
+        assert result.has_ritm_status
+
+    def test_non_tls_payload_returns_early(self, dpi):
+        result = dpi.inspect(b"definitely not TLS")
+        assert not result.is_tls
+        assert result.records == []
+
+    def test_malformed_handshake_reports_parse_error(self, dpi):
+        # A handshake record whose body claims more bytes than it carries.
+        payload = TLSRecord(ContentType.HANDSHAKE, b"\x01\x00\x10\x00" + b"\x00" * 3).to_bytes()
+        result = dpi.inspect(payload)
+        assert result.parse_error is not None
+        assert dpi.stats.parse_errors >= 1
+
+    def test_multiple_records_in_one_packet(self, dpi, small_corpus):
+        chain = small_corpus.chains[0]
+        payload = (
+            handshake_payload(ServerHello(), CertificateMessage(chain))
+            + TLSRecord(ContentType.APPLICATION_DATA, b"body").to_bytes()
+        )
+        result = dpi.inspect(payload)
+        assert result.server_hello is not None
+        assert result.certificate_chain is not None
+        assert result.has_application_data

@@ -1,0 +1,152 @@
+"""Tests for RITM's binary wire formats (status, head, issuance)."""
+
+import pytest
+
+from repro.crypto.signing import KeyPair
+from repro.dictionary.authdict import CADictionary
+from repro.errors import TLSError
+from repro.pki.serial import SerialNumber
+from repro.ritm.messages import (
+    DictionaryHead,
+    decode_head,
+    decode_issuance,
+    decode_proof,
+    decode_signed_root,
+    decode_status,
+    decode_status_bundle,
+    encode_head,
+    encode_issuance,
+    encode_proof,
+    encode_signed_root,
+    encode_status,
+    encode_status_bundle,
+)
+
+from tests.conftest import make_serials
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return KeyPair.generate(b"codec-tests")
+
+
+@pytest.fixture(scope="module")
+def master(keys):
+    dictionary = CADictionary("Codec-CA", keys, delta=10, chain_length=16)
+    dictionary.insert(make_serials(50), now=1000)
+    return dictionary
+
+
+class TestSignedRootCodec:
+    def test_roundtrip_preserves_verification(self, master, keys):
+        root = master.signed_root
+        decoded, consumed = decode_signed_root(encode_signed_root(root))
+        assert decoded == root
+        assert decoded.verify(keys.public)
+        assert consumed == len(encode_signed_root(root))
+
+    def test_truncation_rejected(self, master):
+        data = encode_signed_root(master.signed_root)
+        with pytest.raises(TLSError):
+            decode_signed_root(data[:10])
+
+
+class TestProofCodec:
+    def test_absence_proof_roundtrip(self, master):
+        proof = master.prove_membership(SerialNumber(700_000))
+        decoded, _ = decode_proof(encode_proof(proof))
+        assert decoded == proof
+        assert decoded.verify(master.root())
+
+    def test_presence_proof_roundtrip(self, master):
+        proof = master.prove_membership(SerialNumber(10))
+        decoded, _ = decode_proof(encode_proof(proof))
+        assert decoded == proof
+        assert decoded.verify(master.root())
+
+    def test_edge_absence_proofs_roundtrip(self, master):
+        # Before the first and after the last leaf (one-sided proofs).
+        low = master.prove_membership(SerialNumber(16_000_000))
+        decoded, _ = decode_proof(encode_proof(low))
+        assert decoded.verify(master.root())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(TLSError):
+            decode_proof(b"\x07garbage")
+
+
+class TestStatusCodec:
+    def test_status_roundtrip_still_verifies(self, master, keys):
+        status = master.prove(SerialNumber(700_000))
+        decoded, _ = decode_status(encode_status(status))
+        assert decoded.ca_name == status.ca_name
+        assert decoded.serial == status.serial
+        decoded.verify(keys.public, now=1005, delta=10)
+
+    def test_revoked_status_roundtrip(self, master, keys):
+        from repro.errors import RevokedCertificateError
+
+        status = master.prove(SerialNumber(7))
+        decoded, _ = decode_status(encode_status(status))
+        assert decoded.is_revoked
+        with pytest.raises(RevokedCertificateError):
+            decoded.verify(keys.public, now=1005, delta=10)
+
+    def test_bundle_roundtrip(self, master):
+        statuses = [master.prove(SerialNumber(700_000)), master.prove(SerialNumber(5))]
+        decoded = decode_status_bundle(encode_status_bundle(statuses))
+        assert len(decoded) == 2
+        assert decoded[0].serial == statuses[0].serial
+        assert decoded[1].is_revoked
+
+    def test_empty_bundle_record_rejected(self):
+        with pytest.raises(TLSError):
+            decode_status_bundle(b"")
+
+    def test_encoded_size_close_to_estimate(self, master):
+        status = master.prove(SerialNumber(700_000))
+        encoded = len(encode_status(status))
+        estimate = status.encoded_size()
+        assert abs(encoded - estimate) < 200
+
+
+class TestHeadAndIssuanceCodec:
+    def test_head_roundtrip(self, master, keys):
+        head = DictionaryHead(
+            ca_name="Codec-CA",
+            size=master.size,
+            signed_root=master.signed_root,
+            freshness=master.latest_freshness,
+        )
+        decoded = decode_head(encode_head(head))
+        assert decoded.ca_name == head.ca_name
+        assert decoded.size == head.size
+        assert decoded.signed_root.verify(keys.public)
+
+    def test_head_size_is_small(self, master):
+        head = DictionaryHead(
+            ca_name="Codec-CA",
+            size=master.size,
+            signed_root=master.signed_root,
+            freshness=master.latest_freshness,
+        )
+        # The polling object stays a few hundred bytes (it is fetched every Δ).
+        assert head.encoded_size() < 500
+
+    def test_issuance_roundtrip(self, keys):
+        dictionary = CADictionary("Codec-CA-2", keys, delta=10, chain_length=8)
+        issuance = dictionary.insert(make_serials(7), now=2000)
+        decoded = decode_issuance(encode_issuance(issuance))
+        assert decoded.ca_name == issuance.ca_name
+        assert decoded.first_number == 1
+        assert decoded.serials == issuance.serials
+        assert decoded.signed_root == issuance.signed_root
+
+    def test_issuance_applies_to_replica_after_roundtrip(self, keys):
+        from repro.dictionary.authdict import ReplicaDictionary
+
+        dictionary = CADictionary("Codec-CA-3", keys, delta=10, chain_length=8)
+        issuance = dictionary.insert(make_serials(5), now=2000)
+        replica = ReplicaDictionary("Codec-CA-3", keys.public)
+        replica.update(decode_issuance(encode_issuance(issuance)))
+        assert replica.root() == dictionary.root()

@@ -1,0 +1,70 @@
+"""Tests for session caching and ticket issuance."""
+
+from repro.tls.session import SessionCache, SessionState, TicketIssuer
+
+
+def make_state(session_id: bytes = b"\x01" * 32, established_at: int = 1000) -> SessionState:
+    return SessionState(
+        session_id=session_id,
+        server_name="example.com",
+        cipher_suite=0xC02F,
+        established_at=established_at,
+        ca_name="Test CA",
+        serial_value=1234,
+    )
+
+
+class TestSessionCache:
+    def test_store_and_lookup(self):
+        cache = SessionCache()
+        state = make_state()
+        cache.store(state)
+        assert cache.lookup(state.session_id, now=1500) == state
+
+    def test_expired_sessions_are_dropped(self):
+        cache = SessionCache(lifetime_seconds=100)
+        state = make_state(established_at=1000)
+        cache.store(state)
+        assert cache.lookup(state.session_id, now=1200) is None
+        assert len(cache) == 0
+
+    def test_unknown_session(self):
+        assert SessionCache().lookup(b"\x09" * 32, now=0) is None
+
+    def test_new_session_ids_are_unique(self):
+        cache = SessionCache()
+        assert cache.new_session_id() != cache.new_session_id()
+
+
+class TestTicketIssuer:
+    def test_issue_and_validate_roundtrip(self):
+        issuer = TicketIssuer(key=b"\x05" * 32)
+        state = make_state()
+        ticket = issuer.issue(state)
+        recovered = issuer.validate(ticket, now=1200)
+        assert recovered == state
+
+    def test_tampered_ticket_rejected(self):
+        issuer = TicketIssuer(key=b"\x05" * 32)
+        ticket = bytearray(issuer.issue(make_state()))
+        ticket[0] ^= 0xFF
+        assert issuer.validate(bytes(ticket), now=1200) is None
+
+    def test_ticket_from_other_issuer_rejected(self):
+        ticket = TicketIssuer(key=b"\x01" * 32).issue(make_state())
+        assert TicketIssuer(key=b"\x02" * 32).validate(ticket, now=1200) is None
+
+    def test_expired_ticket_rejected(self):
+        issuer = TicketIssuer(key=b"\x05" * 32, lifetime_seconds=100)
+        ticket = issuer.issue(make_state(established_at=1000))
+        assert issuer.validate(ticket, now=1050) is not None
+        assert issuer.validate(ticket, now=1200) is None
+
+    def test_short_garbage_rejected(self):
+        assert TicketIssuer().validate(b"short", now=0) is None
+
+    def test_ticket_preserves_ritm_identity_fields(self):
+        issuer = TicketIssuer()
+        recovered = issuer.validate(issuer.issue(make_state()), now=1001)
+        assert recovered.ca_name == "Test CA"
+        assert recovered.serial_value == 1234
