@@ -1,0 +1,35 @@
+"""Importable helpers for the benchmark harness.
+
+Benchmark modules must not import from ``conftest``: pytest imports every
+``conftest.py`` in the repo under the same top-level module name, so under a
+full-suite run ``import conftest`` resolves to whichever one happened to be
+imported first (historically ``tests/ritm/conftest.py``), not this
+directory's.  Anything benchmarks need at import time lives here instead,
+under a repo-unique module name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, text: str) -> str:
+    """Write a rendered table/figure to benchmarks/results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text.rstrip() + "\n")
+    return path
+
+
+def write_json_result(name: str, payload: object) -> str:
+    """Write a machine-readable artifact to benchmarks/results/<name>.json."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

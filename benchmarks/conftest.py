@@ -1,9 +1,10 @@
-"""Shared fixtures and helpers for the benchmark harness.
+"""Shared fixtures for the benchmark harness.
 
 Every benchmark regenerates one table or figure from the paper's evaluation
 (§VII).  Besides the pytest-benchmark timing, each benchmark renders the
 reproduced numbers as plain text and writes them to ``benchmarks/results/``
-so they can be compared against the paper (see EXPERIMENTS.md).
+via :mod:`bench_harness` so they can be compared against the paper (see
+EXPERIMENTS.md).
 """
 
 from __future__ import annotations
@@ -14,17 +15,7 @@ import sys
 import pytest
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
-
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-
-
-def write_result(name: str, text: str) -> str:
-    """Write a rendered table/figure to benchmarks/results/<name>.txt."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{name}.txt")
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(text.rstrip() + "\n")
-    return path
+sys.path.insert(0, os.path.dirname(__file__))
 
 
 @pytest.fixture(scope="session")

@@ -15,7 +15,7 @@ from repro.cdn.geography import GeoLocation, Region
 from repro.cdn.network import CDNNetwork
 from repro.ritm.config import PAPER_DELTA_SWEEP, RITMConfig
 
-from conftest import write_result
+from bench_harness import write_result
 
 
 def test_ablation_delta_attack_window_vs_bandwidth(benchmark, trace):

@@ -10,7 +10,7 @@ refused.  The maximum observed lag must stay within 2Δ.
 from repro.analysis.attack_window import run_attack_window_simulation
 from repro.analysis.reporting import format_table
 
-from conftest import write_result
+from bench_harness import write_result
 
 
 def test_attack_window_within_two_delta(benchmark):

@@ -8,7 +8,7 @@ numbers (total revocations, peak day) alongside the paper's.
 from repro.analysis.reporting import format_series
 from repro.analysis.trace_figures import figure_4
 
-from conftest import write_result
+from bench_harness import write_result
 
 
 def test_fig4_revocation_trace(benchmark, trace):

@@ -10,7 +10,7 @@ that 90 % of nodes fetch even the largest message in under one second.
 from repro.analysis.dissemination_speed import PAPER_MESSAGE_SIZES, run_figure_5
 from repro.analysis.reporting import cdf_points, format_cdf_summary, format_series
 
-from conftest import write_result
+from bench_harness import write_result
 
 
 def test_fig5_dissemination_speed(benchmark):

@@ -12,7 +12,7 @@ steep decrease with Δ, and the Heartbleed bump in the April 2014 cycle.
 from repro.analysis.cost import CostModelConfig, simulate_costs
 from repro.analysis.reporting import format_table, human_usd
 
-from conftest import write_result
+from bench_harness import write_result
 
 #: Paper's approximate per-Δ monthly cost ranges at 10 clients/RA (Fig. 6).
 PAPER_RANGES_USD = {

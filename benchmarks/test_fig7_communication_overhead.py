@@ -8,7 +8,7 @@ peak for small Δ, around 25 KB for Δ = 1 hour, and about 230 KB for Δ = 1 day
 from repro.analysis.overhead import figure_7
 from repro.analysis.reporting import format_table
 
-from conftest import write_result
+from bench_harness import write_result
 
 #: Paper's approximate peak download per Δ (bytes) during the Heartbleed week.
 PAPER_PEAKS = {

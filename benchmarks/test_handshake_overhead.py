@@ -17,7 +17,7 @@ from repro.ritm.deployment import build_close_to_client_deployment
 from repro.ritm.dissemination import attach_agent_to_cas
 from repro.workloads.certificates import generate_corpus
 
-from conftest import write_result
+from bench_harness import write_result
 
 EPOCH = 1_400_000_000
 

@@ -11,7 +11,7 @@ from repro.analysis.overhead import status_size_for_dictionary, storage_overhead
 from repro.analysis.reporting import format_table, human_bytes
 from repro.workloads.revocation_trace import LARGEST_CRL_ENTRIES
 
-from conftest import write_result
+from bench_harness import write_result
 
 
 def test_storage_overhead(benchmark):

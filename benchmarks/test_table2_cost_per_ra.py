@@ -9,7 +9,7 @@ grows.
 from repro.analysis.cost import TABLE2_CLIENTS_PER_RA, table_2
 from repro.analysis.reporting import format_table
 
-from conftest import write_result
+from bench_harness import write_result
 
 #: Table II as printed in the paper (thousands of USD).
 PAPER_TABLE2 = {

@@ -14,7 +14,7 @@ from repro.baselines.comparison import (
     evaluate_formula,
 )
 
-from conftest import write_result
+from bench_harness import write_result
 
 
 def test_table4_comparison(benchmark):

@@ -2,7 +2,9 @@
 
 The package is organised as the paper's system is:
 
-* :mod:`repro.crypto`      — hash chains, sorted Merkle trees, Ed25519;
+* :mod:`repro.crypto`      — hash chains, Merkle proof objects, Ed25519;
+* :mod:`repro.store`       — pluggable authenticated-store engines (naive
+  full-rebuild oracle, incremental cached-level engine) behind one interface;
 * :mod:`repro.pki`         — certificates, CAs, chains, standard validation;
 * :mod:`repro.dictionary`  — authenticated revocation dictionaries (Fig. 2);
 * :mod:`repro.tls`         — record layer, handshake, sessions, endpoints;

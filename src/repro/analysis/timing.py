@@ -20,9 +20,10 @@ per-connection overhead is a negligible fraction of a TLS handshake.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.crypto.signing import KeyPair
 from repro.dictionary.authdict import CADictionary, ReplicaDictionary
@@ -107,6 +108,7 @@ def run_table_3(
     repetitions: int = PAPER_REPETITIONS,
     dictionary_size: int = 20_000,
     signature_repetitions: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Table3Result:
     """Measure every Table III row.
 
@@ -114,7 +116,8 @@ def run_table_3(
     (proof cost grows logarithmically, so 20k entries already exercises a
     realistic depth).  ``signature_repetitions`` can be lowered because the
     pure-Python Ed25519 verification is orders of magnitude slower than the
-    other operations.
+    other operations.  ``engine`` selects the store backend the proofs are
+    served from (see :data:`repro.store.ENGINES`).
     """
     if signature_repetitions is None:
         signature_repetitions = max(10, repetitions // 25)
@@ -133,7 +136,9 @@ def run_table_3(
     server_payload = server_flight.to_bytes()
 
     keys = KeyPair.generate(b"table3")
-    dictionary = CADictionary(ca_name="Timing-CA", keys=keys, delta=10, chain_length=128)
+    dictionary = CADictionary(
+        ca_name="Timing-CA", keys=keys, delta=10, chain_length=128, engine=engine
+    )
     serial_values = serials_for_count(dictionary_size + 1, seed=3)
     dictionary.insert([SerialNumber(value) for value in serial_values[:dictionary_size]], now=0)
     absent_serial = SerialNumber(serial_values[-1])
@@ -195,15 +200,21 @@ class DictionaryUpdateTiming:
     batch_size: int
     ca_insert_ms: float
     ra_update_ms: float
+    engine: str = "naive"
 
 
 def time_dictionary_update(
-    batch_size: int = 1_000, existing_entries: int = 10_000, seed: int = 17
+    batch_size: int = 1_000,
+    existing_entries: int = 10_000,
+    seed: int = 17,
+    engine: Optional[str] = None,
 ) -> DictionaryUpdateTiming:
     """Time a CA ``insert`` and an RA ``update`` of ``batch_size`` revocations."""
     keys = KeyPair.generate(b"dict-update")
-    dictionary = CADictionary(ca_name="Update-CA", keys=keys, delta=10, chain_length=64)
-    replica = ReplicaDictionary("Update-CA", keys.public)
+    dictionary = CADictionary(
+        ca_name="Update-CA", keys=keys, delta=10, chain_length=64, engine=engine
+    )
+    replica = ReplicaDictionary("Update-CA", keys.public, engine=engine)
 
     serial_values = serials_for_count(existing_entries + batch_size, seed=seed)
     existing = [SerialNumber(value) for value in serial_values[:existing_entries]]
@@ -221,8 +232,215 @@ def time_dictionary_update(
     ra_update_ms = (time.perf_counter() - start) * 1e3
 
     return DictionaryUpdateTiming(
-        batch_size=batch_size, ca_insert_ms=ca_insert_ms, ra_update_ms=ra_update_ms
+        batch_size=batch_size,
+        ca_insert_ms=ca_insert_ms,
+        ra_update_ms=ra_update_ms,
+        engine=dictionary.store_engine,
     )
+
+
+# -- single-serial update timing (the engine comparison the store refactor is for) --
+
+
+@dataclass
+class SingleUpdateTiming:
+    """Throughput of one-serial-at-a-time updates against a large dictionary.
+
+    ``workload`` is ``"append"`` (serials sorting after every stored key —
+    sequentially allocated serials, the incremental engine's O(log N) fast
+    path) or ``"random"`` (serials landing at uniform positions, where the
+    positional tree shape forces a suffix rehash).  ``level`` records whether
+    the measurement includes the CA's signing duty (``"dictionary"``) or
+    isolates the store engine (``"store"``).
+    """
+
+    engine: str
+    existing_entries: int
+    updates: int
+    workload: str
+    level: str
+    total_ms: float
+
+    @property
+    def ms_per_update(self) -> float:
+        return self.total_ms / self.updates if self.updates else 0.0
+
+    @property
+    def updates_per_second(self) -> float:
+        return 1e3 / self.ms_per_update if self.ms_per_update else float("inf")
+
+
+#: Existing entries are drawn below this bound so "append" serials can be
+#: allocated above it while staying within the 3-byte serial space.
+_APPEND_SERIAL_BASE = 2**23
+
+
+def _existing_serial_values(existing_entries: int, seed: int) -> List[int]:
+    rng = random.Random(seed)
+    return rng.sample(range(1, _APPEND_SERIAL_BASE), existing_entries)
+
+
+def _update_serial_values(
+    existing: Sequence[int], updates: int, workload: str, seed: int
+) -> List[int]:
+    if workload == "append":
+        return [_APPEND_SERIAL_BASE + 1 + offset for offset in range(updates)]
+    if workload != "random":
+        raise ValueError(f"unknown workload {workload!r}; expected 'append' or 'random'")
+    rng = random.Random(seed + 1)
+    taken = set(existing)
+    values: List[int] = []
+    while len(values) < updates:
+        candidate = rng.randrange(1, _APPEND_SERIAL_BASE)
+        if candidate not in taken:
+            taken.add(candidate)
+            values.append(candidate)
+    return values
+
+
+def time_store_single_updates(
+    engine: Optional[str] = None,
+    existing_entries: int = 100_000,
+    updates: int = 6,
+    workload: str = "append",
+    seed: int = 29,
+) -> SingleUpdateTiming:
+    """Store-level single-leaf updates: insert one serial, recompute the root.
+
+    Isolates the engine cost (no signing, no hash chain) — this is the
+    number that shows the naive engine's Θ(N)-per-update rebuild against the
+    incremental engine's cached levels.
+    """
+    from repro.store import create_store
+
+    store = create_store(engine)
+    existing = _existing_serial_values(existing_entries, seed)
+    store.insert_batch(
+        (SerialNumber(value).to_bytes(), b"\x00\x00\x00\x01") for value in existing
+    )
+    store.root()  # settle any lazily deferred rebuild before timing
+    new_values = _update_serial_values(existing, updates, workload, seed)
+    start = time.perf_counter()
+    for value in new_values:
+        store.insert(SerialNumber(value).to_bytes(), b"\x00\x00\x00\x01")
+        store.root()
+    total_ms = (time.perf_counter() - start) * 1e3
+    return SingleUpdateTiming(
+        engine=store.engine_name,
+        existing_entries=existing_entries,
+        updates=updates,
+        workload=workload,
+        level="store",
+        total_ms=total_ms,
+    )
+
+
+def time_dictionary_single_updates(
+    engine: Optional[str] = None,
+    existing_entries: int = 100_000,
+    updates: int = 6,
+    workload: str = "append",
+    seed: int = 29,
+    chain_length: int = 64,
+) -> SingleUpdateTiming:
+    """End-to-end single-serial revocations: tree update + hash chain + signed root."""
+    keys = KeyPair.generate(b"single-update")
+    dictionary = CADictionary(
+        ca_name="Single-CA", keys=keys, delta=10, chain_length=chain_length, engine=engine
+    )
+    existing = _existing_serial_values(existing_entries, seed)
+    dictionary.insert([SerialNumber(value) for value in existing], now=0)
+    new_values = _update_serial_values(existing, updates, workload, seed)
+    start = time.perf_counter()
+    for offset, value in enumerate(new_values):
+        dictionary.insert([SerialNumber(value)], now=offset + 1)
+    total_ms = (time.perf_counter() - start) * 1e3
+    return SingleUpdateTiming(
+        engine=dictionary.store_engine,
+        existing_entries=existing_entries,
+        updates=updates,
+        workload=workload,
+        level="dictionary",
+        total_ms=total_ms,
+    )
+
+
+def sweep_dictionary_update(
+    sizes: Iterable[int],
+    engines: Sequence[str] = ("naive", "incremental"),
+    batch_size: int = 1_000,
+    single_updates: int = 6,
+    seed: int = 17,
+) -> Dict[str, object]:
+    """Scaling sweep over dictionary sizes × store engines.
+
+    For every size and engine, measures the 1,000-serial batch path (CA
+    insert + RA update) and the single-serial append/random paths, and
+    derives the incremental-vs-naive speedups.  Returns a JSON-serialisable
+    document (the benchmark writes it to ``benchmarks/results/``).
+    """
+    points: List[Dict[str, object]] = []
+    for size in sizes:
+        for engine in engines:
+            batch = time_dictionary_update(
+                batch_size=batch_size, existing_entries=size, seed=seed, engine=engine
+            )
+            append = time_store_single_updates(
+                engine=engine, existing_entries=size, updates=single_updates
+            )
+            random_pos = time_store_single_updates(
+                engine=engine,
+                existing_entries=size,
+                updates=single_updates,
+                workload="random",
+            )
+            points.append(
+                {
+                    "existing_entries": size,
+                    "engine": batch.engine,
+                    "batch_size": batch_size,
+                    "ca_insert_ms": round(batch.ca_insert_ms, 3),
+                    "ra_update_ms": round(batch.ra_update_ms, 3),
+                    "single_append_ms": round(append.ms_per_update, 4),
+                    "single_append_per_s": round(append.updates_per_second, 1),
+                    "single_random_ms": round(random_pos.ms_per_update, 4),
+                    "single_random_per_s": round(random_pos.updates_per_second, 1),
+                }
+            )
+    speedups: List[Dict[str, object]] = []
+    by_key = {(p["existing_entries"], p["engine"]): p for p in points}
+    for size in {p["existing_entries"] for p in points}:
+        naive = by_key.get((size, "naive"))
+        incremental = by_key.get((size, "incremental"))
+        if naive is None or incremental is None:
+            continue
+        speedups.append(
+            {
+                "existing_entries": size,
+                "single_append_speedup": round(
+                    naive["single_append_ms"] / incremental["single_append_ms"], 1
+                )
+                if incremental["single_append_ms"]
+                else float("inf"),
+                "single_random_speedup": round(
+                    naive["single_random_ms"] / incremental["single_random_ms"], 1
+                )
+                if incremental["single_random_ms"]
+                else float("inf"),
+                "batch_ca_insert_speedup": round(
+                    naive["ca_insert_ms"] / incremental["ca_insert_ms"], 1
+                )
+                if incremental["ca_insert_ms"]
+                else float("inf"),
+            }
+        )
+    speedups.sort(key=lambda entry: entry["existing_entries"])
+    return {
+        "batch_size": batch_size,
+        "single_updates": single_updates,
+        "points": points,
+        "speedups": speedups,
+    }
 
 
 @dataclass

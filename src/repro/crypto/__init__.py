@@ -22,6 +22,7 @@ from repro.crypto.merkle import (
     PresenceProof,
     SortedMerkleTree,
     empty_root,
+    encode_leaf,
 )
 from repro.crypto.signing import (
     PUBLIC_KEY_SIZE,
@@ -49,6 +50,7 @@ __all__ = [
     "AuditStep",
     "MembershipProof",
     "empty_root",
+    "encode_leaf",
     "KeyPair",
     "PrivateKey",
     "PublicKey",

@@ -1,9 +1,15 @@
-"""Sorted Merkle hash tree with presence and absence proofs.
+"""Sorted-Merkle-tree proof objects: presence and absence proofs.
 
-This is the structure underlying RITM's authenticated dictionaries (paper
+This is the proof format underlying RITM's authenticated dictionaries (paper
 §II, §III).  Leaves are ``(key, value)`` pairs kept in lexicographic order of
 their keys; in RITM the key is a certificate serial number and the value is
 the revocation's sequence number within the CA's dictionary.
+
+The *construction* of trees and proofs lives behind the pluggable store
+engines of :mod:`repro.store` (``NaiveMerkleStore``, ``IncrementalMerkleStore``,
+...); this module defines what verifiers see: the leaf encoding, the audit
+path shape, and the proof dataclasses.  ``SortedMerkleTree`` remains
+importable from here as an alias of the naive engine.
 
 Because the leaves are sorted, the tree can prove two kinds of statements
 about a queried key:
@@ -23,12 +29,11 @@ dataset.
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
 
 from repro.crypto.hashing import DEFAULT_DIGEST_SIZE, hash_leaf, hash_node
-from repro.errors import ProofError
+
 
 #: Sentinel digest for the empty tree: the hash of an empty leaf namespace.
 def empty_root(digest_size: int = DEFAULT_DIGEST_SIZE) -> bytes:
@@ -36,7 +41,7 @@ def empty_root(digest_size: int = DEFAULT_DIGEST_SIZE) -> bytes:
     return hash_leaf(b"", digest_size)
 
 
-def _encode_leaf(key: bytes, value: bytes) -> bytes:
+def encode_leaf(key: bytes, value: bytes) -> bytes:
     """Length-prefixed leaf encoding (prevents key/value boundary ambiguity)."""
     return len(key).to_bytes(2, "big") + key + value
 
@@ -61,7 +66,7 @@ class PresenceProof:
 
     def root(self, digest_size: int = DEFAULT_DIGEST_SIZE) -> bytes:
         """Recompute the root implied by this proof."""
-        digest = hash_leaf(_encode_leaf(self.key, self.value), digest_size)
+        digest = hash_leaf(encode_leaf(self.key, self.value), digest_size)
         for step in self.path:
             if step.sibling_is_left:
                 digest = hash_node(step.sibling, digest, digest_size)
@@ -168,143 +173,26 @@ class AbsenceProof:
 MembershipProof = Union[PresenceProof, AbsenceProof]
 
 
-class SortedMerkleTree:
-    """A Merkle tree over key-sorted leaves supporting incremental appends.
+def __getattr__(name: str):
+    """Lazily resolve ``SortedMerkleTree`` to the naive store engine.
 
-    The tree keeps its leaves in a sorted list; the hash levels are rebuilt
-    lazily the first time the root (or a proof) is requested after a
-    modification, so batched inserts pay for a single rebuild.
+    The tree implementation moved to :mod:`repro.store`; importing it here
+    lazily keeps ``from repro.crypto.merkle import SortedMerkleTree`` working
+    without a circular import at module load time.
     """
+    if name == "SortedMerkleTree":
+        from repro.store.naive import NaiveMerkleStore
 
-    def __init__(self, digest_size: int = DEFAULT_DIGEST_SIZE) -> None:
-        self._digest_size = digest_size
-        self._keys: List[bytes] = []
-        self._values: List[bytes] = []
-        self._levels: List[List[bytes]] = []
-        self._dirty = True
+        return NaiveMerkleStore
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-    # -- mutation ----------------------------------------------------------
 
-    def insert(self, key: bytes, value: bytes) -> int:
-        """Insert a leaf, keeping keys sorted and unique.
-
-        Returns the leaf index at which the key now resides.  Raises
-        :class:`ProofError` if the key is already present (RITM dictionaries
-        never revoke the same serial twice).
-        """
-        index = bisect.bisect_left(self._keys, key)
-        if index < len(self._keys) and self._keys[index] == key:
-            raise ProofError(f"duplicate key {key.hex()} inserted into sorted tree")
-        self._keys.insert(index, key)
-        self._values.insert(index, value)
-        self._dirty = True
-        return index
-
-    def insert_batch(self, items: Iterable[Tuple[bytes, bytes]]) -> None:
-        """Insert many leaves; the hash levels are rebuilt only once."""
-        for key, value in items:
-            self.insert(key, value)
-
-    # -- queries -----------------------------------------------------------
-
-    def __len__(self) -> int:
-        return len(self._keys)
-
-    def __contains__(self, key: bytes) -> bool:
-        return self._find(key) is not None
-
-    def keys(self) -> Sequence[bytes]:
-        return tuple(self._keys)
-
-    def get(self, key: bytes) -> Optional[bytes]:
-        """Return the value stored under ``key``, or ``None``."""
-        index = self._find(key)
-        return None if index is None else self._values[index]
-
-    def root(self) -> bytes:
-        """Current root digest (empty-tree sentinel if there are no leaves)."""
-        self._rebuild_if_needed()
-        if not self._keys:
-            return empty_root(self._digest_size)
-        return self._levels[-1][0]
-
-    def prove_presence(self, key: bytes) -> PresenceProof:
-        """Build a presence proof; raises :class:`ProofError` if absent."""
-        index = self._find(key)
-        if index is None:
-            raise ProofError(f"key {key.hex()} is not in the tree")
-        return self._presence_proof_at(index)
-
-    def prove_absence(self, key: bytes) -> AbsenceProof:
-        """Build an absence proof; raises :class:`ProofError` if present."""
-        if self._find(key) is not None:
-            raise ProofError(f"key {key.hex()} is present; cannot prove absence")
-        size = len(self._keys)
-        if size == 0:
-            return AbsenceProof(key=key, tree_size=0)
-        index = bisect.bisect_left(self._keys, key)
-        left = self._presence_proof_at(index - 1) if index > 0 else None
-        right = self._presence_proof_at(index) if index < size else None
-        return AbsenceProof(key=key, tree_size=size, left=left, right=right)
-
-    def prove(self, key: bytes) -> MembershipProof:
-        """Return a presence proof if the key is stored, else an absence proof."""
-        if key in self:
-            return self.prove_presence(key)
-        return self.prove_absence(key)
-
-    # -- internals ----------------------------------------------------------
-
-    def _find(self, key: bytes) -> Optional[int]:
-        index = bisect.bisect_left(self._keys, key)
-        if index < len(self._keys) and self._keys[index] == key:
-            return index
-        return None
-
-    def _rebuild_if_needed(self) -> None:
-        if not self._dirty:
-            return
-        if not self._keys:
-            self._levels = []
-            self._dirty = False
-            return
-        level = [
-            hash_leaf(_encode_leaf(key, value), self._digest_size)
-            for key, value in zip(self._keys, self._values)
-        ]
-        levels = [level]
-        while len(level) > 1:
-            nxt = []
-            for i in range(0, len(level) - 1, 2):
-                nxt.append(hash_node(level[i], level[i + 1], self._digest_size))
-            if len(level) % 2 == 1:
-                # Odd node is promoted unchanged to the next level.
-                nxt.append(level[-1])
-            level = nxt
-            levels.append(level)
-        self._levels = levels
-        self._dirty = False
-
-    def _presence_proof_at(self, index: int) -> PresenceProof:
-        self._rebuild_if_needed()
-        path: List[AuditStep] = []
-        node_index = index
-        for level in self._levels[:-1]:
-            sibling_index = node_index ^ 1
-            if sibling_index < len(level):
-                path.append(
-                    AuditStep(
-                        sibling=level[sibling_index],
-                        sibling_is_left=sibling_index < node_index,
-                    )
-                )
-            # When the node is the promoted odd node it has no sibling at this
-            # level; it simply carries up, so no audit step is emitted.
-            node_index //= 2
-        return PresenceProof(
-            key=self._keys[index],
-            value=self._values[index],
-            leaf_index=index,
-            tree_size=len(self._keys),
-            path=tuple(path),
-        )
+__all__ = [
+    "AuditStep",
+    "PresenceProof",
+    "AbsenceProof",
+    "MembershipProof",
+    "SortedMerkleTree",
+    "empty_root",
+    "encode_leaf",
+]

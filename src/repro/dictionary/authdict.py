@@ -25,8 +25,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.crypto.hashchain import HashChain
 from repro.crypto.hashing import DEFAULT_DIGEST_SIZE
-from repro.crypto.merkle import SortedMerkleTree
 from repro.crypto.signing import KeyPair, PublicKey
+from repro.store import create_store
 from repro.dictionary.freshness import FreshnessStatement, periods_elapsed
 from repro.dictionary.proofs import RevocationStatus
 from repro.dictionary.signed_root import SignedRoot
@@ -72,13 +72,27 @@ class RevocationIssuance:
 
 
 class _DictionaryCore:
-    """State shared by the CA master dictionary and RA replicas."""
+    """State shared by the CA master dictionary and RA replicas.
 
-    def __init__(self, ca_name: str, digest_size: int = DEFAULT_DIGEST_SIZE) -> None:
+    ``engine`` selects the :mod:`repro.store` backend per dictionary; the
+    default (``None``) resolves to :data:`repro.store.DEFAULT_ENGINE`.
+    """
+
+    def __init__(
+        self,
+        ca_name: str,
+        digest_size: int = DEFAULT_DIGEST_SIZE,
+        engine: Optional[str] = None,
+    ) -> None:
         self.ca_name = ca_name
         self._digest_size = digest_size
-        self._tree = SortedMerkleTree(digest_size=digest_size)
+        self._tree = create_store(engine, digest_size=digest_size)
         self._numbers: Dict[int, int] = {}  # serial value -> revocation number
+
+    @property
+    def store_engine(self) -> str:
+        """Registry name of the store engine backing this dictionary."""
+        return self._tree.engine_name
 
     def __len__(self) -> int:
         return len(self._tree)
@@ -97,19 +111,25 @@ class _DictionaryCore:
         return self._numbers.get(serial.value)
 
     def _append(self, serials: Sequence[SerialNumber], first_number: int) -> None:
-        """Append serials with consecutive numbers starting at ``first_number``."""
+        """Append serials with consecutive numbers in one store transaction."""
         if first_number != self.size + 1:
             raise DesynchronizedError(
                 f"dictionary for {self.ca_name!r} has {self.size} revocations but the "
                 f"message numbers its first serial {first_number}"
             )
+        numbered: List[Tuple[int, SerialNumber]] = []
+        seen = set()
         for offset, serial in enumerate(serials):
-            number = first_number + offset
-            if serial.value in self._numbers:
+            if serial.value in self._numbers or serial.value in seen:
                 raise DictionaryError(
                     f"serial {serial} is already revoked in {self.ca_name!r}'s dictionary"
                 )
-            self._tree.insert(serial.to_bytes(), _number_to_value(number))
+            seen.add(serial.value)
+            numbered.append((first_number + offset, serial))
+        self._tree.insert_batch(
+            (serial.to_bytes(), _number_to_value(number)) for number, serial in numbered
+        )
+        for number, serial in numbered:
             self._numbers[serial.value] = number
 
     def prove_membership(self, serial: SerialNumber):
@@ -143,8 +163,9 @@ class CADictionary(_DictionaryCore):
         delta: int,
         chain_length: int = DEFAULT_CHAIN_LENGTH,
         digest_size: int = DEFAULT_DIGEST_SIZE,
+        engine: Optional[str] = None,
     ) -> None:
-        super().__init__(ca_name, digest_size)
+        super().__init__(ca_name, digest_size, engine=engine)
         if delta <= 0:
             raise DictionaryError("delta must be a positive number of seconds")
         if chain_length < 1:
@@ -264,8 +285,9 @@ class ReplicaDictionary(_DictionaryCore):
         ca_name: str,
         ca_public_key: PublicKey,
         digest_size: int = DEFAULT_DIGEST_SIZE,
+        engine: Optional[str] = None,
     ) -> None:
-        super().__init__(ca_name, digest_size)
+        super().__init__(ca_name, digest_size, engine=engine)
         self._ca_public_key = ca_public_key
         self._signed_root: Optional[SignedRoot] = None
         self._latest_freshness: Optional[FreshnessStatement] = None
@@ -286,32 +308,62 @@ class ReplicaDictionary(_DictionaryCore):
 
     def update(self, issuance: RevocationIssuance) -> None:
         """Apply a revocation-issuance message after full verification."""
-        if issuance.ca_name != self.ca_name:
-            raise DictionaryError(
-                f"issuance for {issuance.ca_name!r} applied to {self.ca_name!r}'s replica"
-            )
-        signed_root = issuance.signed_root
-        if not signed_root.verify(self._ca_public_key):
-            raise SignatureError(
-                f"revocation issuance for {self.ca_name!r} carries an invalid root signature"
-            )
+        self.update_many([issuance])
+
+    def update_many(self, issuances: Sequence[RevocationIssuance]) -> int:
+        """Apply consecutive issuance batches in *one* store transaction.
+
+        Every message's signature and ordering is verified up front, the
+        concatenated serials are merged into the store with a single batch
+        insert, and the recomputed root is checked against the *final*
+        CA-signed root — sound because that root commits to the entire
+        merged content.  This is the path the dissemination client uses when
+        a pull cycle finds several queued issuance batches.  Returns the
+        number of serials applied.
+        """
+        if not issuances:
+            return 0
+        expected_first = self.size + 1
+        for issuance in issuances:
+            if issuance.ca_name != self.ca_name:
+                raise DictionaryError(
+                    f"issuance for {issuance.ca_name!r} applied to {self.ca_name!r}'s replica"
+                )
+            if not issuance.signed_root.verify(self._ca_public_key):
+                raise SignatureError(
+                    f"revocation issuance for {self.ca_name!r} carries an invalid root signature"
+                )
+            if issuance.first_number != expected_first:
+                raise DesynchronizedError(
+                    f"issuance batches for {self.ca_name!r} are not consecutive: expected "
+                    f"first number {expected_first}, got {issuance.first_number}"
+                )
+            expected_first += len(issuance.serials)
+        signed_root = issuances[-1].signed_root
         if self._signed_root is not None and signed_root.timestamp < self._signed_root.timestamp:
             raise DictionaryError("revocation issuance is older than the current signed root")
 
-        self._append(list(issuance.serials), issuance.first_number)
+        serials = [serial for issuance in issuances for serial in issuance.serials]
+        self._append(serials, issuances[0].first_number)
 
         if self.root() != signed_root.root or self.size != signed_root.size:
-            # The paper's update step 3: reject the whole change.  We raise
-            # *after* the append, so the replica must be considered corrupt;
-            # callers rebuild via the sync protocol.
-            raise DictionaryError(
-                f"replica of {self.ca_name!r} diverged: locally recomputed root does not "
-                f"match the CA-signed root"
+            # The paper's update step 3: reject the whole change.  The staged
+            # batch is rolled back, so the replica keeps serving its previous
+            # verified state; the dissemination layer falls back to the sync
+            # protocol to recover the honest suffix.
+            self._tree.remove_batch(serial.to_bytes() for serial in serials)
+            for serial in serials:
+                del self._numbers[serial.value]
+            raise DesynchronizedError(
+                f"replica of {self.ca_name!r} rejected an issuance: locally recomputed "
+                f"root does not match the CA-signed root (batch rolled back; resync "
+                f"required)"
             )
         self._signed_root = signed_root
         self._latest_freshness = FreshnessStatement(
             ca_name=self.ca_name, value=signed_root.anchor, dictionary_size=self.size
         )
+        return len(serials)
 
     def install_root(self, signed_root: SignedRoot) -> None:
         """Accept a re-signed root over unchanged content (chain exhaustion)."""

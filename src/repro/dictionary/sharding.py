@@ -84,6 +84,7 @@ class ShardedCADictionary:
         chain_length: int = 1024,
         shard_seconds: int = DEFAULT_SHARD_SECONDS,
         digest_size: int = 20,
+        engine: Optional[str] = None,
     ) -> None:
         self.ca_name = ca_name
         self._keys = keys
@@ -91,6 +92,7 @@ class ShardedCADictionary:
         self.chain_length = chain_length
         self.shard_seconds = shard_seconds
         self._digest_size = digest_size
+        self._engine = engine
         self._shards: Dict[int, CADictionary] = {}
         self._retired: List[int] = []
 
@@ -106,6 +108,7 @@ class ShardedCADictionary:
                 delta=self.delta,
                 chain_length=self.chain_length,
                 digest_size=self._digest_size,
+                engine=self._engine,
             )
         return key, self._shards[key.index]
 
@@ -176,16 +179,25 @@ class ShardedCADictionary:
 class ShardedReplica:
     """The RA side: one replica per shard, prunable as shards expire."""
 
-    def __init__(self, ca_name: str, ca_public_key: PublicKey, shard_seconds: int = DEFAULT_SHARD_SECONDS) -> None:
+    def __init__(
+        self,
+        ca_name: str,
+        ca_public_key: PublicKey,
+        shard_seconds: int = DEFAULT_SHARD_SECONDS,
+        engine: Optional[str] = None,
+    ) -> None:
         self.ca_name = ca_name
         self._ca_public_key = ca_public_key
         self.shard_seconds = shard_seconds
+        self._engine = engine
         self._replicas: Dict[int, ReplicaDictionary] = {}
 
     def _replica_for(self, shard_index: int) -> ReplicaDictionary:
         if shard_index not in self._replicas:
             self._replicas[shard_index] = ReplicaDictionary(
-                shard_name(self.ca_name, shard_index), self._ca_public_key
+                shard_name(self.ca_name, shard_index),
+                self._ca_public_key,
+                engine=self._engine,
             )
         return self._replicas[shard_index]
 

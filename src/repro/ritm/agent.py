@@ -22,7 +22,7 @@ Dictionary replicas are updated out of band by the dissemination module
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.signing import PublicKey
 from repro.dictionary.authdict import ReplicaDictionary, RevocationIssuance
@@ -80,10 +80,18 @@ class RevocationAgent(Middlebox):
     # -- dictionary management -------------------------------------------------
 
     def register_ca(self, ca_name: str, public_key: PublicKey) -> ReplicaDictionary:
-        """Create (or return) the replica dictionary for one CA."""
+        """Create (or return) the replica dictionary for one CA.
+
+        The replica uses the store engine the RA was configured with
+        (``config.store_engine``), so a whole deployment can be switched
+        between engines from one knob.
+        """
         if ca_name not in self.replicas:
             self.replicas[ca_name] = ReplicaDictionary(
-                ca_name, public_key, digest_size=self.config.digest_size
+                ca_name,
+                public_key,
+                digest_size=self.config.digest_size,
+                engine=self.config.store_engine,
             )
         return self.replicas[ca_name]
 
@@ -91,13 +99,27 @@ class RevocationAgent(Middlebox):
         return self.replicas.get(ca_name)
 
     def apply_issuance(self, issuance: RevocationIssuance) -> None:
-        replica = self.replicas.get(issuance.ca_name)
+        self.apply_issuances(issuance.ca_name, [issuance])
+
+    def apply_issuances(
+        self, ca_name: str, issuances: Sequence[RevocationIssuance]
+    ) -> int:
+        """Apply consecutive issuance batches in one store transaction.
+
+        This is the entry point the dissemination pull cycle uses: all the
+        batches queued since the last pull are verified and merged at once
+        (``ReplicaDictionary.update_many``), and every observed signed root
+        is fed to the consistency checker.  Returns serials applied.
+        """
+        replica = self.replicas.get(ca_name)
         if replica is None:
             raise DictionaryError(
-                f"RA {self.name!r} has no replica for CA {issuance.ca_name!r}"
+                f"RA {self.name!r} has no replica for CA {ca_name!r}"
             )
-        replica.update(issuance)
-        self.consistency.observe_root(issuance.signed_root)
+        applied = replica.update_many(list(issuances))
+        for issuance in issuances:
+            self.consistency.observe_root(issuance.signed_root)
+        return applied
 
     def apply_freshness(self, statement: FreshnessStatement) -> None:
         replica = self.replicas.get(statement.ca_name)

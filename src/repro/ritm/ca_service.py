@@ -71,6 +71,7 @@ class RITMCertificationAuthority:
             delta=self.config.delta_seconds,
             chain_length=self.config.chain_length,
             digest_size=self.config.digest_size,
+            engine=self.config.store_engine,
         )
         self.sync_server = SyncServer(self.dictionary)
         self.publication_stats = PublicationStats()

@@ -14,6 +14,7 @@ from enum import Enum
 
 from repro.crypto.hashing import DEFAULT_DIGEST_SIZE
 from repro.errors import ConfigurationError
+from repro.store import DEFAULT_ENGINE, ENGINES
 
 SECONDS_PER_MINUTE = 60
 SECONDS_PER_HOUR = 3600
@@ -56,6 +57,9 @@ class RITMConfig:
     prove_full_chain: bool = False
     #: CDN TTL for published objects (0 = no caching, the paper's worst case).
     cdn_ttl_seconds: float = 0.0
+    #: Authenticated-store engine backing every dictionary in the deployment
+    #: (see :data:`repro.store.ENGINES`).
+    store_engine: str = DEFAULT_ENGINE
 
     def __post_init__(self) -> None:
         if self.delta_seconds <= 0:
@@ -66,6 +70,11 @@ class RITMConfig:
             raise ConfigurationError("freshness_tolerance_periods cannot be negative")
         if not 1 <= self.digest_size <= 32:
             raise ConfigurationError("digest_size must be between 1 and 32 bytes")
+        if self.store_engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown store engine {self.store_engine!r}; "
+                f"available engines: {sorted(ENGINES)}"
+            )
 
     @property
     def attack_window_seconds(self) -> int:
@@ -87,6 +96,7 @@ class RITMConfig:
             deployment=self.deployment,
             prove_full_chain=self.prove_full_chain,
             cdn_ttl_seconds=self.cdn_ttl_seconds,
+            store_engine=self.store_engine,
         )
 
     @classmethod

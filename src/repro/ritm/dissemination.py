@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 from repro.cdn.geography import GeoLocation
 from repro.cdn.network import CDNNetwork
 from repro.dictionary.sync import SyncRequest, SyncServer
-from repro.errors import CDNError, DictionaryError
+from repro.errors import CDNError, DictionaryError, SignatureError
 from repro.ritm.agent import RevocationAgent
 from repro.ritm.ca_service import RITMCertificationAuthority, head_path, issuance_path
 from repro.ritm.messages import decode_head, decode_issuance
@@ -68,7 +68,9 @@ class RADisseminationClient:
         for ca_name, replica in self.agent.replicas.items():
             try:
                 self._pull_one(ca_name, replica, now, result)
-            except (CDNError, DictionaryError) as exc:
+            except (CDNError, DictionaryError, SignatureError) as exc:
+                # One CA's bad objects (or forged signatures) must never
+                # abort the pull cycle for every other healthy CA.
                 result.errors.append(f"{ca_name}: {exc}")
         self.pull_history.append(result)
         return result
@@ -102,37 +104,76 @@ class RADisseminationClient:
         result.freshness_applied += 1
 
     def _catch_up(self, ca_name, replica, head, now, result: PullResult) -> int:
-        """Fetch and apply the missing issuance batches (or fall back to sync)."""
-        applied_serials = 0
-        batch = self._applied_batches.get(ca_name, 0)
-        while replica.size < head.size:
-            batch += 1
-            path = issuance_path(ca_name, batch)
+        """Fetch the missing issuance batches and apply them in one store
+        transaction (or fall back to sync).
+
+        All fetchable, contiguous batches are collected first and handed to
+        the replica at once (``RevocationAgent.apply_issuances``), so one
+        pull cycle costs one merge and one suffix rehash regardless of how
+        many batches were queued since the last pull.
+        """
+        # ``committed`` only ever advances over batches whose content is
+        # durably in the replica (applied, already present, or covered by a
+        # successful resync) — a batch that failed to apply is refetched on
+        # the next pull rather than skipped forever.
+        committed = self._applied_batches.get(ca_name, 0)
+        batch = committed
+        pending = []
+        have = replica.size
+        needs_resync = False
+        while have < head.size:
+            next_batch = batch + 1
+            path = issuance_path(ca_name, next_batch)
             if not self.cdn.origin.exists(path):
-                applied_serials += self._resync(ca_name, replica, result)
+                needs_resync = True
                 break
+            batch = next_batch
             download = self.cdn.download(path, self.location, now)
             result.bytes_downloaded += download.bytes_on_wire
             result.latency_seconds += download.latency_seconds
             issuance = decode_issuance(download.content)
-            if issuance.first_number > replica.size + 1:
+            if issuance.first_number > have + 1:
                 # A gap: earlier batches were purged or missed; full resync.
-                applied_serials += self._resync(ca_name, replica, result)
+                needs_resync = True
                 break
-            if issuance.first_number <= replica.size:
-                continue  # already have this batch
-            replica.update(issuance)
-            self.agent.consistency.observe_root(issuance.signed_root)
-            result.issuances_applied += 1
-            applied_serials += len(issuance.serials)
-        self._applied_batches[ca_name] = batch
+            if issuance.first_number <= have:
+                if not pending:
+                    committed = batch  # old batch, content already in the replica
+                continue
+            pending.append(issuance)
+            have += len(issuance.serials)
+        applied_serials = 0
+        if pending:
+            try:
+                applied_serials += self.agent.apply_issuances(ca_name, pending)
+                result.issuances_applied += len(pending)
+                committed += len(pending)  # pending batches are consecutive
+            except (DictionaryError, SignatureError) as exc:
+                # Tampered batch content (update_many rolled the replica back
+                # to its last verified state) or a forged root signature
+                # (rejected before anything was staged): either way the sync
+                # protocol can recover the honest suffix directly.
+                result.errors.append(f"{ca_name}: {exc}")
+                needs_resync = True
+        if needs_resync:
+            resynced = self._resync(ca_name, replica, result)
+            if resynced is not None:
+                applied_serials += resynced
+                committed = batch  # everything fetched so far is now covered
+        self._applied_batches[ca_name] = committed
         return applied_serials
 
-    def _resync(self, ca_name: str, replica, result: PullResult) -> int:
+    def _resync(self, ca_name: str, replica, result: PullResult) -> Optional[int]:
+        """Full-state recovery via the CA's sync endpoint.
+
+        Returns the number of serials applied, or ``None`` when no sync
+        server is known (the caller must not mark fetched batches as
+        consumed in that case).
+        """
         server = self.sync_servers.get(ca_name)
         if server is None:
             result.errors.append(f"{ca_name}: desynchronized and no sync server known")
-            return 0
+            return None
         response = server.serve(SyncRequest(ca_name=ca_name, have_count=replica.size))
         result.bytes_downloaded += response.encoded_size()
         if response.serials:

@@ -1,0 +1,67 @@
+"""Pluggable authenticated-dictionary storage engines.
+
+This package is the seam between RITM's *semantics* (sorted-leaf Merkle
+trees with presence/absence proofs, defined in :mod:`repro.crypto.merkle`)
+and their *realisation*.  Every engine commits to exactly the same tree
+shape — pair adjacent nodes, promote the odd node unchanged — so all
+engines produce byte-identical roots and proofs for the same leaf set and
+can be differentially tested against each other.
+
+Two engines ship today:
+
+* :class:`NaiveMerkleStore` — the original full-rebuild tree.  Every
+  mutation invalidates the hash levels; the next root or proof request
+  rehashes all ``N`` leaves.  Kept as the differential-testing oracle.
+* :class:`IncrementalMerkleStore` — maintains the hash levels across
+  mutations.  Appends (keys sorting after every stored key) rehash only the
+  ``O(log N)`` right-edge path; mid-tree inserts rehash only the dirty
+  suffix of each level; batches are applied with one sort-merge pass and a
+  single suffix recomputation.
+
+Future engines (persistent/mmap-backed, multi-process sharded, C-accelerated)
+plug in by subclassing :class:`AuthenticatedStore` and registering in
+:data:`ENGINES`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.crypto.hashing import DEFAULT_DIGEST_SIZE
+from repro.errors import ConfigurationError
+from repro.store.base import AuthenticatedStore
+from repro.store.incremental import IncrementalMerkleStore
+from repro.store.naive import NaiveMerkleStore
+
+#: Engine used when callers do not choose one explicitly.
+DEFAULT_ENGINE = "incremental"
+
+#: Registry of available engines; new backends register here.
+ENGINES: Dict[str, Type[AuthenticatedStore]] = {
+    NaiveMerkleStore.engine_name: NaiveMerkleStore,
+    IncrementalMerkleStore.engine_name: IncrementalMerkleStore,
+}
+
+
+def create_store(
+    engine: Optional[str] = None, digest_size: int = DEFAULT_DIGEST_SIZE
+) -> AuthenticatedStore:
+    """Instantiate the engine named ``engine`` (default :data:`DEFAULT_ENGINE`)."""
+    name = engine if engine is not None else DEFAULT_ENGINE
+    try:
+        engine_class = ENGINES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown store engine {name!r}; available engines: {sorted(ENGINES)}"
+        ) from None
+    return engine_class(digest_size=digest_size)
+
+
+__all__ = [
+    "AuthenticatedStore",
+    "NaiveMerkleStore",
+    "IncrementalMerkleStore",
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "create_store",
+]

@@ -1,0 +1,283 @@
+"""The :class:`AuthenticatedStore` interface and shared sorted-leaf machinery.
+
+An authenticated store holds ``(key, value)`` leaves in lexicographic key
+order and commits to them with the sorted Merkle tree of
+:mod:`repro.crypto.merkle` (paper §II/§III).  The interface splits RITM's
+dictionary semantics from the hashing strategy: engines differ in *when* and
+*how much* they rehash, never in *what* they commit to — every engine must
+produce byte-identical roots and proofs for the same leaf set.
+
+:class:`SortedLeafStore` is the shared concrete base: it owns the sorted
+key/value arrays, batch validation, and proof construction, and asks the
+engine for the current hash levels through one hook (:meth:`_hash_levels`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from typing import ClassVar, Iterable, List, Optional, Sequence, Tuple
+
+from repro.crypto.hashing import DEFAULT_DIGEST_SIZE, hash_leaf
+from repro.crypto.merkle import (
+    AbsenceProof,
+    AuditStep,
+    MembershipProof,
+    PresenceProof,
+    empty_root,
+    encode_leaf,
+)
+from repro.errors import ProofError
+
+
+class AuthenticatedStore(ABC):
+    """Interface every Merkle-store engine implements.
+
+    All mutation is insert-only (RITM dictionaries are append-only sets of
+    revoked serials); ``insert_batch`` is the transactional path the
+    dictionary layer uses for CA issuances, RA updates, and resyncs.
+    """
+
+    #: Registry name of the engine (``"naive"``, ``"incremental"``, ...).
+    engine_name: ClassVar[str] = "abstract"
+
+    @abstractmethod
+    def insert(self, key: bytes, value: bytes) -> int:
+        """Insert one leaf; returns its sorted index.  Raises on duplicates."""
+
+    @abstractmethod
+    def insert_batch(self, items: Iterable[Tuple[bytes, bytes]]) -> int:
+        """Insert many leaves in one transaction; returns how many were added."""
+
+    @abstractmethod
+    def remove_batch(self, keys: Iterable[bytes]) -> int:
+        """Remove stored leaves in one transaction; returns how many were removed.
+
+        RITM dictionaries are append-only; this exists solely so a caller
+        that staged a batch and then failed a commit check (e.g. a replica
+        whose recomputed root does not match the CA-signed one) can roll the
+        store back to its pre-batch state.  Raises :class:`ProofError` if
+        any key is absent.
+        """
+
+    @abstractmethod
+    def root(self) -> bytes:
+        """Current root digest (empty-tree sentinel when there are no leaves)."""
+
+    @abstractmethod
+    def prove_presence(self, key: bytes) -> PresenceProof:
+        """Audit path for a stored key; raises :class:`ProofError` if absent."""
+
+    @abstractmethod
+    def prove_absence(self, key: bytes) -> AbsenceProof:
+        """Adjacency proof for a missing key; raises if the key is present."""
+
+    def prove(self, key: bytes) -> MembershipProof:
+        """Return a presence proof if the key is stored, else an absence proof."""
+        if key in self:
+            return self.prove_presence(key)
+        return self.prove_absence(key)
+
+    @abstractmethod
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Value stored under ``key``, or ``None``."""
+
+    @abstractmethod
+    def keys(self) -> Sequence[bytes]:
+        """All keys in sorted order."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def __contains__(self, key: bytes) -> bool: ...
+
+
+class SortedLeafStore(AuthenticatedStore):
+    """Shared base for engines that keep leaves in sorted Python lists.
+
+    Subclasses implement the hashing strategy by overriding
+    :meth:`_hash_levels` (and the mutators); everything position- and
+    proof-related lives here so the proof format cannot drift between
+    engines.
+    """
+
+    def __init__(self, digest_size: int = DEFAULT_DIGEST_SIZE) -> None:
+        self._digest_size = digest_size
+        self._keys: List[bytes] = []
+        self._values: List[bytes] = []
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: bytes) -> bool:
+        return self._find(key) is not None
+
+    @property
+    def digest_size(self) -> int:
+        return self._digest_size
+
+    def keys(self) -> Sequence[bytes]:
+        return tuple(self._keys)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        index = self._find(key)
+        return None if index is None else self._values[index]
+
+    def root(self) -> bytes:
+        if not self._keys:
+            return empty_root(self._digest_size)
+        return self._hash_levels()[-1][0]
+
+    # -- proofs ------------------------------------------------------------
+
+    def prove_presence(self, key: bytes) -> PresenceProof:
+        index = self._find(key)
+        if index is None:
+            raise ProofError(f"key {key.hex()} is not in the tree")
+        return self._presence_proof_at(index)
+
+    def prove_absence(self, key: bytes) -> AbsenceProof:
+        if self._find(key) is not None:
+            raise ProofError(f"key {key.hex()} is present; cannot prove absence")
+        size = len(self._keys)
+        if size == 0:
+            return AbsenceProof(key=key, tree_size=0)
+        index = bisect.bisect_left(self._keys, key)
+        left = self._presence_proof_at(index - 1) if index > 0 else None
+        right = self._presence_proof_at(index) if index < size else None
+        return AbsenceProof(key=key, tree_size=size, left=left, right=right)
+
+    # -- mutation ----------------------------------------------------------
+
+    def remove_batch(self, keys: Iterable[bytes]) -> int:
+        targets = sorted(set(keys))
+        if not targets:
+            return 0
+        for key in targets:
+            if self._find(key) is None:
+                raise ProofError(f"key {key.hex()} is not in the tree; cannot remove")
+        first_dirty = bisect.bisect_left(self._keys, targets[0])
+        self._prune_leaves(set(targets), first_dirty)
+        return len(targets)
+
+    # -- engine hooks ------------------------------------------------------
+
+    @abstractmethod
+    def _hash_levels(self) -> List[List[bytes]]:
+        """Hash levels bottom-up; ``[0]`` is the leaf-hash row, ``[-1]`` has
+        length one.  Only called when the store is non-empty."""
+
+    @abstractmethod
+    def _prune_leaves(self, target_set: set, first_dirty: int) -> None:
+        """Drop every leaf whose key is in ``target_set`` (all present;
+        ``first_dirty`` is the smallest affected leaf index) and repair the
+        engine's hash state."""
+
+    # -- shared internals --------------------------------------------------
+
+    def _find(self, key: bytes) -> Optional[int]:
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            return index
+        return None
+
+    def _leaf_hash(self, key: bytes, value: bytes) -> bytes:
+        return hash_leaf(encode_leaf(key, value), self._digest_size)
+
+    def _insertion_point(self, key: bytes) -> int:
+        """Sorted index for a new key; raises :class:`ProofError` on duplicates."""
+        index = bisect.bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            raise ProofError(f"duplicate key {key.hex()} inserted into sorted tree")
+        return index
+
+    def _prepare_batch(
+        self, items: Iterable[Tuple[bytes, bytes]]
+    ) -> List[Tuple[bytes, bytes]]:
+        """Sort a batch and reject duplicates (within it or against the store)."""
+        batch = sorted(items, key=lambda item: item[0])
+        previous: Optional[bytes] = None
+        for key, _ in batch:
+            if key == previous:
+                raise ProofError(f"duplicate key {key.hex()} within one batch")
+            if self._find(key) is not None:
+                raise ProofError(f"duplicate key {key.hex()} inserted into sorted tree")
+            previous = key
+        return batch
+
+    def _merge_into(
+        self,
+        batch: Sequence[Tuple[bytes, bytes]],
+        leaf_hashes: Optional[List[bytes]] = None,
+    ) -> int:
+        """One-pass sort-merge of a prepared batch into the leaf arrays.
+
+        Replaces ``self._keys`` / ``self._values`` (and, when given, extends
+        the cached ``leaf_hashes`` row in place) without any per-element
+        ``list.insert``.  Returns the index of the first merged element —
+        the leftmost position whose hash ancestry changed.
+        """
+        old_keys, old_values = self._keys, self._values
+        first_dirty = bisect.bisect_left(old_keys, batch[0][0])
+        merged_keys: List[bytes] = old_keys[:first_dirty]
+        merged_values: List[bytes] = old_values[:first_dirty]
+        merged_hashes: Optional[List[bytes]] = (
+            leaf_hashes[:first_dirty] if leaf_hashes is not None else None
+        )
+        i, j = first_dirty, 0
+        n, m = len(old_keys), len(batch)
+        while i < n and j < m:
+            if old_keys[i] < batch[j][0]:
+                merged_keys.append(old_keys[i])
+                merged_values.append(old_values[i])
+                if merged_hashes is not None:
+                    merged_hashes.append(leaf_hashes[i])
+                i += 1
+            else:
+                key, value = batch[j]
+                merged_keys.append(key)
+                merged_values.append(value)
+                if merged_hashes is not None:
+                    merged_hashes.append(self._leaf_hash(key, value))
+                j += 1
+        merged_keys.extend(old_keys[i:])
+        merged_values.extend(old_values[i:])
+        if merged_hashes is not None:
+            merged_hashes.extend(leaf_hashes[i:])
+        for key, value in batch[j:]:
+            merged_keys.append(key)
+            merged_values.append(value)
+            if merged_hashes is not None:
+                merged_hashes.append(self._leaf_hash(key, value))
+        self._keys = merged_keys
+        self._values = merged_values
+        if leaf_hashes is not None:
+            leaf_hashes[:] = merged_hashes
+        return first_dirty
+
+    def _presence_proof_at(self, index: int) -> PresenceProof:
+        levels = self._hash_levels()
+        path: List[AuditStep] = []
+        node_index = index
+        for level in levels[:-1]:
+            sibling_index = node_index ^ 1
+            if sibling_index < len(level):
+                path.append(
+                    AuditStep(
+                        sibling=level[sibling_index],
+                        sibling_is_left=sibling_index < node_index,
+                    )
+                )
+            # When the node is the promoted odd node it has no sibling at this
+            # level; it simply carries up, so no audit step is emitted.
+            node_index //= 2
+        return PresenceProof(
+            key=self._keys[index],
+            value=self._values[index],
+            leaf_index=index,
+            tree_size=len(self._keys),
+            path=tuple(path),
+        )

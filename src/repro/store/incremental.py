@@ -1,0 +1,120 @@
+"""The incremental engine: cached hash levels, suffix-only recomputation.
+
+The tree shape is fixed by the proof format (pair adjacent nodes, promote
+the odd node), which makes internal node hashes *positional*: inserting a
+leaf at index ``i`` shifts every later leaf by one, so every internal node
+covering a shifted leaf re-pairs.  Within that constraint this engine does
+the minimum work per mutation:
+
+* the leaf-hash row is cached, so existing leaves are never re-encoded or
+  rehashed — only the new leaves are hashed;
+* at every level only the *dirty suffix* (nodes at or right of the
+  insertion point's ancestor) is recomputed; nodes left of it are reused
+  from the cache;
+* an **append** — a key sorting after every stored key, e.g. sequentially
+  allocated serials — dirties a single right-edge path and costs
+  ``O(log N)`` hashes;
+* a **batch** is applied with one sort-merge pass (no per-element
+  ``list.insert``) followed by a single suffix recomputation from the
+  leftmost merged position, so ``B`` new serials cost one pass over the
+  affected suffix instead of ``B`` rebuilds.
+
+Because the levels are always current, roots and proofs are served straight
+from the cache with zero hashing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.crypto.hashing import DEFAULT_DIGEST_SIZE, hash_node
+from repro.store.base import SortedLeafStore
+
+
+class IncrementalMerkleStore(SortedLeafStore):
+    """A sorted Merkle tree that keeps its hash levels fresh across mutations."""
+
+    engine_name = "incremental"
+
+    def __init__(self, digest_size: int = DEFAULT_DIGEST_SIZE) -> None:
+        super().__init__(digest_size)
+        #: Always-current hash levels; ``[0]`` is the leaf-hash row.
+        self._levels: List[List[bytes]] = []
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, key: bytes, value: bytes) -> int:
+        """Insert one leaf and repair the cached levels from its position."""
+        index = self._insertion_point(key)
+        self._keys.insert(index, key)
+        self._values.insert(index, value)
+        if not self._levels:
+            self._levels = [[self._leaf_hash(key, value)]]
+        else:
+            self._levels[0].insert(index, self._leaf_hash(key, value))
+            self._recompute_from(index)
+        return index
+
+    def insert_batch(self, items: Iterable[Tuple[bytes, bytes]]) -> int:
+        """Sort-merge a batch into the leaf arrays, then repair levels once."""
+        batch = self._prepare_batch(items)
+        if not batch:
+            return 0
+        if not self._levels:
+            self._levels = [[]]
+        first_dirty = self._merge_into(batch, leaf_hashes=self._levels[0])
+        self._recompute_from(first_dirty)
+        return len(batch)
+
+    def _prune_leaves(self, target_set, first_dirty: int) -> None:
+        keys, values, leaf_hashes = self._keys, self._values, self._levels[0]
+        kept_keys = keys[:first_dirty]
+        kept_values = values[:first_dirty]
+        kept_hashes = leaf_hashes[:first_dirty]
+        for index in range(first_dirty, len(keys)):
+            if keys[index] not in target_set:
+                kept_keys.append(keys[index])
+                kept_values.append(values[index])
+                kept_hashes.append(leaf_hashes[index])
+        self._keys, self._values = kept_keys, kept_values
+        if not kept_keys:
+            self._levels = []
+            return
+        self._levels[0] = kept_hashes
+        self._recompute_from(first_dirty)
+
+    # -- hashing -----------------------------------------------------------
+
+    def _hash_levels(self) -> List[List[bytes]]:
+        return self._levels
+
+    def _recompute_from(self, start: int) -> None:
+        """Recompute the dirty suffix of every level above the leaf row.
+
+        ``start`` is the leftmost leaf index whose hash ancestry changed.
+        Nodes strictly left of ``start >> l`` at level ``l`` cover only
+        untouched, unshifted leaves and are reused from the cache.
+        """
+        levels = self._levels
+        digest_size = self._digest_size
+        child = levels[0]
+        level_index = 1
+        while len(child) > 1:
+            parent_length = (len(child) + 1) // 2
+            if level_index == len(levels):
+                levels.append([])
+            parent = levels[level_index]
+            first = start >> 1
+            del parent[first:]
+            child_length = len(child)
+            for node in range(first, parent_length):
+                left = node * 2
+                if left + 1 < child_length:
+                    parent.append(hash_node(child[left], child[left + 1], digest_size))
+                else:
+                    # Odd node is promoted unchanged to the next level.
+                    parent.append(child[left])
+            child = parent
+            start = first
+            level_index += 1
+        del levels[level_index:]

@@ -1,8 +1,15 @@
-"""Property-based tests (hypothesis) for the sorted Merkle tree."""
+"""Property-based tests (hypothesis) for the sorted Merkle tree.
+
+``SortedMerkleTree`` is the naive full-rebuild store engine; the
+differential properties at the bottom additionally pin the incremental
+engine to it (byte-identical roots and proofs under randomized
+interleavings of single inserts, batches, and proof queries).
+"""
 
 from hypothesis import given, settings, strategies as st
 
 from repro.crypto.merkle import SortedMerkleTree
+from repro.store import IncrementalMerkleStore, NaiveMerkleStore
 
 serial_values = st.integers(min_value=1, max_value=2**24 - 1)
 
@@ -69,3 +76,44 @@ def test_roots_differ_when_any_element_is_removed(values):
     for value in values[:-1]:
         partial.insert(to_key(value), b"\x00\x00\x00\x01")
     assert full.root() != partial.root()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(serial_values, unique=True, min_size=1, max_size=140), st.randoms(use_true_random=False))
+def test_incremental_engine_matches_naive_oracle(values, rng):
+    """Both store engines stay byte-identical under random interleavings."""
+    naive = NaiveMerkleStore()
+    incremental = IncrementalMerkleStore()
+    remaining = list(values)
+    rng.shuffle(remaining)
+    while remaining:
+        if rng.random() < 0.5:
+            value = remaining.pop()
+            naive.insert(to_key(value), b"\x00\x00\x00\x01")
+            incremental.insert(to_key(value), b"\x00\x00\x00\x01")
+        else:
+            size = min(len(remaining), rng.randrange(1, 8))
+            chunk = [remaining.pop() for _ in range(size)]
+            items = [(to_key(v), b"\x00\x00\x00\x01") for v in chunk]
+            naive.insert_batch(list(items))
+            incremental.insert_batch(items)
+        assert naive.root() == incremental.root()
+        probe = rng.randrange(1, 2**24)
+        assert naive.prove(to_key(probe)) == incremental.prove(to_key(probe))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(serial_values, min_size=1, max_size=140))
+def test_engines_agree_on_every_member_proof(values):
+    """Every presence proof is identical across engines and verifies."""
+    items = [(to_key(v), b"\x00\x00\x00\x01") for v in sorted(values)]
+    naive = NaiveMerkleStore()
+    naive.insert_batch(list(items))
+    incremental = IncrementalMerkleStore()
+    incremental.insert_batch(items)
+    root = naive.root()
+    assert root == incremental.root()
+    for value in values:
+        proof = incremental.prove_presence(to_key(value))
+        assert proof == naive.prove_presence(to_key(value))
+        assert proof.verify(root)

@@ -219,3 +219,59 @@ class TestStorageEstimates:
             CADictionary("CA", keys, delta=0)
         with pytest.raises(DictionaryError):
             CADictionary("CA", keys, delta=10, chain_length=0)
+
+
+class TestUpdateRollbackAndBatches:
+    """The store-transaction semantics added with the repro.store seam."""
+
+    def test_tampered_update_rolls_back_replica_state(self, master, replica):
+        from dataclasses import replace
+
+        good = master.insert(make_serials(3), now=100)
+        replica.update(good)
+        root_before, size_before = replica.root(), replica.size
+
+        honest = master.insert(make_serials(3, start=10), now=110)
+        tampered = replace(honest, serials=(SerialNumber(900), SerialNumber(901), SerialNumber(902)))
+        with pytest.raises(DesynchronizedError):
+            replica.update(tampered)
+
+        # The staged batch must be fully rolled back...
+        assert replica.root() == root_before
+        assert replica.size == size_before
+        assert not replica.contains(SerialNumber(900))
+        # ...so the honest message still applies afterwards.
+        replica.update(honest)
+        assert replica.root() == master.root()
+        assert replica.size == master.size
+
+    def test_update_many_applies_consecutive_batches_in_one_transaction(self, master, replica):
+        issuances = [
+            master.insert(make_serials(2, start=1 + batch * 10), now=100 + batch)
+            for batch in range(3)
+        ]
+        assert replica.update_many(issuances) == 6
+        assert replica.size == master.size == 6
+        assert replica.root() == master.root()
+        assert replica.signed_root == issuances[-1].signed_root
+
+    def test_update_many_rejects_non_consecutive_batches(self, master, replica):
+        first = master.insert(make_serials(2), now=100)
+        master.insert(make_serials(2, start=10), now=110)
+        third = master.insert(make_serials(2, start=20), now=120)
+        with pytest.raises(DesynchronizedError):
+            replica.update_many([first, third])
+        assert replica.size == 0
+
+    def test_update_many_empty_is_noop(self, replica):
+        assert replica.update_many([]) == 0
+        assert replica.size == 0
+
+    @pytest.mark.parametrize("engine", ["naive", "incremental"])
+    def test_engines_produce_identical_signed_roots(self, keys, engine):
+        master = CADictionary("CA-X", keys, delta=10, chain_length=16, engine=engine)
+        replica = ReplicaDictionary("CA-X", keys.public, engine=engine)
+        assert master.store_engine == replica.store_engine == engine
+        issuance = master.insert(make_serials(7), now=100)
+        replica.update(issuance)
+        assert replica.root() == master.root()

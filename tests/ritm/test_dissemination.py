@@ -126,3 +126,103 @@ class TestRecovery:
         )
         result = client.pull(now=EPOCH + 40)
         assert any("no sync server" in error for error in result.errors)
+
+
+class TestTamperedObjectRecovery:
+    """A malicious CDN/edge must cost one resync, never a bricked replica."""
+
+    @staticmethod
+    def _tamper(world, issuing, mutate):
+        from dataclasses import replace
+
+        from repro.ritm.ca_service import issuance_path
+        from repro.ritm.messages import decode_issuance, encode_issuance
+
+        path = issuance_path(issuing.name, issuing.issuance_count())
+        stored = world.cdn.origin._objects[path]
+        issuance = decode_issuance(stored.content)
+        world.cdn.origin._objects[path] = replace(
+            stored, content=encode_issuance(mutate(issuance))
+        )
+
+    def test_tampered_serials_roll_back_and_resync(self, world):
+        from dataclasses import replace
+
+        from repro.pki.serial import SerialNumber
+
+        issuing = world.ca_by_name(world.corpus.chains[0].leaf.issuer)
+        serial = world.corpus.chains[0].leaf.serial
+        issuing.revoke([serial], now=EPOCH + 20)
+        self._tamper(
+            world, issuing, lambda iss: replace(iss, serials=(SerialNumber(0xEEEEEE),))
+        )
+
+        result = world.pull(now=EPOCH + 40)
+        replica = world.agent.replica_for(issuing.name)
+        assert result.resyncs >= 1
+        assert any("root does not match" in error for error in result.errors)
+        assert not replica.contains(SerialNumber(0xEEEEEE))
+        assert replica.contains(serial)
+        assert replica.root() == issuing.dictionary.root()
+
+    def test_forged_signature_recorded_and_resynced_without_aborting_pull(self, world):
+        from dataclasses import replace
+
+        issuing = world.ca_by_name(world.corpus.chains[0].leaf.issuer)
+        serial = world.corpus.chains[0].leaf.serial
+        issuing.revoke([serial], now=EPOCH + 20)
+        self._tamper(
+            world,
+            issuing,
+            lambda iss: replace(
+                iss, signed_root=replace(iss.signed_root, signature=b"\x00" * 64)
+            ),
+        )
+
+        result = world.pull(now=EPOCH + 40)
+        replica = world.agent.replica_for(issuing.name)
+        # The forged batch is reported, the replica recovers via sync, and
+        # every other CA's head was still checked in the same cycle.
+        assert any("signature" in error for error in result.errors)
+        assert result.heads_checked == len(world.cas)
+        assert result.resyncs >= 1
+        assert replica.contains(serial)
+        assert replica.root() == issuing.dictionary.root()
+
+    def test_transient_tamper_without_sync_server_self_heals(self, world):
+        """A batch that failed to apply must be refetched once the CDN heals."""
+        from dataclasses import replace
+
+        from repro.pki.serial import SerialNumber
+        from repro.ritm.ca_service import issuance_path
+        from repro.ritm.dissemination import RADisseminationClient
+
+        issuing = world.ca_by_name(world.corpus.chains[0].leaf.issuer)
+        serial = world.corpus.chains[0].leaf.serial
+
+        lonely_agent = RevocationAgent("lonely-ra", world.config)
+        lonely_agent.register_ca(issuing.name, issuing.public_key)
+        client = RADisseminationClient(
+            lonely_agent, world.cdn, GeoLocation(Region.EUROPE), sync_servers={}
+        )
+        client.pull(now=EPOCH + 10)  # bootstrap the signed root
+
+        issuing.revoke([serial], now=EPOCH + 20)
+        path = issuance_path(issuing.name, issuing.issuance_count())
+        honest_object = world.cdn.origin._objects[path]
+        self._tamper(
+            world, issuing, lambda iss: replace(iss, serials=(SerialNumber(0xEEEEEE),))
+        )
+
+        bad_pull = client.pull(now=EPOCH + 40)
+        replica = lonely_agent.replica_for(issuing.name)
+        assert any("root does not match" in error for error in bad_pull.errors)
+        assert replica.size == 0  # rolled back, nothing bogus retained
+
+        # CDN heals: the same batch object is honest again.
+        world.cdn.origin._objects[path] = honest_object
+        good_pull = client.pull(now=EPOCH + 50)
+        assert good_pull.errors == []
+        assert good_pull.serials_applied == 1
+        assert replica.contains(serial)
+        assert replica.root() == issuing.dictionary.root()

@@ -1,0 +1,112 @@
+"""Unit tests for the incremental engine's cached-level maintenance."""
+
+import pytest
+
+from repro.store import IncrementalMerkleStore, NaiveMerkleStore
+
+
+def key(value: int) -> bytes:
+    return value.to_bytes(3, "big")
+
+
+def fresh_levels(store: IncrementalMerkleStore):
+    """Recompute the hash levels from scratch through the oracle."""
+    oracle = NaiveMerkleStore(digest_size=store.digest_size)
+    oracle.insert_batch(zip(store.keys(), (store.get(k) for k in store.keys())))
+    return oracle._hash_levels()
+
+
+def assert_levels_fresh(store: IncrementalMerkleStore):
+    assert store._hash_levels() == fresh_levels(store)
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33])
+def test_levels_match_oracle_after_appends(size):
+    store = IncrementalMerkleStore()
+    for value in range(1, size + 1):
+        store.insert(key(value), b"val1")
+    assert_levels_fresh(store)
+
+
+@pytest.mark.parametrize("size", [2, 3, 5, 8, 13, 21, 34])
+def test_levels_match_oracle_after_front_inserts(size):
+    store = IncrementalMerkleStore()
+    for value in range(size, 0, -1):
+        store.insert(key(value), b"val1")
+    assert_levels_fresh(store)
+
+
+def test_levels_match_oracle_after_middle_inserts():
+    store = IncrementalMerkleStore()
+    store.insert_batch([(key(v), b"v") for v in range(0, 100, 10)])
+    for value in (5, 55, 95, 41, 42, 43):
+        store.insert(key(value), b"v")
+        assert_levels_fresh(store)
+
+
+def test_append_touches_only_logarithmic_path(monkeypatch):
+    """An append (key after every stored key) must not rehash the whole tree."""
+    import repro.store.incremental as incremental_module
+
+    store = IncrementalMerkleStore()
+    store.insert_batch([(key(v), b"v") for v in range(1, 1025)])
+
+    calls = 0
+    real_hash_node = incremental_module.hash_node
+
+    def counting_hash_node(left, right, digest_size):
+        nonlocal calls
+        calls += 1
+        return real_hash_node(left, right, digest_size)
+
+    monkeypatch.setattr(incremental_module, "hash_node", counting_hash_node)
+    store.insert(key(5000), b"v")
+    # 1025 leaves → 11 levels; the right-edge path recomputes at most a
+    # couple of nodes per level, nowhere near the ~1024 of a full rebuild.
+    assert calls <= 2 * 11
+
+
+def test_batch_recomputes_only_dirty_suffix(monkeypatch):
+    """A batch landing at the far right must not rehash the left subtrees."""
+    import repro.store.incremental as incremental_module
+
+    store = IncrementalMerkleStore()
+    store.insert_batch([(key(v), b"v") for v in range(1, 1025)])
+
+    calls = 0
+    real_hash_node = incremental_module.hash_node
+
+    def counting_hash_node(left, right, digest_size):
+        nonlocal calls
+        calls += 1
+        return real_hash_node(left, right, digest_size)
+
+    monkeypatch.setattr(incremental_module, "hash_node", counting_hash_node)
+    store.insert_batch([(key(5000 + v), b"v") for v in range(64)])
+    # 64 appended leaves dirty a 64-wide suffix: ~64+32+16+... ≈ 128 nodes,
+    # plus one path to the root; a full rebuild would be ~1088.
+    assert calls < 200
+
+
+def test_root_is_served_from_cache(monkeypatch):
+    import repro.store.incremental as incremental_module
+
+    store = IncrementalMerkleStore()
+    store.insert_batch([(key(v), b"v") for v in range(1, 100)])
+
+    def exploding_hash_node(left, right, digest_size):
+        raise AssertionError("root() must not hash anything")
+
+    monkeypatch.setattr(incremental_module, "hash_node", exploding_hash_node)
+    for _ in range(3):
+        assert store.root() == store.root()
+        store.prove(key(50))
+        store.prove(key(100000))
+
+
+def test_height_growth_and_single_leaf():
+    store = IncrementalMerkleStore()
+    store.insert(key(1), b"v")
+    assert store.root() == fresh_levels(store)[-1][0]
+    store.insert(key(2), b"v")
+    assert_levels_fresh(store)
