@@ -1,0 +1,41 @@
+"""Benchmark the scenario engine's end-to-end cost.
+
+One smoke run of the ``quickstart`` scenario measures the fixed overhead of
+the engine (build + bootstrap + pulls + handshakes); the ``flash-crowd``
+smoke run measures a burst workload end to end and records the store-engine
+replay comparison the scenario itself performs.  Results land in
+``benchmarks/results/scenario_engine.txt``.
+"""
+
+from __future__ import annotations
+
+from bench_harness import write_result
+
+from repro.analysis.reporting import format_table
+from repro.scenarios import get, run_scenario
+
+
+def test_scenario_engine_overhead(benchmark):
+    """End-to-end smoke run of the smallest scenario."""
+    report = benchmark.pedantic(
+        lambda: run_scenario(get("quickstart"), smoke=True), rounds=3, iterations=1
+    )
+    assert report.all_checks_passed
+
+
+def test_flash_crowd_engine_comparison():
+    """Run flash-crowd once and persist its engine-comparison artifact."""
+    report = run_scenario(get("flash-crowd"), smoke=True)
+    assert report.all_checks_passed
+    comparison = report.extras["engine_comparison"]
+    rows = []
+    for engine in ("naive", "incremental"):
+        entry = comparison[engine]
+        rows.append((engine, entry["serials"], f"{entry['seconds'] * 1e3:.2f} ms"))
+    text = format_table(
+        ["engine", "serials", "replay time"],
+        rows,
+        title="flash-crowd burst replayed per store engine (smoke workload)",
+    )
+    text += f"\nroots agree: {comparison['roots_agree']}"
+    write_result("scenario_engine", text)

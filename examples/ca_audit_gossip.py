@@ -2,101 +2,26 @@
 """CA accountability: catching an equivocating CA with consistency checking.
 
 RITM keeps CAs accountable (§III "Consistency Checking", §V "Misbehaving
-CA"): because dictionaries are append-only and every signed root binds one
-exact version, a CA that shows one dictionary to part of the system and a
-different one to the rest must eventually sign two conflicting roots of the
-same size — and any two parties that compare roots can prove it.
-
-This example stages that attack: a CA maintains an honest dictionary for most
-RAs but serves a doctored copy (with one revocation silently omitted) to a
-targeted RA.  A single gossip round between the two RAs produces portable
-cryptographic evidence of the equivocation.
+CA"): a CA that shows different dictionaries to different parts of the
+system must sign two conflicting roots of the same size.  This wrapper runs
+the registered ``ca-audit-gossip`` scenario: the CA revokes a bank's
+certificate honestly for one RA, serves a forged view to another, and one
+gossip round produces portable cryptographic evidence of the equivocation.
 
 Run:  python examples/ca_audit_gossip.py
+Same as:  python -m repro run ca-audit-gossip
 """
 
-from dataclasses import replace
+import sys
 
-from repro.cdn import CDNNetwork, GeoLocation, Region
-from repro.crypto import KeyPair
-from repro.pki import CertificationAuthority, SerialNumber
-from repro.ritm import (
-    GossipExchange,
-    RITMCertificationAuthority,
-    RITMConfig,
-    RevocationAgent,
-    attach_agent_to_cas,
-)
-
-EPOCH = 1_400_000_000
+from repro.scenarios import get, run_scenario
 
 
-def main() -> None:
-    config = RITMConfig(delta_seconds=10)
-    authority = CertificationAuthority("Equivocating CA", key_seed=b"equivocator")
-    victim_keys = KeyPair.generate(b"victim-bank")
-    victim_chain = authority.issue_chain_for("bank.example", victim_keys.public, now=EPOCH)
-
-    cdn = CDNNetwork()
-    ritm_ca = RITMCertificationAuthority(authority, config, cdn)
-    ritm_ca.bootstrap(now=EPOCH)
-
-    # Two independently operated RAs replicate the CA's dictionary.
-    honest_ra = RevocationAgent("isp-ra", config)
-    targeted_ra = RevocationAgent("campus-ra", config)
-    honest_pull = attach_agent_to_cas(honest_ra, [ritm_ca], cdn, GeoLocation(Region.EUROPE))
-    targeted_pull = attach_agent_to_cas(targeted_ra, [ritm_ca], cdn, GeoLocation(Region.UNITED_STATES))
-    honest_pull.pull(now=EPOCH + 1)
-    targeted_pull.pull(now=EPOCH + 1)
-
-    # The CA revokes the bank's certificate and publishes it honestly ...
-    issuance = ritm_ca.revoke([victim_chain.leaf.serial], now=EPOCH + 20)
-    honest_pull.pull(now=EPOCH + 25)
-    print(f"honest RA view: {honest_ra.replica_for(authority.name).size} revocation(s)")
-
-    # ... but serves the targeted RA a *forged* view of the same size in which
-    # a different, meaningless serial is revoked instead (hiding the real one).
-    decoy = SerialNumber(0xDEAD)
-    forged_dictionary_root = _forged_root_for(authority, decoy, issuance.signed_root.timestamp)
-    forged_issuance = replace(
-        issuance, serials=(decoy,), signed_root=forged_dictionary_root
-    )
-    targeted_ra.apply_issuance(forged_issuance)
-    print(f"targeted RA view: {targeted_ra.replica_for(authority.name).size} revocation(s) "
-          f"(but for the decoy serial {decoy})")
-
-    revoked_for_target = targeted_ra.replica_for(authority.name).contains(victim_chain.leaf.serial)
-    print(f"targeted RA believes the bank certificate is revoked: {revoked_for_target}")
-
-    # One gossip round between the two RAs exposes the split view.
-    reports = GossipExchange().exchange(honest_ra.consistency, targeted_ra.consistency)
-    report = reports[0]
-    print("\ngossip round complete:")
-    print(f"  conflicting signed roots detected for CA {report.ca_name!r} at size "
-          f"{report.first.size}")
-    print(f"  evidence verifies under the CA's own key: {report.is_valid_evidence(authority.public_key)}")
-    print("  the two signed roots can now be forwarded to browser/OS vendors as proof.")
-
-
-def _forged_root_for(authority: CertificationAuthority, decoy: SerialNumber, timestamp: int):
-    """The malicious CA signs a parallel dictionary containing only the decoy."""
-    from repro.crypto import HashChain
-    from repro.crypto.merkle import SortedMerkleTree
-    from repro.dictionary.signed_root import SignedRoot
-
-    shadow_tree = SortedMerkleTree()
-    shadow_tree.insert(decoy.to_bytes(), (1).to_bytes(4, "big"))
-    shadow_chain = HashChain(length=64)
-    unsigned = SignedRoot(
-        ca_name=authority.name,
-        root=shadow_tree.root(),
-        size=1,
-        anchor=shadow_chain.anchor,
-        timestamp=timestamp,
-        chain_length=64,
-    )
-    return unsigned.sign(authority._keys.private)  # noqa: SLF001 - the CA signs its own forgery
+def main() -> int:
+    report = run_scenario(get("ca-audit-gossip"))
+    print(report.to_markdown())
+    return 0 if report.all_checks_passed else 1
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

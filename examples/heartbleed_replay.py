@@ -3,91 +3,36 @@
 
 The paper motivates RITM with catastrophic events such as Heartbleed, when
 thousands of certificates were revoked within days (§I, §VII-A).  This
-example replays the burst week (14-20 April 2014) from the calibrated
-synthetic trace against a real CA + CDN + Revocation Agent pipeline:
+wrapper runs the registered ``heartbleed`` scenario: the burst week of the
+calibrated synthetic trace against a real CA + CDN + Revocation Agent
+pipeline, reporting dissemination volume and worst-case provability lag.
 
-* every Δ, the CA batches the revocations issued in that period, updates its
-  authenticated dictionary, and publishes the batch + a fresh head object;
-* an RA pulls every Δ and applies the updates;
-* the example reports, per day, how many revocations flowed, how many bytes
-  the RA downloaded, and the worst-case time from "CA revokes" to "RA can
-  prove it" (the dissemination delay that bounds the attack window).
-
-Run:  python examples/heartbleed_replay.py  [--delta 3600]
+Run:  python examples/heartbleed_replay.py  [--delta 3600] [--ca-share 0.05]
+Same as:  python -m repro run heartbleed
 """
 
 import argparse
-import datetime as dt
-from collections import defaultdict
+import sys
 
-from repro.cdn import CDNNetwork, GeoLocation, Region
-from repro.pki import CertificationAuthority, SerialNumber
-from repro.ritm import RITMCertificationAuthority, RITMConfig, RevocationAgent, attach_agent_to_cas
-from repro.workloads import HEARTBLEED_WEEK, generate_trace
-from repro.workloads.revocation_trace import serials_for_count
+from repro.scenarios import get, run_scenario
 
 
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--delta", type=int, default=3600, help="dissemination period Δ in seconds")
+    parser.add_argument("--delta", type=int, default=3600,
+                        help="dissemination period Δ in seconds")
     parser.add_argument("--ca-share", type=float, default=0.05,
                         help="fraction of the global burst handled by the CA under study "
                              "(0.25 reproduces the paper's largest CA but takes a few minutes)")
     args = parser.parse_args()
 
-    config = RITMConfig(delta_seconds=args.delta, chain_length=max(64, 2 * 86_400 // args.delta))
-    trace = generate_trace()
-    start, end = HEARTBLEED_WEEK
-    bins = trace.counts_per_bin(start, end, args.delta)
-
-    authority = CertificationAuthority("Heartbleed-Era CA", key_seed=b"heartbleed-ca")
-    cdn = CDNNetwork()
-    ritm_ca = RITMCertificationAuthority(authority, config, cdn)
-
-    epoch = bins[0][0]
-    ritm_ca.bootstrap(now=epoch - 1)
-    agent = RevocationAgent("isp-ra", config)
-    dissemination = attach_agent_to_cas(agent, [ritm_ca], cdn, GeoLocation(Region.UNITED_STATES))
-    dissemination.pull(now=epoch - 1)
-
-    serial_pool = iter(serials_for_count(2_000_000, seed=404))
-    per_day = defaultdict(lambda: {"revocations": 0, "bytes": 0, "max_lag": 0.0})
-
-    for bin_start, global_count in bins:
-        ca_count = int(global_count * args.ca_share)
-        day = dt.datetime.utcfromtimestamp(bin_start).date().isoformat()
-        if ca_count:
-            serials = [SerialNumber(next(serial_pool)) for _ in range(ca_count)]
-            ritm_ca.revoke(serials, now=bin_start)
-            per_day[day]["revocations"] += ca_count
-        else:
-            ritm_ca.refresh(now=bin_start)
-        # The RA pulls at the end of the period (worst case within Δ).
-        pull_time = bin_start + args.delta
-        result = dissemination.pull(now=pull_time)
-        per_day[day]["bytes"] += result.bytes_downloaded
-        if ca_count:
-            per_day[day]["max_lag"] = max(per_day[day]["max_lag"],
-                                          args.delta + result.latency_seconds)
-
-    print(f"Heartbleed week replay, Δ = {args.delta} s, CA share = {args.ca_share:.0%}")
-    print(f"{'day':>12} | {'revocations':>11} | {'RA download':>12} | {'worst lag':>10}")
-    print("-" * 56)
-    total_rev = total_bytes = 0
-    for day in sorted(per_day):
-        row = per_day[day]
-        total_rev += row["revocations"]
-        total_bytes += row["bytes"]
-        print(f"{day:>12} | {row['revocations']:>11,} | {row['bytes'] / 1024:>9.1f} KB "
-              f"| {row['max_lag']:>8.1f} s")
-    print("-" * 56)
-    print(f"{'total':>12} | {total_rev:>11,} | {total_bytes / 1024 / 1024:>9.2f} MB |")
-    replica = agent.replica_for(authority.name)
-    print(f"\nRA dictionary after the week: {replica.size:,} revocations, "
-          f"storage ≈ {replica.storage_size_bytes() / 1e6:.1f} MB")
-    print("Every revocation became provable at the RA within one Δ of being issued "
-          f"(attack window 2Δ = {2 * args.delta} s).")
+    config = get("heartbleed").with_overrides(
+        delta_seconds=args.delta, workload={"ca_share": args.ca_share}
+    )
+    report = run_scenario(config)
+    print(report.to_markdown())
+    return 0 if report.all_checks_passed else 1
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

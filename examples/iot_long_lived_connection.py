@@ -2,113 +2,26 @@
 """Long-lived connections (IoT / VPN): mid-connection revocation with RITM.
 
 The paper stresses that a revocation system must notify clients *during*
-established connections (§II "Desired Properties", §V "Race Condition"):
-an IoT device or VPN endpoint that keeps a TLS session open for hours would
-otherwise keep talking to a server whose certificate was revoked minutes
-after the handshake.
-
-This example establishes a long-lived RITM-protected connection, revokes the
-server's certificate mid-session, and shows the client tearing the session
-down within 2Δ.  For contrast, it runs the same timeline against the OCSP
-Stapling baseline (a 4-day response lifetime) and reports how long that
-client would have kept the compromised session alive.
+established connections (§II "Desired Properties", §V "Race Condition").
+This wrapper runs the registered ``iot-long-lived`` scenario: a long-lived
+RITM-protected session is torn down within 2Δ of the server's certificate
+being revoked, while the OCSP Stapling baseline on the same timeline keeps
+the compromised session alive for up to its 4-day response lifetime.
 
 Run:  python examples/iot_long_lived_connection.py
+Same as:  python -m repro run iot-long-lived
 """
 
-from repro.baselines import CheckContext, GroundTruth, OCSPStaplingScheme
-from repro.cdn import CDNNetwork, GeoLocation, Region
-from repro.crypto import KeyPair
-from repro.net.clock import SimulatedClock
-from repro.pki import CertificationAuthority, TrustStore
-from repro.ritm import (
-    RITMCertificationAuthority,
-    RITMConfig,
-    RevocationAgent,
-    attach_agent_to_cas,
-    build_close_to_client_deployment,
-)
+import sys
 
-EPOCH = 1_400_000_000
-DELTA = 30  # seconds; IoT gateways can afford frequent small pulls
-SESSION_HOURS = 2
+from repro.scenarios import get, run_scenario
 
 
-def main() -> None:
-    config = RITMConfig(delta_seconds=DELTA, chain_length=2 * SESSION_HOURS * 3600 // DELTA + 16)
-
-    authority = CertificationAuthority("IoT Platform CA", key_seed=b"iot-ca")
-    device_cloud_keys = KeyPair.generate(b"iot-cloud")
-    chain = authority.issue_chain_for("telemetry.iot.example", device_cloud_keys.public, now=EPOCH)
-    trust_store = TrustStore()
-    trust_store.add(authority)
-
-    cdn = CDNNetwork()
-    ritm_ca = RITMCertificationAuthority(authority, config, cdn)
-    ritm_ca.bootstrap(now=EPOCH)
-    gateway_ra = RevocationAgent("home-gateway-ra", config)
-    dissemination = attach_agent_to_cas(gateway_ra, [ritm_ca], cdn, GeoLocation(Region.EUROPE))
-    dissemination.pull(now=EPOCH + 1)
-
-    clock = SimulatedClock(EPOCH + 2)
-    deployment = build_close_to_client_deployment(
-        server_chain=chain,
-        trust_store=trust_store,
-        ca_public_keys={authority.name: authority.public_key},
-        config=config,
-        agent=gateway_ra,
-        clock=clock,
-    )
-    assert deployment.run_handshake()
-    print(f"IoT device connected to {chain.leaf.subject} (Δ = {DELTA} s, session target "
-          f"{SESSION_HOURS} h). Status size: {deployment.client.last_status.encoded_size()} B")
-
-    # The certificate is revoked 20 minutes into the session.
-    revocation_offset = 20 * 60
-    revoked_at = None
-    detected_at = None
-
-    tick = 0
-    while clock.now() - (EPOCH + 2) < SESSION_HOURS * 3600:
-        tick += 1
-        clock.advance(DELTA)
-        now = clock.now()
-        if revoked_at is None and now - (EPOCH + 2) >= revocation_offset:
-            ritm_ca.revoke([chain.leaf.serial], now=now, reason="device key extracted")
-            revoked_at = now
-            print(f"[t+{(now - EPOCH - 2) / 60:5.1f} min] CA revoked the server certificate")
-        else:
-            ritm_ca.refresh(now=now)
-        dissemination.pull(now=now)
-        # The server keeps streaming telemetry acknowledgements; the RA
-        # piggybacks a fresh status every Δ.
-        deployment.deliver_from_server(b"telemetry-ack")
-        if not deployment.client.is_connection_usable:
-            detected_at = now
-            break
-        deployment.client.enforce_freshness(now)
-
-    print(f"[t+{(detected_at - EPOCH - 2) / 60:5.1f} min] client tore the session down: "
-          f"{deployment.client.rejection.value}")
-    ritm_lag = detected_at - revoked_at
-    print(f"RITM detection lag: {ritm_lag:.0f} s (bound: 2Δ = {2 * DELTA} s)\n")
-
-    # ----- the same timeline under OCSP Stapling ---------------------------------
-    truth = GroundTruth(ca_name=authority.name)
-    stapling = OCSPStaplingScheme(truth, response_lifetime=4 * 86_400.0)
-    serial = chain.leaf.serial
-    stapling.check(CheckContext("iot-device", chain.leaf.subject, serial, now=float(EPOCH + 2)))
-    truth.revoke(serial, now=float(revoked_at))
-    # The stapled response the server already holds stays "good" until it expires.
-    probe = stapling.check(
-        CheckContext("iot-device", chain.leaf.subject, serial, now=float(revoked_at + 3600))
-    )
-    stapling_window = stapling.responder.response_lifetime
-    print("OCSP Stapling on the same timeline:")
-    print(f"  one hour after revocation the stapled response still says revoked={probe.revoked}")
-    print(f"  worst-case exposure: the response lifetime, {stapling_window / 3600:.0f} h "
-          f"(vs {2 * DELTA} s with RITM) — and nothing at all prompts an in-session re-check.")
+def main() -> int:
+    report = run_scenario(get("iot-long-lived"))
+    print(report.to_markdown())
+    return 0 if report.all_checks_passed else 1
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

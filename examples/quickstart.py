@@ -1,90 +1,24 @@
 #!/usr/bin/env python3
-"""Quickstart: a complete RITM deployment in ~60 lines.
+"""Quickstart: a complete RITM deployment via the scenario engine.
 
-Builds the whole pipeline of the paper's Fig. 1/Fig. 3:
-
-  CA ──publishes──▶ CDN (origin + edges) ──pulled every Δ──▶ Revocation Agent
-                                                               │ on-path
-  client ◀── TLS handshake + piggybacked revocation status ────┘
-
-then revokes the server's certificate and shows that the very next handshake
-is refused, about one dissemination period (Δ) later.
+Builds the paper's Fig. 1/Fig. 3 pipeline (CA → CDN → RA → client), runs a
+handshake, revokes the server's certificate, and shows the next handshake
+being refused — all driven by the registered ``quickstart`` scenario.
 
 Run:  python examples/quickstart.py
+Same as:  python -m repro run quickstart
 """
 
-from repro.cdn import CDNNetwork, GeoLocation, Region
-from repro.crypto import KeyPair
-from repro.net.clock import SimulatedClock
-from repro.pki import CertificationAuthority, TrustStore
-from repro.ritm import (
-    RITMCertificationAuthority,
-    RITMConfig,
-    RevocationAgent,
-    attach_agent_to_cas,
-    build_close_to_client_deployment,
-)
+import sys
 
-EPOCH = 1_400_000_000  # simulated "now" (Unix seconds)
+from repro.scenarios import get, run_scenario
 
 
-def main() -> None:
-    config = RITMConfig(delta_seconds=10)
-
-    # 1. A certification authority issues the server's certificate chain.
-    authority = CertificationAuthority("Example Root CA", key_seed=b"quickstart-ca")
-    server_keys = KeyPair.generate(b"quickstart-server")
-    chain = authority.issue_chain_for("shop.example", server_keys.public, now=EPOCH)
-    trust_store = TrustStore()
-    trust_store.add(authority)
-
-    # 2. The CA joins RITM: it signs its (empty) revocation dictionary and
-    #    publishes it through a CDN.
-    cdn = CDNNetwork()
-    ritm_ca = RITMCertificationAuthority(authority, config, cdn)
-    ritm_ca.bootstrap(now=EPOCH)
-
-    # 3. A Revocation Agent at the client's gateway pulls the dictionary.
-    agent = RevocationAgent("gateway-ra", config)
-    dissemination = attach_agent_to_cas(agent, [ritm_ca], cdn, GeoLocation(Region.EUROPE))
-    pull = dissemination.pull(now=EPOCH + 1)
-    print(f"RA synced {len(agent.replicas)} dictionary in {pull.latency_seconds * 1e3:.1f} ms "
-          f"({pull.bytes_downloaded} bytes)")
-
-    # 4. An RITM-supported client connects through the RA.
-    clock = SimulatedClock(EPOCH + 2)
-    deployment = build_close_to_client_deployment(
-        server_chain=chain,
-        trust_store=trust_store,
-        ca_public_keys={authority.name: authority.public_key},
-        config=config,
-        agent=agent,
-        clock=clock,
-    )
-    accepted = deployment.run_handshake()
-    status = deployment.client.last_status
-    print(f"handshake #1 accepted: {accepted} "
-          f"(revocation status: {status.encoded_size()} bytes, revoked={status.is_revoked})")
-
-    # 5. The CA revokes the certificate; the RA picks it up on its next pull.
-    ritm_ca.revoke([chain.leaf.serial], now=clock.now(), reason="key compromise")
-    dissemination.pull(now=clock.now() + config.delta_seconds)
-    print(f"CA revoked serial {chain.leaf.serial}; RA dictionary now has "
-          f"{agent.replica_for(authority.name).size} entry")
-
-    # 6. The next client connection is refused with a verifiable proof.
-    retry = build_close_to_client_deployment(
-        server_chain=chain,
-        trust_store=trust_store,
-        ca_public_keys={authority.name: authority.public_key},
-        config=config,
-        agent=agent,
-        clock=SimulatedClock(clock.now() + config.delta_seconds + 1),
-    )
-    accepted = retry.run_handshake()
-    print(f"handshake #2 accepted: {accepted} -> rejection reason: {retry.client.rejection.value}")
-    print(f"detail: {retry.client.rejection_detail}")
+def main() -> int:
+    report = run_scenario(get("quickstart"))
+    print(report.to_markdown())
+    return 0 if report.all_checks_passed else 1
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -58,6 +58,7 @@ class RADisseminationClient:
         self.pull_history: List[PullResult] = []
 
     def register_sync_server(self, ca_name: str, server: SyncServer) -> None:
+        """Register the CA's direct sync endpoint for desync recovery."""
         self.sync_servers[ca_name] = server
 
     # -- the Δ-periodic pull -------------------------------------------------------
@@ -188,9 +189,11 @@ class RADisseminationClient:
     # -- bookkeeping ------------------------------------------------------------------
 
     def total_bytes_downloaded(self) -> int:
+        """Bytes fetched from the CDN across every recorded pull cycle."""
         return sum(pull.bytes_downloaded for pull in self.pull_history)
 
     def average_pull_latency(self) -> float:
+        """Mean client-observed latency per pull cycle, in seconds."""
         if not self.pull_history:
             return 0.0
         return sum(pull.latency_seconds for pull in self.pull_history) / len(self.pull_history)

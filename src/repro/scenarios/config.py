@@ -1,0 +1,314 @@
+"""Declarative scenario configuration.
+
+A :class:`ScenarioConfig` is the complete, validated description of one
+operational scenario: which workload drives the CA, how the deployment is
+shaped (Δ, store engine, RA fleet), which faults are injected when, and which
+optional study phases (victim handshakes, long-lived session, gossip audit,
+engine comparison, baseline comparison) the runner should execute.
+
+Configs are frozen dataclasses so a registered scenario can never be mutated
+by a run; parameter sweeps go through :meth:`ScenarioConfig.with_overrides`
+(and its ``--smoke`` specialisation :meth:`ScenarioConfig.smoke`), which
+re-validates the copy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.cdn.geography import Region
+from repro.errors import ConfigurationError
+from repro.store import DEFAULT_ENGINE, ENGINES
+
+#: Fault kinds the runner knows how to inject (see :mod:`repro.scenarios.faults`).
+FAULT_KINDS = ("tampered-batch", "ca-outage", "ra-restart")
+
+#: Optional baseline schemes a scenario can compare itself against.
+BASELINES = ("", "ocsp-stapling")
+
+#: Workload shapes: a calibrated trace window or an explicit event script.
+WORKLOAD_KINDS = ("trace", "scripted")
+
+
+def _region_for(name: str) -> Region:
+    """Resolve a region given either the enum name or its human value."""
+    for region in Region:
+        if name in (region.name, region.value):
+            return region
+    raise ConfigurationError(
+        f"unknown region {name!r}; expected one of {[r.name for r in Region]}"
+    )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: what goes wrong, when, and for how long.
+
+    Kinds:
+
+    * ``tampered-batch`` — the issuance batch published in period
+      ``at_period`` is replaced on the CDN with a forged copy (a decoy serial
+      substituted), exercising the RA's verify → rollback → resync path;
+    * ``ca-outage`` — the CA publishes nothing for ``duration_periods``
+      periods; revocations issued meanwhile queue up and flush on recovery;
+    * ``ra-restart`` — the targeted RA misses its pulls for
+      ``duration_periods`` periods, then catches up.
+    """
+
+    kind: str
+    at_period: int
+    duration_periods: int = 1
+    #: RA name targeted by ``ra-restart``; empty selects the last agent.
+    agent: str = ""
+
+    def __post_init__(self) -> None:
+        """Validate the fault kind and timing fields."""
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.at_period < 0:
+            raise ConfigurationError("fault at_period cannot be negative")
+        if self.duration_periods < 1:
+            raise ConfigurationError("fault duration_periods must be at least 1")
+
+    def covers(self, period: int) -> bool:
+        """Whether the fault is active during ``period``."""
+        return self.at_period <= period < self.at_period + self.duration_periods
+
+
+@dataclass(frozen=True)
+class RevocationEvent:
+    """One scripted workload event: revoke ``count`` serials in a period.
+
+    When ``revoke_victim`` is set the scenario's victim certificate (issued
+    for :attr:`ScenarioConfig.victim_host`) is revoked in the same batch.
+    """
+
+    at_period: int
+    count: int = 0
+    revoke_victim: bool = False
+    reason: str = "unspecified"
+
+    def __post_init__(self) -> None:
+        """Validate event timing and that the event actually does something."""
+        if self.at_period < 0:
+            raise ConfigurationError("event at_period cannot be negative")
+        if self.count < 0:
+            raise ConfigurationError("event count cannot be negative")
+        if self.count == 0 and not self.revoke_victim:
+            raise ConfigurationError("an event must revoke serials or the victim")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What the CA revokes over the scenario's timeline.
+
+    Two kinds exist: ``trace`` replays a window of the calibrated synthetic
+    revocation trace (:mod:`repro.workloads.revocation_trace`), scaled by
+    ``ca_share``; ``scripted`` executes an explicit list of
+    :class:`RevocationEvent` entries.
+    """
+
+    kind: str = "scripted"
+    events: Tuple[RevocationEvent, ...] = ()
+    #: ISO dates bounding the trace window (``trace`` kind only).
+    trace_start: str = ""
+    trace_end: str = ""
+    #: Fraction of the global trace handled by the CA under study.
+    ca_share: float = 1.0
+    #: Seed for the deterministic serial-number pool.
+    serial_seed: int = 404
+
+    def __post_init__(self) -> None:
+        """Validate the workload shape for its kind."""
+        if self.kind not in WORKLOAD_KINDS:
+            raise ConfigurationError(
+                f"unknown workload kind {self.kind!r}; expected one of {WORKLOAD_KINDS}"
+            )
+        if not 0.0 < self.ca_share <= 1.0:
+            raise ConfigurationError("ca_share must be in (0, 1]")
+        if self.kind == "trace":
+            if self.events:
+                raise ConfigurationError("trace workloads cannot carry scripted events")
+            start, end = self.trace_window()
+            if start > end:
+                raise ConfigurationError("trace_start must not be after trace_end")
+        elif self.trace_start or self.trace_end:
+            raise ConfigurationError("scripted workloads cannot set a trace window")
+
+    def trace_window(self) -> Tuple[_dt.date, _dt.date]:
+        """The (start, end) dates of a ``trace`` workload, parsed and checked."""
+        if self.kind != "trace":
+            raise ConfigurationError("only trace workloads have a trace window")
+        try:
+            start = _dt.date.fromisoformat(self.trace_start)
+            end = _dt.date.fromisoformat(self.trace_end)
+        except ValueError as exc:
+            raise ConfigurationError(f"bad trace window date: {exc}") from None
+        return start, end
+
+    def max_event_period(self) -> int:
+        """The latest period any scripted event fires in (-1 when none)."""
+        return max((event.at_period for event in self.events), default=-1)
+
+
+@dataclass(frozen=True)
+class AgentSpec:
+    """One Revocation Agent in the deployment: its name and CDN region."""
+
+    name: str
+    region: str = "EUROPE"
+
+    def __post_init__(self) -> None:
+        """Validate the agent name and resolve the region eagerly."""
+        if not self.name:
+            raise ConfigurationError("agent name cannot be empty")
+        _region_for(self.region)
+
+    def geo_region(self) -> Region:
+        """The resolved :class:`~repro.cdn.geography.Region`."""
+        return _region_for(self.region)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A complete scenario: deployment shape, workload, faults, and studies.
+
+    Instances are immutable and fully validated at construction; the runner
+    (:mod:`repro.scenarios.runner`) consumes them without further checks.
+    """
+
+    name: str
+    title: str
+    summary: str
+    description: str
+    delta_seconds: int
+    agents: Tuple[AgentSpec, ...]
+    workload: WorkloadSpec
+    #: Number of Δ periods to simulate; must be 0 for ``trace`` workloads
+    #: (the trace window and Δ determine the period count).
+    duration_periods: int = 0
+    faults: Tuple[FaultSpec, ...] = ()
+    store_engine: str = DEFAULT_ENGINE
+    #: 0 derives a chain long enough for the whole run.
+    chain_length: int = 0
+    ca_name: str = "Scenario CA"
+    #: When set, the runner issues a certificate for this host, runs a
+    #: handshake before the workload and another after it.
+    victim_host: str = ""
+    #: Keep a TLS session open across the run and measure mid-session
+    #: revocation detection (requires ``victim_host``).
+    long_lived_session: bool = False
+    #: Stage a CA equivocation against the last agent and run a gossip
+    #: round afterwards (requires ``victim_host`` and at least two agents).
+    gossip_audit: bool = False
+    #: Re-run the revocation workload against each named store engine and
+    #: record wall-clock timings plus root agreement.
+    compare_engines: Tuple[str, ...] = ()
+    #: Compare the observed attack window against a baseline scheme.
+    baseline: str = ""
+    #: Simulated Unix time the scenario starts at (scripted workloads).
+    epoch: int = 1_400_000_000
+    #: Field overrides applied by :meth:`smoke` for fast CI runs.
+    smoke_overrides: Mapping[str, Any] = field(default_factory=dict)
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        """Cross-field validation of the whole scenario."""
+        if not self.name:
+            raise ConfigurationError("scenario name cannot be empty")
+        if self.delta_seconds <= 0:
+            raise ConfigurationError("delta_seconds must be positive")
+        if not self.agents:
+            raise ConfigurationError("a scenario needs at least one agent")
+        names = [agent.name for agent in self.agents]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("agent names must be unique")
+        if self.store_engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown store engine {self.store_engine!r}; "
+                f"available engines: {sorted(ENGINES)}"
+            )
+        for engine in self.compare_engines:
+            if engine not in ENGINES:
+                raise ConfigurationError(
+                    f"unknown comparison engine {engine!r}; "
+                    f"available engines: {sorted(ENGINES)}"
+                )
+        if self.baseline not in BASELINES:
+            raise ConfigurationError(
+                f"unknown baseline {self.baseline!r}; expected one of {BASELINES}"
+            )
+        if self.workload.kind == "trace":
+            if self.duration_periods != 0:
+                raise ConfigurationError(
+                    "trace workloads derive their duration from the trace window; "
+                    "set duration_periods=0"
+                )
+        else:
+            if self.duration_periods < 1:
+                raise ConfigurationError("duration_periods must be at least 1")
+            if self.workload.max_event_period() >= self.duration_periods:
+                raise ConfigurationError("a workload event fires after the scenario ends")
+            for fault in self.faults:
+                if fault.at_period >= self.duration_periods:
+                    raise ConfigurationError(
+                        f"fault {fault.kind!r} at period {fault.at_period} "
+                        f"starts after the scenario ends"
+                    )
+        for fault in self.faults:
+            if fault.kind == "ra-restart" and fault.agent and fault.agent not in names:
+                raise ConfigurationError(
+                    f"ra-restart targets unknown agent {fault.agent!r}"
+                )
+        if self.long_lived_session and not self.victim_host:
+            raise ConfigurationError("long_lived_session requires victim_host")
+        if self.gossip_audit:
+            if not self.victim_host:
+                raise ConfigurationError("gossip_audit requires victim_host")
+            if len(self.agents) < 2:
+                raise ConfigurationError("gossip_audit requires at least two agents")
+            if any(event.revoke_victim for event in self.workload.events):
+                raise ConfigurationError(
+                    "gossip_audit revokes the victim in its audit phase; "
+                    "remove revoke_victim workload events"
+                )
+        if self.baseline and not self.victim_host:
+            raise ConfigurationError("a baseline comparison requires victim_host")
+
+    # -- derived values ------------------------------------------------------------
+
+    def effective_chain_length(self, duration_periods: int) -> int:
+        """The hash-chain length to deploy: explicit, or derived from duration."""
+        if self.chain_length:
+            return self.chain_length
+        return max(64, duration_periods + 16)
+
+    def attack_window_seconds(self) -> int:
+        """The paper's 2Δ bound for this scenario's Δ."""
+        return 2 * self.delta_seconds
+
+    # -- copies --------------------------------------------------------------------
+
+    def with_overrides(self, **overrides: Any) -> "ScenarioConfig":
+        """A re-validated copy with the given fields replaced.
+
+        ``workload`` may be given as a dict of :class:`WorkloadSpec` field
+        overrides instead of a full spec.
+        """
+        if isinstance(overrides.get("workload"), Mapping):
+            overrides = dict(overrides)
+            overrides["workload"] = dataclasses.replace(
+                self.workload, **overrides["workload"]
+            )
+        return dataclasses.replace(self, **overrides)
+
+    def smoke(self) -> "ScenarioConfig":
+        """The scaled-down variant used by ``--smoke`` runs and CI."""
+        if not self.smoke_overrides:
+            return self
+        return self.with_overrides(**dict(self.smoke_overrides))

@@ -1,0 +1,55 @@
+"""Fault injectors: the "what goes wrong" half of a scenario.
+
+Each injector manipulates the deployment exactly the way the paper's
+adversary (or plain operational failure) would:
+
+* :func:`tamper_latest_batch` rewrites the most recently published issuance
+  object on the CDN, substituting a decoy serial while leaving the honest
+  signed root in place — the RA's batch verification must reject it, roll the
+  replica back, and recover through the sync protocol;
+* CA outages and RA restarts are *scheduling* faults: the runner implements
+  them by skipping the CA's publication duty (queueing its revocations) or
+  the RA's pulls for the fault window, using :func:`FaultSpec.covers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.cdn.network import CDNNetwork
+from repro.pki.serial import SerialNumber
+from repro.ritm.ca_service import RITMCertificationAuthority, issuance_path
+from repro.ritm.messages import decode_issuance, encode_issuance
+
+#: The serial substituted into a tampered batch.
+DECOY_SERIAL = 0xDEAD
+
+
+def tamper_latest_batch(
+    ca: RITMCertificationAuthority, cdn: CDNNetwork, now: float
+) -> Optional[str]:
+    """Replace the latest published issuance batch with a forged copy.
+
+    The forged batch swaps the first revoked serial for :data:`DECOY_SERIAL`
+    but keeps the honest signed root, so the batch decodes cleanly and fails
+    only at content verification.  Returns a human-readable description of
+    the tampering, or ``None`` when there is no batch to tamper with.
+    """
+    batch_number = ca.issuance_count()
+    if batch_number == 0:
+        return None
+    path = issuance_path(ca.name, batch_number)
+    if not cdn.origin.exists(path):
+        return None
+    honest = decode_issuance(cdn.origin.fetch(path).content)
+    if not honest.serials:
+        return None
+    decoy = SerialNumber(DECOY_SERIAL)
+    forged_serials = (decoy,) + tuple(honest.serials[1:])
+    forged = replace(honest, serials=forged_serials)
+    cdn.publish(path, encode_issuance(forged), now)
+    return (
+        f"batch {batch_number}: serial {honest.serials[0]} replaced with "
+        f"decoy {decoy} on the CDN"
+    )

@@ -1,0 +1,304 @@
+"""The built-in scenario library.
+
+Seven scenarios ship with the engine.  Four re-express the original
+``examples/`` scripts (``quickstart``, ``heartbleed``, ``iot-long-lived``,
+``ca-audit-gossip``); three are new workloads the declarative engine makes
+cheap (``flash-crowd`` with a store-engine comparison, ``degraded-ra``
+probing the attack window under missed pulls, and ``tampered-cdn`` combining
+a forged batch with a CA outage).
+
+Each scenario is a plain :class:`~repro.scenarios.config.ScenarioConfig`;
+adding a new one is a ~30-line :func:`~repro.scenarios.registry.register`
+call (see ``docs/SCENARIOS.md``).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.config import (
+    AgentSpec,
+    FaultSpec,
+    RevocationEvent,
+    ScenarioConfig,
+    WorkloadSpec,
+)
+from repro.scenarios.registry import register
+
+QUICKSTART = register(
+    ScenarioConfig(
+        name="quickstart",
+        title="Quickstart: revoke-and-reject in one Δ",
+        summary=(
+            "A complete CA → CDN → RA pipeline: the opening handshake is "
+            "accepted, the server certificate is revoked mid-run, and the "
+            "next handshake is rejected with a verifiable proof."
+        ),
+        description=(
+            "Builds the paper's Fig. 1/Fig. 3 pipeline with one gateway RA. "
+            "The CA bootstraps an empty dictionary, the RA pulls it, and a "
+            "client handshake through the RA succeeds with a compact absence "
+            "proof attached. At period 2 the CA revokes the server's serial; "
+            "the RA picks the batch up on its next pull and the closing "
+            "handshake is refused with reason certificate-revoked."
+        ),
+        delta_seconds=10,
+        duration_periods=4,
+        agents=(AgentSpec("gateway-ra", "EUROPE"),),
+        workload=WorkloadSpec(
+            kind="scripted",
+            events=(RevocationEvent(at_period=2, revoke_victim=True, reason="key compromise"),),
+        ),
+        victim_host="shop.example",
+        tags=("example", "handshake"),
+    )
+)
+
+HEARTBLEED = register(
+    ScenarioConfig(
+        name="heartbleed",
+        title="Heartbleed-scale mass revocation",
+        summary=(
+            "Replays the burst week (14-20 April 2014) of the calibrated "
+            "revocation trace through a real CA + CDN + RA pipeline and "
+            "measures dissemination volume and worst-case provability lag."
+        ),
+        description=(
+            "The paper motivates RITM with catastrophic events such as "
+            "Heartbleed (§I, §VII-A). Every Δ the CA batches the revocations "
+            "issued in that period and publishes the batch plus a fresh head "
+            "object; an ISP RA pulls every Δ and applies the updates. The "
+            "report records how many revocations flowed, how many bytes the "
+            "RA downloaded, and the worst time from 'CA revokes' to 'RA can "
+            "prove it' — the dissemination lag that bounds the 2Δ attack "
+            "window. ca_share is the fraction of the global burst handled by "
+            "the CA under study (0.25 reproduces the paper's largest CA)."
+        ),
+        delta_seconds=3600,
+        agents=(AgentSpec("isp-ra", "UNITED_STATES"),),
+        workload=WorkloadSpec(
+            kind="trace",
+            trace_start="2014-04-14",
+            trace_end="2014-04-20",
+            ca_share=0.05,
+        ),
+        smoke_overrides={
+            "delta_seconds": 21600,
+            "workload": {"ca_share": 0.01},
+        },
+        tags=("example", "trace", "mass-revocation"),
+    )
+)
+
+IOT_LONG_LIVED = register(
+    ScenarioConfig(
+        name="iot-long-lived",
+        title="IoT long-lived connection: mid-session revocation",
+        summary=(
+            "Keeps a TLS session open for hours, revokes the server's "
+            "certificate mid-session, and shows the client tearing the "
+            "session down within 2Δ — versus the 4-day exposure of OCSP "
+            "Stapling on the same timeline."
+        ),
+        description=(
+            "The paper stresses that a revocation system must notify clients "
+            "during established connections (§II, §V): an IoT device or VPN "
+            "endpoint that keeps a session open for hours would otherwise "
+            "keep talking to a revoked server. The RA piggybacks a fresh "
+            "status on server traffic every Δ; the client enforces the 2Δ "
+            "freshness window. The baseline section replays the same "
+            "timeline against OCSP Stapling with a 4-day response lifetime."
+        ),
+        delta_seconds=30,
+        duration_periods=240,
+        agents=(AgentSpec("home-gateway-ra", "EUROPE"),),
+        workload=WorkloadSpec(
+            kind="scripted",
+            events=(
+                RevocationEvent(
+                    at_period=40, revoke_victim=True, reason="device key extracted"
+                ),
+            ),
+        ),
+        victim_host="telemetry.iot.example",
+        long_lived_session=True,
+        baseline="ocsp-stapling",
+        smoke_overrides={
+            "duration_periods": 12,
+            "workload": {
+                "events": (
+                    RevocationEvent(
+                        at_period=4, revoke_victim=True, reason="device key extracted"
+                    ),
+                )
+            },
+        },
+        tags=("example", "long-lived", "baseline"),
+    )
+)
+
+CA_AUDIT_GOSSIP = register(
+    ScenarioConfig(
+        name="ca-audit-gossip",
+        title="CA accountability: catching an equivocating CA",
+        summary=(
+            "A CA serves an honest dictionary to one RA and a doctored copy "
+            "(the victim's revocation silently replaced by a decoy) to "
+            "another; one gossip round produces portable cryptographic "
+            "evidence of the equivocation."
+        ),
+        description=(
+            "RITM keeps CAs accountable (§III 'Consistency Checking', §V "
+            "'Misbehaving CA'): a CA that shows different dictionaries to "
+            "different parts of the system must sign two conflicting roots "
+            "of the same size. The audit phase revokes the victim honestly "
+            "for the first RA, hands the second RA a forged issuance with a "
+            "parallel signed root, and runs a gossip exchange between their "
+            "consistency checkers. The resulting misbehavior report verifies "
+            "under the CA's own public key."
+        ),
+        delta_seconds=10,
+        duration_periods=2,
+        agents=(
+            AgentSpec("isp-ra", "EUROPE"),
+            AgentSpec("campus-ra", "UNITED_STATES"),
+        ),
+        workload=WorkloadSpec(kind="scripted"),
+        victim_host="bank.example",
+        gossip_audit=True,
+        tags=("example", "accountability", "gossip"),
+    )
+)
+
+FLASH_CROWD = register(
+    ScenarioConfig(
+        name="flash-crowd",
+        title="Flash-crowd revocation burst with store-engine comparison",
+        summary=(
+            "A sudden revocation burst (a compromised intermediate, a "
+            "botched firmware batch) hits the CA; the same batch stream is "
+            "replayed against every store engine to compare update cost and "
+            "confirm byte-identical roots."
+        ),
+        description=(
+            "Steady background revocations are interrupted by a burst three "
+            "orders of magnitude larger in a single Δ. The main run uses the "
+            "configured engine; afterwards the recorded batch stream is "
+            "replayed against each engine in compare_engines, timing the "
+            "insert+root cycle and asserting that all engines commit to the "
+            "same root (the repro.store contract)."
+        ),
+        delta_seconds=60,
+        duration_periods=8,
+        agents=(
+            AgentSpec("metro-ra", "EUROPE"),
+            AgentSpec("exchange-ra", "JAPAN"),
+        ),
+        workload=WorkloadSpec(
+            kind="scripted",
+            events=(
+                RevocationEvent(at_period=0, count=50, reason="background"),
+                RevocationEvent(at_period=1, count=50, reason="background"),
+                RevocationEvent(at_period=2, count=50, reason="background"),
+                RevocationEvent(at_period=3, count=10_000, reason="flash crowd"),
+                RevocationEvent(at_period=4, count=500, reason="aftershock"),
+                RevocationEvent(at_period=6, count=50, reason="background"),
+            ),
+        ),
+        compare_engines=("naive", "incremental"),
+        smoke_overrides={
+            "workload": {
+                "events": (
+                    RevocationEvent(at_period=0, count=20, reason="background"),
+                    RevocationEvent(at_period=3, count=800, reason="flash crowd"),
+                    RevocationEvent(at_period=4, count=50, reason="aftershock"),
+                )
+            },
+        },
+        tags=("burst", "engines"),
+    )
+)
+
+DEGRADED_RA = register(
+    ScenarioConfig(
+        name="degraded-ra",
+        title="Degraded RA: missed pulls stretch the attack window",
+        summary=(
+            "One RA restarts and misses six consecutive pulls while "
+            "revocations keep flowing; its worst-case provability lag blows "
+            "through the 2Δ bound while a healthy RA stays inside it."
+        ),
+        description=(
+            "The 2Δ attack window (§V) assumes RAs actually pull every Δ. "
+            "This scenario runs two RAs against a steady revocation stream "
+            "and injects an ra-restart fault into one of them. The healthy "
+            "RA's worst lag stays within the bound; the degraded RA's lag "
+            "grows with the outage, quantifying the exposure a monitoring "
+            "system must alarm on, and converges again after recovery."
+        ),
+        delta_seconds=60,
+        duration_periods=16,
+        agents=(
+            AgentSpec("healthy-ra", "EUROPE"),
+            AgentSpec("flaky-ra", "UNITED_STATES"),
+        ),
+        workload=WorkloadSpec(
+            kind="scripted",
+            events=tuple(
+                RevocationEvent(at_period=period, count=20, reason="steady stream")
+                for period in range(16)
+            ),
+        ),
+        faults=(FaultSpec(kind="ra-restart", at_period=4, duration_periods=6, agent="flaky-ra"),),
+        smoke_overrides={
+            "duration_periods": 10,
+            "workload": {
+                "events": tuple(
+                    RevocationEvent(at_period=period, count=10, reason="steady stream")
+                    for period in range(10)
+                )
+            },
+            "faults": (
+                FaultSpec(kind="ra-restart", at_period=2, duration_periods=4, agent="flaky-ra"),
+            ),
+        },
+        tags=("fault", "attack-window"),
+    )
+)
+
+TAMPERED_CDN = register(
+    ScenarioConfig(
+        name="tampered-cdn",
+        title="Hostile distribution: tampered batch + CA outage",
+        summary=(
+            "A batch on the CDN is forged (a decoy serial substituted under "
+            "the honest signed root) and later the CA goes dark for two "
+            "periods; the RA detects the tampering, resyncs, and converges "
+            "once the backlog flushes."
+        ),
+        description=(
+            "RITM's dissemination network is untrusted: edge caches can be "
+            "compromised and origins can serve stale or forged objects. The "
+            "RA verifies every batch against the CA-signed root, rolls back "
+            "a tampered merge, and recovers the honest suffix through the "
+            "sync protocol. A CA outage then queues revocations, which flush "
+            "in one batch on recovery — the report's timeline shows both "
+            "fault windows and the resync count."
+        ),
+        delta_seconds=30,
+        duration_periods=10,
+        agents=(AgentSpec("border-ra", "EUROPE"),),
+        workload=WorkloadSpec(
+            kind="scripted",
+            events=(
+                RevocationEvent(at_period=1, count=25, reason="routine"),
+                RevocationEvent(at_period=2, count=25, reason="routine"),
+                RevocationEvent(at_period=5, count=25, reason="issued during outage"),
+                RevocationEvent(at_period=7, count=25, reason="routine"),
+            ),
+        ),
+        faults=(
+            FaultSpec(kind="tampered-batch", at_period=2),
+            FaultSpec(kind="ca-outage", at_period=5, duration_periods=2),
+        ),
+        tags=("fault", "tamper", "outage"),
+    )
+)

@@ -1,0 +1,787 @@
+"""The scenario runner: executes a :class:`ScenarioConfig` end to end.
+
+The runner is the single place that wires the existing layers together —
+workloads drive a :class:`~repro.ritm.ca_service.RITMCertificationAuthority`,
+the CA publishes through a :class:`~repro.cdn.network.CDNNetwork`, a fleet of
+:class:`~repro.ritm.agent.RevocationAgent` middleboxes pulls every Δ, and
+optional study phases (victim handshakes, a long-lived session, a gossip
+audit, engine comparison, a baseline comparison) ride on top.  Faults from
+the config are injected at their scheduled periods.
+
+Every run produces a :class:`~repro.scenarios.report.ScenarioReport` whose
+schema is pinned by tests; examples, the ``python -m repro`` CLI, and CI all
+consume the same reports.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.cdn import CDNNetwork, GeoLocation
+from repro.crypto import HashChain, KeyPair
+from repro.crypto.merkle import SortedMerkleTree
+from repro.dictionary.signed_root import SignedRoot
+from repro.errors import ConfigurationError
+from repro.net.clock import SimulatedClock
+from repro.pki import CertificationAuthority, SerialNumber, TrustStore
+from repro.ritm import (
+    GossipExchange,
+    RITMCertificationAuthority,
+    RITMConfig,
+    RevocationAgent,
+    attach_agent_to_cas,
+    build_close_to_client_deployment,
+)
+from repro.ritm.client import RejectionReason
+from repro.ritm.dissemination import RADisseminationClient
+from repro.scenarios.config import FaultSpec, ScenarioConfig
+from repro.scenarios.faults import DECOY_SERIAL, tamper_latest_batch
+from repro.scenarios.report import ScenarioCheck, ScenarioReport
+from repro.store import create_store
+from repro.workloads import generate_trace, serials_for_count
+
+
+@dataclass
+class _PendingProvability:
+    """A revocation waiting to become provable at each agent."""
+
+    event_time: float
+    cumulative_size: int
+
+
+@dataclass
+class _AgentRuntime:
+    """Per-agent state the runner tracks across periods."""
+
+    spec_name: str
+    agent: RevocationAgent
+    client: RADisseminationClient
+    #: Index into the pending-provability list: entries before it are provable.
+    provability_cursor: int = 0
+    max_lag_seconds: float = 0.0
+    missed_pulls: int = 0
+
+
+class ScenarioRunner:
+    """Executes one scenario configuration and assembles its report."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        """Bind the runner to a validated scenario config."""
+        self.config = config
+
+    # -- public API ----------------------------------------------------------------
+
+    def run(self) -> ScenarioReport:
+        """Execute the scenario and return its structured report."""
+        cfg = self.config
+        periods, counts = self._build_timeline()
+        duration = len(periods)
+        ritm_config = RITMConfig(
+            delta_seconds=cfg.delta_seconds,
+            chain_length=cfg.effective_chain_length(duration),
+            store_engine=cfg.store_engine,
+        )
+
+        self._events: List[Dict[str, object]] = []
+        self._pending: List[_PendingProvability] = []
+        self._batches: List[List[SerialNumber]] = []
+        self._numbered: List[Tuple[int, SerialNumber]] = []
+        self._backlog: List[Tuple[float, List[SerialNumber], str, bool]] = []
+        self._revocations_issued = 0
+
+        setup_time = periods[0][1] - 2
+        authority = CertificationAuthority(cfg.ca_name, key_seed=cfg.name.encode())
+        cdn = CDNNetwork()
+        ca = RITMCertificationAuthority(authority, ritm_config, cdn)
+        ca.bootstrap(now=setup_time)
+
+        runtimes: List[_AgentRuntime] = []
+        for spec in cfg.agents:
+            agent = RevocationAgent(spec.name, ritm_config)
+            client = attach_agent_to_cas(
+                agent, [ca], cdn, GeoLocation(spec.geo_region())
+            )
+            client.pull(now=setup_time + 1)
+            runtimes.append(_AgentRuntime(spec.name, agent, client))
+
+        victim = self._setup_victim(ca, ritm_config, runtimes, setup_time + 1)
+        serial_pool = self._serial_pool(counts, victim)
+
+        for period, (_, bin_start) in enumerate(periods):
+            self._run_period(
+                period,
+                bin_start,
+                counts[period],
+                ca,
+                cdn,
+                runtimes,
+                serial_pool,
+                victim,
+            )
+
+        end_time = periods[-1][1] + cfg.delta_seconds
+        extras: Dict[str, object] = {}
+        if cfg.gossip_audit:
+            # The audit phase revokes the victim, so it must precede the
+            # closing handshake for the rejection check to be meaningful.
+            extras["gossip_audit"] = self._gossip_audit(
+                ca, authority, runtimes, victim, end_time + 1
+            )
+        if victim is not None:
+            self._final_handshake(ca, ritm_config, runtimes[0], victim, end_time + 3)
+        if cfg.compare_engines:
+            extras["engine_comparison"] = self._compare_engines()
+        if cfg.baseline and victim is not None and victim.revoked_at is not None:
+            extras["baseline"] = self._baseline_comparison(victim)
+        if victim is not None:
+            extras["victim"] = victim.as_dict()
+
+        metrics = self._collect_metrics(ca, runtimes)
+        checks = self._build_checks(ca, runtimes, victim, extras)
+        return ScenarioReport(
+            scenario=cfg.name,
+            title=cfg.title,
+            summary=cfg.summary,
+            config=self._config_dict(duration),
+            metrics=metrics,
+            events=self._events,
+            checks=checks,
+            extras=extras,
+        )
+
+    # -- schedule and workload -----------------------------------------------------
+
+    def _build_timeline(
+        self,
+    ) -> Tuple[List[Tuple[int, float]], List[Tuple[int, bool, str]]]:
+        """The run's schedule: (period, start time) pairs and per-period work.
+
+        Each per-period work item is a ``(serial count, revoke-victim flag,
+        reason)`` triple.  Trace workloads derive both lists from the
+        calibrated trace; scripted workloads derive them from the config.
+        """
+        cfg = self.config
+        if cfg.workload.kind == "trace":
+            start, end = cfg.workload.trace_window()
+            bins = generate_trace().counts_per_bin(start, end, cfg.delta_seconds)
+            if not bins:
+                raise ConfigurationError("the trace window produced no periods")
+            periods = [
+                (index, float(bin_start)) for index, (bin_start, _) in enumerate(bins)
+            ]
+            counts = [
+                (int(count * cfg.workload.ca_share), False, "trace")
+                for _, count in bins
+            ]
+            return periods, counts
+        periods = [
+            (period, float(cfg.epoch + period * cfg.delta_seconds))
+            for period in range(cfg.duration_periods)
+        ]
+        counts: List[Tuple[int, bool, str]] = [(0, False, "")] * len(periods)
+        for event in cfg.workload.events:
+            count, victim_flag, reason = counts[event.at_period]
+            counts[event.at_period] = (
+                count + event.count,
+                victim_flag or event.revoke_victim,
+                event.reason if event.reason != "unspecified" else reason,
+            )
+        return periods, counts
+
+    def _serial_pool(self, counts, victim: Optional["_VictimRuntime"]):
+        """A deterministic iterator of serials, skipping the victim's."""
+        total = sum(count for count, _, _ in counts)
+        pool = serials_for_count(total + 8, seed=self.config.workload.serial_seed)
+        victim_value = victim.serial.value if victim is not None else None
+        forbidden = {victim_value, DECOY_SERIAL}
+        return iter(value for value in pool if value not in forbidden)
+
+    # -- one Δ period --------------------------------------------------------------
+
+    def _run_period(
+        self,
+        period: int,
+        bin_start: float,
+        workload: Tuple[int, bool, str],
+        ca: RITMCertificationAuthority,
+        cdn: CDNNetwork,
+        runtimes: List[_AgentRuntime],
+        serial_pool,
+        victim: Optional["_VictimRuntime"],
+    ) -> None:
+        """Drive one Δ period: CA duty, faults, agent pulls, session upkeep."""
+        cfg = self.config
+        count, revoke_victim, reason = workload
+        outage = self._active_fault("ca-outage", period)
+        serials = [SerialNumber(next(serial_pool)) for _ in range(count)]
+        if revoke_victim and victim is not None:
+            serials.append(victim.serial)
+
+        if outage is not None:
+            if serials:
+                self._backlog.append(
+                    (bin_start, serials, reason or "queued in outage", revoke_victim)
+                )
+                self._event(period, "ca-outage", f"{len(serials)} revocation(s) queued")
+            elif period == outage.at_period:
+                self._event(period, "ca-outage", "CA publishes nothing this window")
+        else:
+            self._issue_revocations(
+                period, bin_start, serials, reason, revoke_victim, ca, victim
+            )
+
+        tamper = self._active_fault("tampered-batch", period)
+        if tamper is not None and period == tamper.at_period:
+            detail = tamper_latest_batch(ca, cdn, bin_start)
+            self._event(
+                period, "tampered-batch", detail or "no published batch to tamper with"
+            )
+
+        pull_time = bin_start + cfg.delta_seconds
+        for runtime in runtimes:
+            if self._agent_restarting(runtime, period, runtimes):
+                runtime.missed_pulls += 1
+                self._event(period, "ra-restart", f"{runtime.spec_name} missed its pull")
+                continue
+            result = runtime.client.pull(now=pull_time)
+            self._advance_provability(
+                runtime, pull_time + result.latency_seconds, ca.name
+            )
+            for error in result.errors:
+                self._event(period, "pull-error", error)
+
+        if victim is not None and victim.deployment is not None:
+            self._session_upkeep(period, pull_time, victim)
+
+    def _issue_revocations(
+        self,
+        period: int,
+        now: float,
+        serials: List[SerialNumber],
+        reason: str,
+        revoke_victim: bool,
+        ca: RITMCertificationAuthority,
+        victim: Optional["_VictimRuntime"],
+    ) -> None:
+        """Flush any outage backlog, then revoke this period's serials."""
+        for intended_time, queued, queued_reason, queued_victim in self._backlog:
+            issuance = ca.revoke(queued, now=now, reason=queued_reason)
+            self._record_issuance(issuance, intended_time)
+            if queued_victim and victim is not None:
+                victim.revoked_at = now
+                self._event(period, "victim-revoked", f"serial {victim.serial} revoked")
+            self._event(
+                period,
+                "backlog-flush",
+                f"{len(queued)} queued revocation(s) published "
+                f"{now - intended_time:.0f}s late",
+            )
+        self._backlog = []
+        if not serials:
+            ca.refresh(now=now)
+            return
+        issuance = ca.revoke(serials, now=now, reason=reason or "unspecified")
+        self._record_issuance(issuance, now)
+        if revoke_victim and victim is not None:
+            victim.revoked_at = now
+            self._event(period, "victim-revoked", f"serial {victim.serial} revoked")
+        if len(serials) > (1 if revoke_victim else 0):
+            self._event(period, "revocation", f"{len(serials)} serial(s) revoked")
+
+    def _record_issuance(self, issuance, event_time: float) -> None:
+        """Track an issuance for provability accounting and replay phases."""
+        self._batches.append(list(issuance.serials))
+        self._numbered.extend(issuance.numbered_serials())
+        self._revocations_issued += len(issuance.serials)
+        self._pending.append(
+            _PendingProvability(
+                event_time=event_time,
+                cumulative_size=issuance.first_number + len(issuance.serials) - 1,
+            )
+        )
+
+    def _advance_provability(
+        self, runtime: _AgentRuntime, available_at: float, ca_name: str
+    ) -> None:
+        """Record dissemination lag for every batch the agent now covers."""
+        replica = runtime.agent.replica_for(ca_name)
+        size = replica.size if replica is not None else 0
+        while runtime.provability_cursor < len(self._pending):
+            entry = self._pending[runtime.provability_cursor]
+            if entry.cumulative_size > size:
+                break
+            lag = available_at - entry.event_time
+            runtime.max_lag_seconds = max(runtime.max_lag_seconds, lag)
+            runtime.provability_cursor += 1
+
+    # -- faults --------------------------------------------------------------------
+
+    def _active_fault(self, kind: str, period: int) -> Optional[FaultSpec]:
+        """The configured fault of ``kind`` covering ``period``, if any."""
+        for fault in self.config.faults:
+            if fault.kind == kind and fault.covers(period):
+                return fault
+        return None
+
+    def _agent_restarting(
+        self, runtime: _AgentRuntime, period: int, runtimes: List[_AgentRuntime]
+    ) -> bool:
+        """Whether ``runtime`` is down for a ``ra-restart`` fault this period."""
+        fault = self._active_fault("ra-restart", period)
+        if fault is None:
+            return False
+        target = fault.agent or runtimes[-1].spec_name
+        return runtime.spec_name == target
+
+    # -- victim lifecycle ----------------------------------------------------------
+
+    def _setup_victim(
+        self,
+        ca: RITMCertificationAuthority,
+        ritm_config: RITMConfig,
+        runtimes: List[_AgentRuntime],
+        now: float,
+    ) -> Optional["_VictimRuntime"]:
+        """Issue the victim certificate and run the opening handshake."""
+        cfg = self.config
+        if not cfg.victim_host:
+            return None
+        server_keys = KeyPair.generate(f"{cfg.name}-server".encode())
+        chain = ca.authority.issue_chain_for(cfg.victim_host, server_keys.public, now=int(now))
+        trust_store = TrustStore()
+        trust_store.add(ca.authority)
+        victim = _VictimRuntime(
+            chain=chain,
+            trust_store=trust_store,
+            ca_public_keys={ca.name: ca.public_key},
+            serial=chain.leaf.serial,
+        )
+        clock = SimulatedClock(now + 1)
+        deployment = build_close_to_client_deployment(
+            server_chain=chain,
+            trust_store=trust_store,
+            ca_public_keys=victim.ca_public_keys,
+            config=ritm_config,
+            agent=runtimes[0].agent,
+            clock=clock,
+        )
+        victim.initial_accepted = deployment.run_handshake()
+        status = deployment.client.last_status
+        victim.status_size_bytes = status.encoded_size() if status is not None else 0
+        self._event(
+            -1,
+            "handshake",
+            f"opening handshake accepted={victim.initial_accepted} "
+            f"(status {victim.status_size_bytes} B)",
+        )
+        if cfg.long_lived_session:
+            victim.deployment = deployment
+            victim.clock = clock
+        return victim
+
+    def _session_upkeep(
+        self, period: int, pull_time: float, victim: "_VictimRuntime"
+    ) -> None:
+        """Deliver server traffic on the long-lived session and enforce 2Δ."""
+        if victim.detected_at is not None:
+            return
+        deployment, clock = victim.deployment, victim.clock
+        clock.advance(pull_time - clock.now())
+        deployment.deliver_from_server(b"keepalive")
+        client = deployment.client
+        if client.is_connection_usable:
+            client.enforce_freshness(clock.now())
+        if not client.is_connection_usable:
+            victim.detected_at = clock.now()
+            reason = client.rejection.value if client.rejection else "unknown"
+            detail = f"session torn down: {reason}"
+            if victim.revoked_at is not None:
+                detail += f" ({victim.detected_at - victim.revoked_at:.0f}s after revocation)"
+            self._event(period, "session-teardown", detail)
+
+    def _final_handshake(
+        self,
+        ca: RITMCertificationAuthority,
+        ritm_config: RITMConfig,
+        runtime: _AgentRuntime,
+        victim: "_VictimRuntime",
+        now: float,
+    ) -> None:
+        """Run the closing handshake on a fresh connection."""
+        deployment = build_close_to_client_deployment(
+            server_chain=victim.chain,
+            trust_store=victim.trust_store,
+            ca_public_keys=victim.ca_public_keys,
+            config=ritm_config,
+            agent=runtime.agent,
+            clock=SimulatedClock(now),
+        )
+        victim.final_accepted = deployment.run_handshake()
+        victim.final_rejection = (
+            deployment.client.rejection.value if deployment.client.rejection else ""
+        )
+        self._event(
+            -2,
+            "handshake",
+            f"closing handshake accepted={victim.final_accepted}"
+            + (f" ({victim.final_rejection})" if victim.final_rejection else ""),
+        )
+
+    # -- study phases --------------------------------------------------------------
+
+    def _gossip_audit(
+        self,
+        ca: RITMCertificationAuthority,
+        authority: CertificationAuthority,
+        runtimes: List[_AgentRuntime],
+        victim: Optional["_VictimRuntime"],
+        now: float,
+    ) -> Dict[str, object]:
+        """Stage a CA equivocation against the last agent and gossip it out.
+
+        The CA revokes the victim honestly for every RA except the targeted
+        one, which instead receives a forged issuance (a decoy serial and a
+        parallel signed root over the doctored content).  One gossip round
+        between an honest RA and the targeted RA yields portable evidence.
+        """
+        cfg = self.config
+        issuance = ca.revoke([victim.serial], now=now, reason="equivocation target")
+        victim.revoked_at = now
+        honest, targeted = runtimes[0], runtimes[-1]
+        for runtime in runtimes[:-1]:
+            runtime.client.pull(now=now + 1)
+
+        decoy = SerialNumber(DECOY_SERIAL)
+        shadow_tree = SortedMerkleTree()
+        for number, serial in self._numbered:
+            shadow_tree.insert(serial.to_bytes(), number.to_bytes(4, "big"))
+        shadow_tree.insert(decoy.to_bytes(), issuance.first_number.to_bytes(4, "big"))
+        chain_length = issuance.signed_root.chain_length
+        shadow_chain = HashChain(length=chain_length)
+        forged_root = SignedRoot(
+            ca_name=ca.name,
+            root=shadow_tree.root(),
+            size=issuance.signed_root.size,
+            anchor=shadow_chain.anchor,
+            timestamp=issuance.signed_root.timestamp,
+            chain_length=chain_length,
+        ).sign(authority._keys.private)  # noqa: SLF001 - the CA signs its own forgery
+        forged = replace(issuance, serials=(decoy,), signed_root=forged_root)
+        targeted.agent.apply_issuance(forged)
+        targeted_blind = not targeted.agent.replica_for(ca.name).contains(victim.serial)
+
+        reports = GossipExchange().exchange(
+            honest.agent.consistency, targeted.agent.consistency
+        )
+        evidence_valid = bool(reports) and reports[0].is_valid_evidence(ca.public_key)
+        self._event(
+            -3,
+            "gossip",
+            f"gossip round produced {len(reports)} misbehavior report(s)",
+        )
+        return {
+            "targeted_agent": targeted.spec_name,
+            "honest_agent": honest.spec_name,
+            "targeted_believes_victim_revoked": not targeted_blind,
+            "misbehavior_reports": len(reports),
+            "evidence_valid_under_ca_key": evidence_valid,
+            "conflicting_size": reports[0].first.size if reports else 0,
+        }
+
+    def _compare_engines(self) -> Dict[str, object]:
+        """Replay the recorded revocation batches against each engine."""
+        comparison: Dict[str, object] = {}
+        roots = set()
+        for engine in self.config.compare_engines:
+            store = create_store(engine)
+            number = 0
+            started = _time.perf_counter()
+            for batch in self._batches:
+                items = []
+                for serial in batch:
+                    number += 1
+                    items.append((serial.to_bytes(), number.to_bytes(4, "big")))
+                store.insert_batch(items)
+                store.root()
+            elapsed = _time.perf_counter() - started
+            root_hex = store.root().hex()
+            roots.add(root_hex)
+            comparison[engine] = {
+                "seconds": round(elapsed, 6),
+                "serials": number,
+                "root": root_hex[:16],
+            }
+        comparison["roots_agree"] = len(roots) <= 1
+        return comparison
+
+    def _baseline_comparison(self, victim: "_VictimRuntime") -> Dict[str, object]:
+        """Replay the victim's timeline against OCSP Stapling."""
+        from repro.baselines import CheckContext, GroundTruth, OCSPStaplingScheme
+
+        truth = GroundTruth(ca_name=self.config.ca_name)
+        stapling = OCSPStaplingScheme(truth, response_lifetime=4 * 86_400.0)
+        session_start = float(self.config.epoch)
+        stapling.check(
+            CheckContext("scenario-client", self.config.victim_host, victim.serial, now=session_start)
+        )
+        truth.revoke(victim.serial, now=float(victim.revoked_at))
+        probe = stapling.check(
+            CheckContext(
+                "scenario-client",
+                self.config.victim_host,
+                victim.serial,
+                now=float(victim.revoked_at) + 3600.0,
+            )
+        )
+        return {
+            "scheme": stapling.name,
+            "response_lifetime_seconds": stapling.responder.response_lifetime,
+            "reports_revoked_one_hour_after_revocation": probe.revoked,
+            "worst_case_exposure_seconds": stapling.responder.response_lifetime,
+            "ritm_bound_seconds": self.config.attack_window_seconds(),
+        }
+
+    # -- report assembly -----------------------------------------------------------
+
+    def _collect_metrics(
+        self, ca: RITMCertificationAuthority, runtimes: List[_AgentRuntime]
+    ) -> Dict[str, object]:
+        """Aggregate dissemination, dictionary, and attack-window metrics."""
+        pulls = bytes_downloaded = freshness = issuances = serials = resyncs = errors = 0
+        latencies: List[float] = []
+        per_agent: Dict[str, Dict[str, object]] = {}
+        for runtime in runtimes:
+            history = runtime.client.pull_history
+            pulls += len(history)
+            bytes_downloaded += runtime.client.total_bytes_downloaded()
+            latencies.extend(pull.latency_seconds for pull in history)
+            freshness += sum(pull.freshness_applied for pull in history)
+            issuances += sum(pull.issuances_applied for pull in history)
+            serials += sum(pull.serials_applied for pull in history)
+            resyncs += sum(pull.resyncs for pull in history)
+            errors += sum(len(pull.errors) for pull in history)
+            replica = runtime.agent.replica_for(ca.name)
+            per_agent[runtime.spec_name] = {
+                "size": replica.size if replica else 0,
+                "storage_bytes": replica.storage_size_bytes() if replica else 0,
+                "missed_pulls": runtime.missed_pulls,
+                "max_lag_seconds": round(runtime.max_lag_seconds, 3),
+            }
+        return {
+            "dissemination": {
+                "pulls": pulls,
+                "bytes_downloaded": bytes_downloaded,
+                "average_pull_latency_seconds": (
+                    sum(latencies) / len(latencies) if latencies else 0.0
+                ),
+                "freshness_applied": freshness,
+                "issuances_applied": issuances,
+                "serials_applied": serials,
+                "resyncs": resyncs,
+                "errors": errors,
+            },
+            "dictionary": {
+                "ca_size": ca.dictionary.size,
+                "revocations_issued": self._revocations_issued,
+                "issuance_batches": ca.issuance_count(),
+            },
+            "attack_window": {
+                "bound_seconds": self.config.attack_window_seconds(),
+                "max_lag_seconds": round(
+                    max((r.max_lag_seconds for r in runtimes), default=0.0), 3
+                ),
+                "per_agent": {
+                    runtime.spec_name: round(runtime.max_lag_seconds, 3)
+                    for runtime in runtimes
+                },
+            },
+            "agents": per_agent,
+        }
+
+    def _build_checks(
+        self,
+        ca: RITMCertificationAuthority,
+        runtimes: List[_AgentRuntime],
+        victim: Optional["_VictimRuntime"],
+        extras: Dict[str, object],
+    ) -> List[ScenarioCheck]:
+        """The generic and fault/study-specific pass/fail assertions."""
+        cfg = self.config
+        checks: List[ScenarioCheck] = []
+        pulls = sum(len(r.client.pull_history) for r in runtimes)
+        bytes_downloaded = sum(r.client.total_bytes_downloaded() for r in runtimes)
+        checks.append(
+            ScenarioCheck(
+                "dissemination-active",
+                pulls > 0 and bytes_downloaded > 0,
+                f"{pulls} pulls, {bytes_downloaded} bytes",
+            )
+        )
+        converged_agents = [
+            r for r in runtimes if not (cfg.gossip_audit and r is runtimes[-1])
+        ]
+        converged = all(
+            (r.agent.replica_for(ca.name).size if r.agent.replica_for(ca.name) else 0)
+            == ca.dictionary.size
+            for r in converged_agents
+        )
+        checks.append(
+            ScenarioCheck(
+                "replicas-converged",
+                converged,
+                f"CA size {ca.dictionary.size}",
+            )
+        )
+        if victim is not None:
+            checks.append(
+                ScenarioCheck(
+                    "initial-handshake-accepted",
+                    victim.initial_accepted,
+                    f"status {victim.status_size_bytes} B",
+                )
+            )
+            if victim.revoked_at is not None:
+                checks.append(
+                    ScenarioCheck(
+                        "revoked-handshake-rejected",
+                        not victim.final_accepted
+                        and victim.final_rejection
+                        == RejectionReason.CERTIFICATE_REVOKED.value,
+                        victim.final_rejection,
+                    )
+                )
+        if cfg.long_lived_session and victim is not None:
+            bound = cfg.attack_window_seconds()
+            detected = victim.detected_at is not None and victim.revoked_at is not None
+            lag = (victim.detected_at - victim.revoked_at) if detected else float("inf")
+            checks.append(
+                ScenarioCheck(
+                    "mid-session-detection-within-bound",
+                    detected and lag <= bound,
+                    f"lag {lag:.0f}s vs bound {bound}s" if detected else "not detected",
+                )
+            )
+        if any(fault.kind == "tampered-batch" for fault in cfg.faults):
+            resyncs = sum(
+                sum(pull.resyncs for pull in r.client.pull_history) for r in runtimes
+            )
+            checks.append(
+                ScenarioCheck(
+                    "tamper-detected-and-recovered",
+                    resyncs >= 1 and converged,
+                    f"{resyncs} resync(s)",
+                )
+            )
+        restart_faults = [f for f in cfg.faults if f.kind == "ra-restart"]
+        if restart_faults:
+            target = restart_faults[0].agent or runtimes[-1].spec_name
+            degraded = next(r for r in runtimes if r.spec_name == target)
+            healthy = [r for r in runtimes if r.spec_name != target]
+            bound = cfg.attack_window_seconds()
+            checks.append(
+                ScenarioCheck(
+                    "missed-pulls-extend-attack-window",
+                    degraded.max_lag_seconds > bound,
+                    f"{target} worst lag {degraded.max_lag_seconds:.0f}s "
+                    f"vs bound {bound}s",
+                )
+            )
+            if healthy:
+                worst_healthy = max(r.max_lag_seconds for r in healthy)
+                checks.append(
+                    ScenarioCheck(
+                        "healthy-agents-within-bound",
+                        worst_healthy <= bound,
+                        f"worst healthy lag {worst_healthy:.1f}s",
+                    )
+                )
+        if cfg.gossip_audit and "gossip_audit" in extras:
+            audit = extras["gossip_audit"]
+            checks.append(
+                ScenarioCheck(
+                    "equivocation-evidence-valid",
+                    bool(audit["evidence_valid_under_ca_key"]),
+                    f"{audit['misbehavior_reports']} report(s)",
+                )
+            )
+            checks.append(
+                ScenarioCheck(
+                    "targeted-ra-blind-before-gossip",
+                    not audit["targeted_believes_victim_revoked"],
+                    f"targeted agent {audit['targeted_agent']}",
+                )
+            )
+        if cfg.compare_engines and "engine_comparison" in extras:
+            checks.append(
+                ScenarioCheck(
+                    "engines-agree-on-root",
+                    bool(extras["engine_comparison"]["roots_agree"]),
+                    ", ".join(cfg.compare_engines),
+                )
+            )
+        return checks
+
+    def _config_dict(self, duration: int) -> Dict[str, object]:
+        """The config section of the report."""
+        cfg = self.config
+        return {
+            "delta_seconds": cfg.delta_seconds,
+            "duration_periods": duration,
+            "store_engine": cfg.store_engine,
+            "agents": [f"{a.name}@{a.region}" for a in cfg.agents],
+            "faults": [
+                f"{f.kind}@{f.at_period}+{f.duration_periods}" for f in cfg.faults
+            ],
+            "workload": cfg.workload.kind,
+            "victim_host": cfg.victim_host,
+            "attack_window_bound_seconds": cfg.attack_window_seconds(),
+            "tags": list(cfg.tags),
+        }
+
+    def _event(self, period: int, kind: str, detail: str) -> None:
+        """Append one timeline entry (period -1/-2/-3 = setup/closing/audit)."""
+        self._events.append({"period": period, "kind": kind, "detail": detail})
+
+
+@dataclass
+class _VictimRuntime:
+    """State for the scenario's victim certificate and its connections."""
+
+    chain: object
+    trust_store: TrustStore
+    ca_public_keys: Dict[str, object]
+    serial: SerialNumber
+    initial_accepted: bool = False
+    final_accepted: bool = False
+    final_rejection: str = ""
+    status_size_bytes: int = 0
+    revoked_at: Optional[float] = None
+    detected_at: Optional[float] = None
+    deployment: Optional[object] = None
+    clock: Optional[SimulatedClock] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary for the report's extras."""
+        return {
+            "serial": str(self.serial),
+            "initial_handshake_accepted": self.initial_accepted,
+            "final_handshake_accepted": self.final_accepted,
+            "final_rejection": self.final_rejection,
+            "status_size_bytes": self.status_size_bytes,
+            "revoked_at": self.revoked_at,
+            "detected_at": self.detected_at,
+            "detection_lag_seconds": (
+                self.detected_at - self.revoked_at
+                if self.detected_at is not None and self.revoked_at is not None
+                else None
+            ),
+        }
+
+
+def run_scenario(config: ScenarioConfig, smoke: bool = False) -> ScenarioReport:
+    """Run ``config`` (optionally its smoke variant) and return the report."""
+    if smoke:
+        config = config.smoke()
+    return ScenarioRunner(config).run()

@@ -117,16 +117,20 @@ class SortedLeafStore(AuthenticatedStore):
 
     @property
     def digest_size(self) -> int:
+        """The digest truncation (bytes) every hash in this store uses."""
         return self._digest_size
 
     def keys(self) -> Sequence[bytes]:
+        """All stored keys in lexicographic order, as an immutable tuple."""
         return tuple(self._keys)
 
     def get(self, key: bytes) -> Optional[bytes]:
+        """The value stored under ``key``, or ``None`` when absent."""
         index = self._find(key)
         return None if index is None else self._values[index]
 
     def root(self) -> bytes:
+        """The current root digest (empty-tree sentinel with no leaves)."""
         if not self._keys:
             return empty_root(self._digest_size)
         return self._hash_levels()[-1][0]
@@ -134,12 +138,14 @@ class SortedLeafStore(AuthenticatedStore):
     # -- proofs ------------------------------------------------------------
 
     def prove_presence(self, key: bytes) -> PresenceProof:
+        """Audit path for a stored ``key``; raises :class:`ProofError` if absent."""
         index = self._find(key)
         if index is None:
             raise ProofError(f"key {key.hex()} is not in the tree")
         return self._presence_proof_at(index)
 
     def prove_absence(self, key: bytes) -> AbsenceProof:
+        """Adjacency proof that ``key`` is not stored; raises if it is."""
         if self._find(key) is not None:
             raise ProofError(f"key {key.hex()} is present; cannot prove absence")
         size = len(self._keys)
@@ -153,6 +159,7 @@ class SortedLeafStore(AuthenticatedStore):
     # -- mutation ----------------------------------------------------------
 
     def remove_batch(self, keys: Iterable[bytes]) -> int:
+        """Remove ``keys`` in one transaction (rollback support); see the ABC."""
         targets = sorted(set(keys))
         if not targets:
             return 0

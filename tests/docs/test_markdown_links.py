@@ -1,0 +1,45 @@
+"""Relative links in the documentation must resolve (tools/check_links.py)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def run_checker(*args):
+    return subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_links.py"), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+
+
+def test_repo_docs_have_no_broken_links():
+    result = run_checker("README.md", "ARCHITECTURE.md", "docs")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_checker_catches_broken_link(tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text("see [missing](does-not-exist.md)\n", encoding="utf-8")
+    result = run_checker(str(bad))
+    assert result.returncode == 1
+    assert "broken link" in result.stdout
+
+
+def test_checker_fails_on_missing_argument(tmp_path):
+    result = run_checker(str(tmp_path / "no-such-dir"))
+    assert result.returncode == 1
+    assert "not an existing" in result.stderr
+
+
+def test_checker_ignores_external_links(tmp_path):
+    doc = tmp_path / "ok.md"
+    doc.write_text(
+        "[a](https://example.com) [b](#heading) [c](mailto:x@example.com)\n",
+        encoding="utf-8",
+    )
+    result = run_checker(str(doc))
+    assert result.returncode == 0, result.stdout

@@ -1,0 +1,169 @@
+"""Validation and override behaviour of the scenario config family."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios.config import (
+    AgentSpec,
+    FaultSpec,
+    RevocationEvent,
+    ScenarioConfig,
+    WorkloadSpec,
+)
+
+
+def make_config(**overrides) -> ScenarioConfig:
+    defaults = dict(
+        name="cfg-test",
+        title="t",
+        summary="s",
+        description="d",
+        delta_seconds=10,
+        duration_periods=4,
+        agents=(AgentSpec("ra-1"),),
+        workload=WorkloadSpec(
+            kind="scripted", events=(RevocationEvent(at_period=1, count=5),)
+        ),
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+def test_valid_config_builds():
+    config = make_config()
+    assert config.attack_window_seconds() == 20
+    assert config.effective_chain_length(4) >= 4
+
+
+@pytest.mark.parametrize(
+    "overrides, message",
+    [
+        (dict(name=""), "name cannot be empty"),
+        (dict(delta_seconds=0), "delta_seconds must be positive"),
+        (dict(agents=()), "at least one agent"),
+        (dict(agents=(AgentSpec("a"), AgentSpec("a"))), "unique"),
+        (dict(store_engine="imaginary"), "unknown store engine"),
+        (dict(compare_engines=("imaginary",)), "unknown comparison engine"),
+        (dict(baseline="crl"), "unknown baseline"),
+        (dict(duration_periods=0), "duration_periods must be at least 1"),
+        (dict(long_lived_session=True), "requires victim_host"),
+        (dict(gossip_audit=True), "requires victim_host"),
+        (dict(baseline="ocsp-stapling"), "requires victim_host"),
+    ],
+)
+def test_invalid_configs_rejected(overrides, message):
+    with pytest.raises(ConfigurationError, match=message):
+        make_config(**overrides)
+
+
+def test_gossip_audit_needs_two_agents():
+    with pytest.raises(ConfigurationError, match="two agents"):
+        make_config(gossip_audit=True, victim_host="bank.example")
+
+
+def test_gossip_audit_forbids_revoke_victim_events():
+    with pytest.raises(ConfigurationError, match="audit phase"):
+        make_config(
+            gossip_audit=True,
+            victim_host="bank.example",
+            agents=(AgentSpec("a"), AgentSpec("b")),
+            workload=WorkloadSpec(
+                kind="scripted",
+                events=(RevocationEvent(at_period=1, revoke_victim=True),),
+            ),
+        )
+
+
+def test_event_after_end_rejected():
+    with pytest.raises(ConfigurationError, match="after the scenario ends"):
+        make_config(
+            workload=WorkloadSpec(
+                kind="scripted", events=(RevocationEvent(at_period=9, count=1),)
+            )
+        )
+
+
+def test_fault_after_end_rejected():
+    with pytest.raises(ConfigurationError, match="starts after the scenario ends"):
+        make_config(faults=(FaultSpec(kind="ca-outage", at_period=9),))
+
+
+def test_unknown_fault_kind_rejected():
+    with pytest.raises(ConfigurationError, match="unknown fault kind"):
+        FaultSpec(kind="cosmic-rays", at_period=0)
+
+
+def test_restart_fault_unknown_agent_rejected():
+    with pytest.raises(ConfigurationError, match="unknown agent"):
+        make_config(faults=(FaultSpec(kind="ra-restart", at_period=0, agent="ghost"),))
+
+
+def test_empty_event_rejected():
+    with pytest.raises(ConfigurationError, match="must revoke"):
+        RevocationEvent(at_period=0, count=0)
+
+
+def test_unknown_region_rejected():
+    with pytest.raises(ConfigurationError, match="unknown region"):
+        AgentSpec("ra", region="Atlantis")
+
+
+def test_trace_workload_validation():
+    with pytest.raises(ConfigurationError, match="bad trace window date"):
+        WorkloadSpec(kind="trace", trace_start="not-a-date", trace_end="2014-04-20")
+    with pytest.raises(ConfigurationError, match="not be after"):
+        WorkloadSpec(kind="trace", trace_start="2014-04-20", trace_end="2014-04-14")
+    with pytest.raises(ConfigurationError, match="cannot carry scripted events"):
+        WorkloadSpec(
+            kind="trace",
+            trace_start="2014-04-14",
+            trace_end="2014-04-20",
+            events=(RevocationEvent(at_period=0, count=1),),
+        )
+
+
+def test_trace_scenario_requires_zero_duration():
+    trace = WorkloadSpec(kind="trace", trace_start="2014-04-14", trace_end="2014-04-20")
+    with pytest.raises(ConfigurationError, match="duration_periods=0"):
+        make_config(workload=trace, duration_periods=3)
+
+
+def test_ca_share_bounds():
+    with pytest.raises(ConfigurationError, match="ca_share"):
+        WorkloadSpec(kind="scripted", ca_share=0.0)
+    with pytest.raises(ConfigurationError, match="ca_share"):
+        WorkloadSpec(kind="scripted", ca_share=1.5)
+
+
+def test_with_overrides_revalidates():
+    config = make_config()
+    with pytest.raises(ConfigurationError):
+        config.with_overrides(delta_seconds=-1)
+
+
+def test_with_overrides_accepts_workload_dict():
+    config = make_config()
+    updated = config.with_overrides(workload={"serial_seed": 99})
+    assert updated.workload.serial_seed == 99
+    assert updated.workload.events == config.workload.events
+    # the original is untouched (frozen dataclasses)
+    assert config.workload.serial_seed != 99 or dataclasses.replace(config) == config
+
+
+def test_smoke_applies_overrides():
+    config = make_config(smoke_overrides={"duration_periods": 2, "workload": {"events": ()}})
+    smoked = config.smoke()
+    assert smoked.duration_periods == 2
+    assert smoked.workload.events == ()
+    # no overrides → same config back
+    assert make_config().smoke() == make_config()
+
+
+def test_fault_covers():
+    fault = FaultSpec(kind="ca-outage", at_period=2, duration_periods=3)
+    assert not fault.covers(1)
+    assert fault.covers(2)
+    assert fault.covers(4)
+    assert not fault.covers(5)

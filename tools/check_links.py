@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in Markdown files.
+
+Scans ``[text](target)`` links in the given files/directories and verifies
+that every relative target (optionally with a ``#fragment``) exists on disk.
+External links (http/https/mailto) are ignored; heading fragments are checked
+for existence of the file only.
+
+Usage:  python tools/check_links.py README.md ARCHITECTURE.md docs
+Exit code 0 when all relative links resolve, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+IGNORED_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(arguments: Iterable[str]) -> List[Path]:
+    """Expand CLI arguments into a list of Markdown files.
+
+    Raises :class:`FileNotFoundError` for an argument that is neither an
+    existing directory nor an existing ``.md`` file, so a renamed doc tree
+    or a CI typo fails the gate instead of silently shrinking it.
+    """
+    files: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.is_file() and path.suffix.lower() == ".md":
+            files.append(path)
+        else:
+            raise FileNotFoundError(
+                f"{argument!r} is not an existing directory or .md file"
+            )
+    return files
+
+
+def broken_links(path: Path) -> List[Tuple[str, str]]:
+    """(link, reason) pairs for every unresolvable relative link in ``path``."""
+    problems: List[Tuple[str, str]] = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(IGNORED_SCHEMES):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append((target, f"{resolved} does not exist"))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """Check every file; print problems; return the exit code."""
+    try:
+        files = markdown_files(argv)
+    except FileNotFoundError as exc:
+        print(f"check_links: {exc}", file=sys.stderr)
+        return 1
+    if not files:
+        print("check_links: no Markdown files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        for target, reason in broken_links(path):
+            print(f"{path}: broken link {target!r}: {reason}")
+            failures += 1
+    print(f"check_links: {len(files)} file(s) scanned, {failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
