@@ -73,6 +73,17 @@ class CostModelConfig:
     per_request_overhead_bytes: int = 0
     include_request_fees: bool = False
     ca_share_of_trace: float = LARGEST_CRL_ENTRIES / TOTAL_REVOCATIONS
+    #: Expiry shards per CA dictionary (§VIII): a sharded RA polls one head
+    #: (freshness statement) per live shard each Δ, so freshness traffic
+    #: scales with this factor while the reclaimed storage is accounted in
+    #: :func:`repro.analysis.overhead.sharded_storage_overhead`.  1 = the
+    #: paper's single ever-growing dictionary.  Size it with
+    #: :func:`repro.analysis.overhead.live_shard_count`.
+    shards_per_dictionary: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shards_per_dictionary < 1:
+            raise ValueError("shards_per_dictionary must be at least 1")
 
 
 @dataclass
@@ -164,8 +175,20 @@ def simulate_costs(
             # with activity).
             batches = min(polls, max(revocations, 0))
             batches = min(batches, days_in_cycle * 86_400 / delta_seconds)
+            # A sharded RA fetches the shard index plus one head object per
+            # live shard each poll, so the freshness payload, per-request
+            # overhead, and request fees all scale with the shard count
+            # (the index fetch is charged like one more head object).
+            requests_per_poll = config.shards_per_dictionary + (
+                1 if config.shards_per_dictionary > 1 else 0
+            )
             bytes_per_ra = (
-                polls * (config.freshness_bytes_per_poll + config.per_request_overhead_bytes)
+                polls
+                * requests_per_poll
+                * (
+                    config.freshness_bytes_per_poll
+                    + config.per_request_overhead_bytes
+                )
                 + revocations * config.serial_bytes
                 + (config.signed_root_bytes * min(days_in_cycle, batches))
             )
@@ -174,7 +197,9 @@ def simulate_costs(
                 usage.add(
                     region,
                     int(bytes_per_ra * ra_count),
-                    requests=int(polls * ra_count) if config.include_request_fees else 0,
+                    requests=int(polls * requests_per_poll * ra_count)
+                    if config.include_request_fees
+                    else 0,
                 )
             cost = pricing.monthly_bill(usage)
             results[label].append(

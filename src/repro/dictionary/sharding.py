@@ -22,6 +22,17 @@ pair:
 Each shard is a fully independent authenticated dictionary (own signed root,
 own freshness chain), so all the security arguments of the base construction
 apply unchanged per shard.
+
+Two invariants matter for the layers above (``ritm/``, ``scenarios/``,
+``analysis/``):
+
+* **the query path never mutates state** — proving a serial in a window no
+  shard covers answers "absent" from a transient dictionary without
+  registering a shard, so ``shard_count``/``storage_size_bytes`` are driven
+  by revocations and retirement only;
+* **reclaimed storage is accounted** — both sides expose
+  ``reclaimed_storage_bytes`` so cost/overhead analyses can report what
+  sharding saved over an ever-growing baseline.
 """
 
 from __future__ import annotations
@@ -43,7 +54,12 @@ DEFAULT_SHARD_SECONDS = 90 * 86_400
 
 def shard_name(ca_name: str, shard_index: int) -> str:
     """The per-shard dictionary name (doubles as its dissemination path key)."""
-    return f"{ca_name}#expiry-{shard_index}"
+    return f"{shard_prefix(ca_name)}{shard_index}"
+
+
+def shard_prefix(ca_name: str) -> str:
+    """The common prefix of all of ``ca_name``'s shard names."""
+    return f"{ca_name}#expiry-"
 
 
 @dataclass(frozen=True)
@@ -56,10 +72,12 @@ class ShardKey:
 
     @property
     def window_start(self) -> int:
+        """First expiry timestamp (inclusive) covered by this shard."""
         return self.index * self.width_seconds
 
     @property
     def window_end(self) -> int:
+        """First expiry timestamp *not* covered by this shard."""
         return (self.index + 1) * self.width_seconds
 
     def is_expired(self, now: float) -> bool:
@@ -68,6 +86,11 @@ class ShardKey:
 
     @classmethod
     def for_expiry(cls, expiry: int, width_seconds: int = DEFAULT_SHARD_SECONDS) -> "ShardKey":
+        """The shard key covering a certificate expiring at ``expiry``."""
+        if width_seconds <= 0:
+            raise DictionaryError(
+                f"shard width must be a positive number of seconds, got {width_seconds}"
+            )
         if expiry < 0:
             raise DictionaryError("certificate expiry cannot be negative")
         return cls(index=expiry // width_seconds, width_seconds=width_seconds)
@@ -86,6 +109,16 @@ class ShardedCADictionary:
         digest_size: int = 20,
         engine: Optional[str] = None,
     ) -> None:
+        """Create an empty sharded dictionary for ``ca_name``.
+
+        ``shard_seconds`` is the expiry-window width of each shard; every
+        other parameter is passed through to the per-shard
+        :class:`~repro.dictionary.authdict.CADictionary` instances.
+        """
+        if shard_seconds <= 0:
+            raise DictionaryError(
+                f"shard width must be a positive number of seconds, got {shard_seconds}"
+            )
         self.ca_name = ca_name
         self._keys = keys
         self.delta = delta
@@ -95,24 +128,42 @@ class ShardedCADictionary:
         self._engine = engine
         self._shards: Dict[int, CADictionary] = {}
         self._retired: List[int] = []
+        #: Bytes of per-entry storage released by :meth:`retire_expired`.
+        self.reclaimed_storage_bytes = 0
+        #: Revocation entries dropped with their retired shards.
+        self.retired_revocations = 0
 
     # -- shard management -------------------------------------------------------
 
+    def _new_shard(self, shard_index: int, chain_length: Optional[int] = None) -> CADictionary:
+        """A fresh (empty, unregistered) dictionary for ``shard_index``."""
+        return CADictionary(
+            ca_name=shard_name(self.ca_name, shard_index),
+            keys=self._keys,
+            delta=self.delta,
+            chain_length=chain_length if chain_length is not None else self.chain_length,
+            digest_size=self._digest_size,
+            engine=self._engine,
+        )
+
     def shard_for_expiry(self, expiry: int) -> Tuple[ShardKey, CADictionary]:
-        """The (possibly newly created) shard covering ``expiry``."""
+        """The (possibly newly created) shard covering ``expiry``.
+
+        This is the *write-path* accessor: a missing shard is created and
+        retained.  Read paths must use :meth:`shard_at` / :meth:`prove`,
+        which never register new shards.
+        """
         key = ShardKey.for_expiry(expiry, self.shard_seconds)
         if key.index not in self._shards:
-            self._shards[key.index] = CADictionary(
-                ca_name=shard_name(self.ca_name, key.index),
-                keys=self._keys,
-                delta=self.delta,
-                chain_length=self.chain_length,
-                digest_size=self._digest_size,
-                engine=self._engine,
-            )
+            self._shards[key.index] = self._new_shard(key.index)
         return key, self._shards[key.index]
 
+    def shard_at(self, shard_index: int) -> Optional[CADictionary]:
+        """The retained shard with ``shard_index``, or ``None`` (no creation)."""
+        return self._shards.get(shard_index)
+
     def shard_keys(self) -> List[ShardKey]:
+        """Keys of all retained shards, in window order."""
         return [ShardKey(index, self.shard_seconds) for index in sorted(self._shards)]
 
     def live_shards(self, now: float) -> List[Tuple[ShardKey, CADictionary]]:
@@ -123,39 +174,118 @@ class ShardedCADictionary:
             if not key.is_expired(now)
         ]
 
+    def live_shard_indices(self, now: float) -> List[int]:
+        """Indices of the shards still covering unexpired certificates."""
+        return [key.index for key, _ in self.live_shards(now)]
+
     def retire_expired(self, now: float) -> List[ShardKey]:
-        """Drop shards whose entire expiry window has passed; returns them."""
+        """Drop shards whose entire expiry window has passed; returns them.
+
+        The per-entry storage of each dropped shard is added to
+        :attr:`reclaimed_storage_bytes` — the quantity §VIII's relaxation is
+        about.
+        """
         retired = [key for key in self.shard_keys() if key.is_expired(now)]
         for key in retired:
+            shard = self._shards[key.index]
+            self.reclaimed_storage_bytes += shard.storage_size_bytes()
+            self.retired_revocations += shard.size
             del self._shards[key.index]
             self._retired.append(key.index)
         return retired
 
     @property
     def shard_count(self) -> int:
+        """Number of retained (non-retired) shards."""
         return len(self._shards)
 
+    @property
+    def retired_count(self) -> int:
+        """Number of shards dropped by :meth:`retire_expired` so far."""
+        return len(self._retired)
+
+    def retired_indices(self) -> List[int]:
+        """Indices of every shard retired so far, oldest first."""
+        return list(self._retired)
+
     def total_revocations(self) -> int:
+        """Revocation entries across all retained shards."""
         return sum(shard.size for shard in self._shards.values())
 
     # -- CA operations ---------------------------------------------------------------
 
-    def revoke(
+    def validate_expiries(
         self, serials_with_expiry: Iterable[Tuple[SerialNumber, int]], now: int
+    ) -> List[Tuple[SerialNumber, ShardKey]]:
+        """Check every (serial, expiry) pair without touching any state.
+
+        Rejects negative expiries, expiries beyond the CA/B Forum lifetime
+        cap (``now`` + 39 months — no real certificate can expire there, so
+        such a revocation would create a shard that never retires), and
+        expiries whose whole shard window has already passed (the shard
+        would be born retired: never listed live, never replicated by any
+        RA, breaking the CA/RA lockstep-reclamation invariant), and serials
+        already present (or repeated) in their target shard — so a rejected
+        batch never leaves partially mutated shards behind.  The same
+        serial value in *different* shards stays legal: shards are
+        independent dictionaries.  Returns each serial with its resolved
+        shard key.  Callers with side effects of their own (e.g. the RITM
+        CA service, which records revocations in the issuance CA first) run
+        this before mutating anything.
+        """
+        horizon = int(now) + MAX_CERTIFICATE_LIFETIME_SECONDS
+        routed: List[Tuple[SerialNumber, ShardKey]] = []
+        batch_seen: Dict[int, set] = {}
+        for serial, expiry in serials_with_expiry:
+            if expiry > horizon:
+                raise DictionaryError(
+                    f"certificate expiry {expiry} exceeds the maximum lifetime "
+                    f"({MAX_CERTIFICATE_LIFETIME_SECONDS}s past now={int(now)})"
+                )
+            key = ShardKey.for_expiry(expiry, self.shard_seconds)
+            if key.is_expired(now):
+                raise DictionaryError(
+                    f"certificate expiry {expiry} falls in shard {key.index}, "
+                    f"whose whole window passed before now={int(now)}"
+                )
+            seen = batch_seen.setdefault(key.index, set())
+            shard = self._shards.get(key.index)
+            if serial.value in seen or (shard is not None and shard.contains(serial)):
+                raise DictionaryError(
+                    f"serial {serial} is already revoked in shard {key.index} "
+                    f"of {self.ca_name!r}"
+                )
+            seen.add(serial.value)
+            routed.append((serial, key))
+        return routed
+
+    def revoke(
+        self,
+        serials_with_expiry: Iterable[Tuple[SerialNumber, int]],
+        now: int,
+        routed: Optional[List[Tuple[SerialNumber, ShardKey]]] = None,
     ) -> List[Tuple[ShardKey, RevocationIssuance]]:
         """Revoke certificates, routing each serial to its expiry shard.
 
-        Returns one issuance message per touched shard (batched per shard, as
-        the base dictionary's ``insert`` supports).
+        Returns one issuance message per touched shard (batched per shard,
+        as the base dictionary's ``insert`` supports).  The whole batch is
+        validated (:meth:`validate_expiries`) before any shard is created,
+        so a rejected batch leaves ``shard_count`` untouched; a caller that
+        already ran :meth:`validate_expiries` (to order side effects of its
+        own before this one) passes its result as ``routed`` to skip the
+        second pass.
         """
+        if routed is None:
+            routed = self.validate_expiries(serials_with_expiry, now)
         by_shard: Dict[int, List[SerialNumber]] = {}
         keys: Dict[int, ShardKey] = {}
-        for serial, expiry in serials_with_expiry:
-            key, _ = self.shard_for_expiry(expiry)
+        for serial, key in routed:
             by_shard.setdefault(key.index, []).append(serial)
             keys[key.index] = key
         issuances: List[Tuple[ShardKey, RevocationIssuance]] = []
         for index, serials in sorted(by_shard.items()):
+            if index not in self._shards:
+                self._shards[index] = self._new_shard(index)
             issuances.append((keys[index], self._shards[index].insert(serials, now)))
         return issuances
 
@@ -166,13 +296,34 @@ class ShardedCADictionary:
         }
 
     def prove(self, serial: SerialNumber, expiry: int, now: Optional[int] = None) -> RevocationStatus:
-        """Status for ``serial`` from the shard covering its certificate's expiry."""
-        key, shard = self.shard_for_expiry(expiry)
+        """Status for ``serial`` from the shard covering its certificate's expiry.
+
+        Querying a window no shard covers answers "absent" from a transient
+        empty dictionary — the read path never creates or retains shards, so
+        ``shard_count`` and ``storage_size_bytes`` are unaffected by queries.
+        Minting the absence proof (for a transient or not-yet-signed shard)
+        signs a root, which needs a real timestamp: ``now`` is required in
+        that case and must never default to epoch 0, which would make every
+        later freshness check see thousands of elapsed Δ periods.
+        """
+        key = ShardKey.for_expiry(expiry, self.shard_seconds)
+        shard = self._shards.get(key.index)
+        if shard is None:
+            # Transient, never registered — and never refreshed past its
+            # first link, so a length-1 hash chain avoids paying
+            # O(chain_length) hashing per uncovered-window query.
+            shard = self._new_shard(key.index, chain_length=1)
         if shard.signed_root is None:
-            shard.refresh(int(now) if now is not None else 0)
+            if now is None:
+                raise DictionaryError(
+                    f"shard {key.index} of {self.ca_name!r} has no signed root yet; "
+                    f"prove() needs a real timestamp (now=...) to mint one"
+                )
+            shard.refresh(int(now))
         return shard.prove(serial)
 
     def storage_size_bytes(self) -> int:
+        """Per-entry storage across all retained shards."""
         return sum(shard.storage_size_bytes() for shard in self._shards.values())
 
 
@@ -186,13 +337,23 @@ class ShardedReplica:
         shard_seconds: int = DEFAULT_SHARD_SECONDS,
         engine: Optional[str] = None,
     ) -> None:
+        """Create an empty sharded replica of ``ca_name``'s dictionaries."""
+        if shard_seconds <= 0:
+            raise DictionaryError(
+                f"shard width must be a positive number of seconds, got {shard_seconds}"
+            )
         self.ca_name = ca_name
         self._ca_public_key = ca_public_key
         self.shard_seconds = shard_seconds
         self._engine = engine
         self._replicas: Dict[int, ReplicaDictionary] = {}
+        #: Bytes of per-entry storage released by :meth:`prune_expired`.
+        self.reclaimed_storage_bytes = 0
+        #: Revocation entries dropped with their pruned shards.
+        self.pruned_revocations = 0
 
     def _replica_for(self, shard_index: int) -> ReplicaDictionary:
+        """The (possibly newly created) replica for ``shard_index``."""
         if shard_index not in self._replicas:
             self._replicas[shard_index] = ReplicaDictionary(
                 shard_name(self.ca_name, shard_index),
@@ -201,13 +362,24 @@ class ShardedReplica:
             )
         return self._replicas[shard_index]
 
+    def replica_at(self, shard_index: int) -> Optional[ReplicaDictionary]:
+        """The replica holding ``shard_index``, or ``None`` (no creation)."""
+        return self._replicas.get(shard_index)
+
+    def live_indices(self) -> List[int]:
+        """Indices of every shard this replica currently holds, in order."""
+        return sorted(self._replicas)
+
     def apply_issuance(self, key: ShardKey, issuance: RevocationIssuance) -> None:
+        """Apply one per-shard issuance message to the matching replica."""
         self._replica_for(key.index).update(issuance)
 
     def apply_freshness(self, shard_index: int, statement) -> None:
+        """Apply a per-shard freshness statement."""
         self._replica_for(shard_index).apply_freshness(statement)
 
     def prove(self, serial: SerialNumber, expiry: int) -> RevocationStatus:
+        """Status for ``serial`` from the replica of its expiry shard."""
         key = ShardKey.for_expiry(expiry, self.shard_seconds)
         replica = self._replicas.get(key.index)
         if replica is None:
@@ -217,20 +389,30 @@ class ShardedReplica:
         return replica.prove(serial)
 
     def prune_expired(self, now: float) -> int:
-        """Delete replicas whose shard window has fully passed; returns entries freed."""
+        """Delete replicas whose shard window has fully passed; returns entries freed.
+
+        The released per-entry storage accumulates in
+        :attr:`reclaimed_storage_bytes`.
+        """
         freed = 0
         for index in list(self._replicas):
             if ShardKey(index, self.shard_seconds).is_expired(now):
-                freed += self._replicas[index].size
+                replica = self._replicas[index]
+                freed += replica.size
+                self.reclaimed_storage_bytes += replica.storage_size_bytes()
                 del self._replicas[index]
+        self.pruned_revocations += freed
         return freed
 
     @property
     def shard_count(self) -> int:
+        """Number of shard replicas currently held."""
         return len(self._replicas)
 
     def total_revocations(self) -> int:
+        """Revocation entries across all held shard replicas."""
         return sum(replica.size for replica in self._replicas.values())
 
     def storage_size_bytes(self) -> int:
+        """Per-entry storage across all held shard replicas."""
         return sum(replica.storage_size_bytes() for replica in self._replicas.values())

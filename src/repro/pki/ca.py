@@ -116,6 +116,10 @@ class CertificationAuthority:
     def issued_certificates(self) -> List[Certificate]:
         return list(self._issued.values())
 
+    def certificate_for(self, serial: SerialNumber) -> Optional[Certificate]:
+        """The issued certificate with ``serial``, or ``None`` if unknown."""
+        return self._issued.get(serial.value)
+
     def issued_count(self) -> int:
         return len(self._issued)
 

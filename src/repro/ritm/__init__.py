@@ -6,6 +6,7 @@ from repro.ritm.ca_service import (
     head_path,
     issuance_path,
     manifest_path,
+    shard_index_path,
 )
 from repro.ritm.client import LegacyTLSClient, RejectionReason, RITMClient
 from repro.ritm.config import (
@@ -32,12 +33,15 @@ from repro.ritm.dissemination import RADisseminationClient, PullResult, attach_a
 from repro.ritm.dpi import DPIEngine, InspectionResult
 from repro.ritm.messages import (
     DictionaryHead,
+    ShardIndex,
     decode_head,
     decode_issuance,
+    decode_shard_index,
     decode_status,
     decode_status_bundle,
     encode_head,
     encode_issuance,
+    encode_shard_index,
     encode_status,
     encode_status_bundle,
 )
@@ -56,6 +60,7 @@ __all__ = [
     "head_path",
     "issuance_path",
     "manifest_path",
+    "shard_index_path",
     "RITMConfig",
     "DeploymentModel",
     "PAPER_DELTA_SWEEP",
@@ -78,6 +83,9 @@ __all__ = [
     "ConnectionState",
     "ConnectionTable",
     "DictionaryHead",
+    "ShardIndex",
+    "encode_shard_index",
+    "decode_shard_index",
     "encode_status",
     "decode_status",
     "encode_status_bundle",

@@ -28,6 +28,7 @@ from repro.crypto.signing import PublicKey
 from repro.dictionary.authdict import ReplicaDictionary, RevocationIssuance
 from repro.dictionary.freshness import FreshnessStatement
 from repro.dictionary.proofs import RevocationStatus
+from repro.dictionary.sharding import ShardKey, shard_name
 from repro.errors import DesynchronizedError, DictionaryError, TLSError
 from repro.net.node import Middlebox
 from repro.net.packet import Direction, Packet
@@ -54,6 +55,7 @@ class AgentStatistics:
     statuses_deferred_to_peer: int = 0
     unknown_ca: int = 0
     resumptions_recovered: int = 0
+    shard_replicas_pruned: int = 0
 
 
 class RevocationAgent(Middlebox):
@@ -72,10 +74,22 @@ class RevocationAgent(Middlebox):
         self.dpi = DPIEngine()
         self.consistency = ConsistencyChecker(owner=name)
         self.stats = AgentStatistics()
-        #: Server identity → (CA name, serial) cache used to recover the
-        #: certificate identity on abbreviated (resumed) handshakes.
-        self._server_cache: Dict[Tuple[str, int], Tuple[str, SerialNumber]] = {}
+        #: Server identity → (CA name, serial, expiry) cache used to recover
+        #: the certificate identity on abbreviated (resumed) handshakes.
+        self._server_cache: Dict[Tuple[str, int], Tuple[str, SerialNumber, int]] = {}
         self._per_packet_processing_seconds = per_packet_processing_seconds
+        #: Expiry-shard width per sharded CA (set by the dissemination layer);
+        #: lets the TLS path map (CA, certificate expiry) → shard replica.
+        self.shard_widths: Dict[str, int] = {}
+        #: Explicit shard membership: CA name → shard index → replica name.
+        #: Kept as a registry (not derived by parsing replica names) so an
+        #: unrelated CA whose name merely looks like a shard name can never
+        #: be captured, prefix-skipped, or pruned.
+        self._shard_members: Dict[str, Dict[int, str]] = {}
+        #: Per-entry storage released by :meth:`prune_shard_replicas`.
+        self.reclaimed_storage_bytes = 0
+        #: Revocation entries dropped with pruned shard replicas.
+        self.pruned_revocations = 0
 
     # -- dictionary management -------------------------------------------------
 
@@ -97,6 +111,97 @@ class RevocationAgent(Middlebox):
 
     def replica_for(self, ca_name: str) -> Optional[ReplicaDictionary]:
         return self.replicas.get(ca_name)
+
+    # -- sharded CAs (§VIII "Ever-growing dictionaries") -----------------------
+
+    def register_sharded_ca(self, ca_name: str, width_seconds: int) -> None:
+        """Record that ``ca_name`` runs expiry-split dictionaries.
+
+        The per-shard replicas themselves are registered lazily (via
+        :meth:`register_ca` under each shard's name) as the dissemination
+        layer discovers shards; this only records the width so the TLS path
+        can map a certificate expiry to the right shard replica.
+        """
+        self.shard_widths[ca_name] = width_seconds
+
+    def register_shard_replica(
+        self, ca_name: str, shard_index: int, public_key: PublicKey
+    ) -> ReplicaDictionary:
+        """Create (or return) the replica of one expiry shard of ``ca_name``,
+        recording its membership in the explicit shard registry.
+
+        A name collision with a replica registered under a *different* CA
+        key (an unrelated CA whose name happens to look like this shard) is
+        rejected rather than captured — capturing it would stop its own
+        pulls and eventually prune a live CA's replica.
+        """
+        name = shard_name(ca_name, shard_index)
+        existing = self.replicas.get(name)
+        if existing is not None and existing.ca_public_key.key_bytes != public_key.key_bytes:
+            raise DictionaryError(
+                f"replica name {name!r} is already registered for a different "
+                f"CA key; refusing to adopt it as a shard of {ca_name!r}"
+            )
+        replica = self.register_ca(name, public_key)
+        self._shard_members.setdefault(ca_name, {})[shard_index] = name
+        return replica
+
+    def shard_replica_names(self) -> set:
+        """Replica names registered as shards (of any sharded CA)."""
+        return {
+            name
+            for members in self._shard_members.values()
+            for name in members.values()
+        }
+
+    def replica_for_certificate(
+        self, ca_name: str, expiry: Optional[int] = None
+    ) -> Optional[ReplicaDictionary]:
+        """The replica proving for one certificate of ``ca_name``.
+
+        For unsharded CAs this is the per-CA replica; for sharded CAs the
+        certificate's ``expiry`` selects the shard replica.
+        """
+        replica = self.replicas.get(ca_name)
+        if replica is not None:
+            return replica
+        width = self.shard_widths.get(ca_name)
+        if width is None or expiry is None or expiry < 0:
+            return None
+        key = ShardKey.for_expiry(expiry, width)
+        name = self._shard_members.get(ca_name, {}).get(key.index)
+        return self.replicas.get(name) if name is not None else None
+
+    def shard_replicas(self, ca_name: str) -> Dict[int, ReplicaDictionary]:
+        """This RA's shard replicas of ``ca_name``, keyed by shard index."""
+        members = self._shard_members.get(ca_name, {})
+        return {
+            index: self.replicas[name]
+            for index, name in members.items()
+            if name in self.replicas
+        }
+
+    def prune_shard_replicas(self, ca_name: str, now: float) -> Tuple[int, int]:
+        """Drop shard replicas whose expiry window has passed.
+
+        Returns ``(entries freed, bytes freed)`` and accumulates both in
+        :attr:`pruned_revocations` / :attr:`reclaimed_storage_bytes` — the
+        §VIII storage reclamation the sharded deployment mode is about.
+        """
+        width = self.shard_widths.get(ca_name)
+        if width is None:
+            return (0, 0)
+        entries = bytes_freed = 0
+        members = self._shard_members.get(ca_name, {})
+        for index, replica in list(self.shard_replicas(ca_name).items()):
+            if ShardKey(index, width).is_expired(now):
+                entries += replica.size
+                bytes_freed += replica.storage_size_bytes()
+                del self.replicas[members.pop(index)]
+                self.stats.shard_replicas_pruned += 1
+        self.pruned_revocations += entries
+        self.reclaimed_storage_bytes += bytes_freed
+        return (entries, bytes_freed)
 
     def apply_issuance(self, issuance: RevocationIssuance) -> None:
         self.apply_issuances(issuance.ca_name, [issuance])
@@ -190,7 +295,7 @@ class RevocationAgent(Middlebox):
             # Abbreviated handshake: recover the identity from the server cache.
             cached = self._server_cache.get((packet.flow.src_ip, packet.flow.src_port))
             if cached is not None:
-                state.ca_name, state.serial = cached
+                state.ca_name, state.serial, state.certificate_expiry = cached
                 self.stats.resumptions_recovered += 1
 
         packet = self._maybe_attach_status(packet, state, inspection, now)
@@ -205,9 +310,11 @@ class RevocationAgent(Middlebox):
         leaf = chain.leaf
         state.ca_name = leaf.issuer
         state.serial = leaf.serial
+        state.certificate_expiry = leaf.not_after
         self._server_cache[(packet.flow.src_ip, packet.flow.src_port)] = (
             leaf.issuer,
             leaf.serial,
+            leaf.not_after,
         )
         if state.session_id:
             self.connections.remember_session(state.session_id, leaf.issuer, leaf.serial)
@@ -250,7 +357,9 @@ class RevocationAgent(Middlebox):
     def _build_statuses(
         self, state: ConnectionState, now: float
     ) -> Optional[List[RevocationStatus]]:
-        replica = self.replicas.get(state.ca_name or "")
+        replica = self.replica_for_certificate(
+            state.ca_name or "", state.certificate_expiry
+        )
         if replica is None or replica.signed_root is None:
             self.stats.unknown_ca += 1
             return None
@@ -262,7 +371,9 @@ class RevocationAgent(Middlebox):
             chain: Optional[CertificateChain] = getattr(state, "chain", None)
             if chain is not None:
                 for certificate in list(chain)[1:]:
-                    issuer_replica = self.replicas.get(certificate.issuer)
+                    issuer_replica = self.replica_for_certificate(
+                        certificate.issuer, certificate.not_after
+                    )
                     if issuer_replica is not None and issuer_replica.signed_root is not None:
                         statuses.append(issuer_replica.prove(certificate.serial))
         return statuses

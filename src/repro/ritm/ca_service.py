@@ -12,24 +12,43 @@ Published object layout (per CA):
   RAs that detect they are behind);
 * ``/ritm/<ca>/manifest``      — the bootstrap manifest of §VIII
   ("/RITM.json"): where the dictionary lives and which Δ the CA uses.
+
+In **sharded mode** (``RITMConfig.sharded``, §VIII "Ever-growing
+dictionaries") the single master dictionary is replaced by a
+:class:`~repro.dictionary.sharding.ShardedCADictionary` and the layout gains
+one level: each expiry shard publishes its *own* head and issuance objects
+under its shard name (``/ritm/<ca>#expiry-<i>/head`` …), and a small
+
+* ``/ritm/<ca>/shards``        — shard index object
+
+lists the live and retired shard indices so RAs can discover new shards and
+delete replicas of retired ones.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cdn.network import CDNNetwork
 from repro.dictionary.authdict import CADictionary, RevocationIssuance
 from repro.dictionary.freshness import FreshnessStatement
+from repro.dictionary.proofs import RevocationStatus
+from repro.dictionary.sharding import ShardKey, ShardedCADictionary, shard_name
 from repro.dictionary.signed_root import SignedRoot
 from repro.dictionary.sync import SyncServer
 from repro.errors import DictionaryError
 from repro.pki.ca import CertificationAuthority
 from repro.pki.serial import SerialNumber
 from repro.ritm.config import RITMConfig
-from repro.ritm.messages import DictionaryHead, encode_head, encode_issuance
+from repro.ritm.messages import (
+    DictionaryHead,
+    ShardIndex,
+    encode_head,
+    encode_issuance,
+    encode_shard_index,
+)
 
 
 def head_path(ca_name: str) -> str:
@@ -42,6 +61,11 @@ def issuance_path(ca_name: str, batch_number: int) -> str:
 
 def manifest_path(ca_name: str) -> str:
     return f"/ritm/{ca_name}/manifest"
+
+
+def shard_index_path(ca_name: str) -> str:
+    """CDN path of the shard discovery object (sharded mode only)."""
+    return f"/ritm/{ca_name}/shards"
 
 
 @dataclass
@@ -65,17 +89,34 @@ class RITMCertificationAuthority:
         self.authority = authority
         self.config = config if config is not None else RITMConfig()
         self.cdn = cdn
-        self.dictionary = CADictionary(
-            ca_name=authority.name,
-            keys=self._keys_of(authority),
-            delta=self.config.delta_seconds,
-            chain_length=self.config.chain_length,
-            digest_size=self.config.digest_size,
-            engine=self.config.store_engine,
-        )
-        self.sync_server = SyncServer(self.dictionary)
         self.publication_stats = PublicationStats()
         self._batch_counter = 0
+        if self.config.sharded:
+            self.dictionary = None
+            self.sync_server = None
+            self.shards = ShardedCADictionary(
+                ca_name=authority.name,
+                keys=self._keys_of(authority),
+                delta=self.config.delta_seconds,
+                chain_length=self.config.chain_length,
+                shard_seconds=self.config.shard_width_seconds,
+                digest_size=self.config.digest_size,
+                engine=self.config.store_engine,
+            )
+            self._shard_sync: Dict[int, SyncServer] = {}
+            self._shard_batches: Dict[int, int] = {}
+            self._refresh_count = 0
+        else:
+            self.shards = None
+            self.dictionary = CADictionary(
+                ca_name=authority.name,
+                keys=self._keys_of(authority),
+                delta=self.config.delta_seconds,
+                chain_length=self.config.chain_length,
+                digest_size=self.config.digest_size,
+                engine=self.config.store_engine,
+            )
+            self.sync_server = SyncServer(self.dictionary)
 
     @staticmethod
     def _keys_of(authority: CertificationAuthority):
@@ -93,10 +134,24 @@ class RITMCertificationAuthority:
     def public_key(self):
         return self.authority.public_key
 
+    @property
+    def sharded(self) -> bool:
+        """Whether this CA runs expiry-split dictionaries (§VIII)."""
+        return self.config.sharded
+
     # -- bootstrap ------------------------------------------------------------------
 
-    def bootstrap(self, now: float) -> SignedRoot:
-        """Sign the initial (possibly empty) dictionary and publish everything."""
+    def bootstrap(self, now: float) -> Optional[SignedRoot]:
+        """Sign the initial (possibly empty) dictionary and publish everything.
+
+        In sharded mode there is no single dictionary to sign up front —
+        shards appear with their first revocation — so bootstrap publishes
+        the manifest and an (empty) shard index and returns ``None``.
+        """
+        if self.sharded:
+            self._publish_manifest(now)
+            self._publish_shard_index(now)
+            return None
         result = self.dictionary.refresh(int(now))
         if not isinstance(result, SignedRoot):
             raise DictionaryError("bootstrap expected a signed root")
@@ -109,7 +164,28 @@ class RITMCertificationAuthority:
     def revoke(
         self, serials: Iterable[SerialNumber], now: float, reason: str = "unspecified"
     ) -> RevocationIssuance:
-        """Revoke serials, update the dictionary, and publish the new batch."""
+        """Revoke serials, update the dictionary, and publish the new batch.
+
+        In sharded mode every revocation needs the certificate's expiry to
+        pick a shard; this convenience wrapper looks the expiry up in the
+        issuance CA's records, delegates to :meth:`revoke_with_expiry`, and
+        returns the *last* touched shard's issuance (all batches are still
+        published).  Callers revoking serials that may span several shards
+        should use :meth:`revoke_with_expiry` directly, which returns every
+        per-shard issuance.
+        """
+        if self.sharded:
+            pairs = []
+            for serial in serials:
+                certificate = self.authority.certificate_for(serial)
+                if certificate is None:
+                    raise DictionaryError(
+                        f"sharded CA {self.name!r} cannot derive an expiry for "
+                        f"serial {serial} (not issued here); use revoke_with_expiry"
+                    )
+                pairs.append((serial, certificate.not_after))
+            issuances = self.revoke_with_expiry(pairs, now, reason=reason)
+            return issuances[-1][1]
         serial_list = list(serials)
         for serial in serial_list:
             self.authority.revoke(serial, now=int(now), reason=reason)
@@ -129,17 +205,100 @@ class RITMCertificationAuthority:
         self._publish_head(now)
         return issuance
 
+    def revoke_with_expiry(
+        self,
+        serials_with_expiry: Iterable[Tuple[SerialNumber, int]],
+        now: float,
+        reason: str = "unspecified",
+    ) -> List[Tuple[ShardKey, RevocationIssuance]]:
+        """Revoke (serial, expiry) pairs in sharded mode and publish per shard.
+
+        Each touched shard gets one issuance batch published under its own
+        shard name plus a refreshed head object; the shard index is
+        republished when a new shard appears so RAs can discover it on their
+        next pull.
+        """
+        if not self.sharded:
+            raise DictionaryError(
+                f"CA {self.name!r} is not sharded; use revoke() instead"
+            )
+        pairs = list(serials_with_expiry)
+        if not pairs:
+            raise DictionaryError("a revocation batch needs at least one serial")
+        # Validate the whole batch — expiries and duplicate serials — before
+        # the issuance CA records anything, so a rejected batch leaves both
+        # halves untouched and retryable.
+        routed = self.shards.validate_expiries(pairs, int(now))
+        seen = set()
+        for serial, _ in pairs:
+            if serial.value in seen or self.authority.is_revoked(serial):
+                raise DictionaryError(
+                    f"serial {serial} is already revoked by {self.name!r}"
+                )
+            seen.add(serial.value)
+        for serial, _ in pairs:
+            self.authority.revoke(serial, now=int(now), reason=reason)
+        shards_before = self.shards.shard_count
+        issuances = self.shards.revoke(pairs, int(now), routed=routed)
+        for key, issuance in issuances:
+            self._sync_server_for(key.index).record_issuance(issuance)
+            self._shard_batches[key.index] = self._shard_batches.get(key.index, 0) + 1
+            self._batch_counter += 1
+            if self.cdn is not None:
+                content = encode_issuance(issuance)
+                self.cdn.publish(
+                    issuance_path(shard_name(self.name, key.index), self._shard_batches[key.index]),
+                    content,
+                    now,
+                    ttl_seconds=self.config.cdn_ttl_seconds,
+                )
+                self.publication_stats.issuances_published += 1
+                self.publication_stats.bytes_uploaded += len(content)
+            self._publish_shard_head(key.index, now)
+        if self.shards.shard_count != shards_before:
+            self._publish_shard_index(now)
+        return issuances
+
     # -- periodic duty -------------------------------------------------------------------
 
     def refresh(self, now: float):
-        """The CA's every-Δ duty: freshness statement (or a re-signed root)."""
+        """The CA's every-Δ duty: freshness statement (or a re-signed root).
+
+        In sharded mode every live shard is refreshed and its head
+        republished; every :attr:`RITMConfig.prune_every_periods` refreshes
+        the CA also retires shards whose expiry window has fully passed
+        (dropping their storage) and republishes the shard index.
+        """
+        if self.sharded:
+            self._refresh_count += 1
+            results = self.shards.refresh_all(int(now))
+            for index in results:
+                self._publish_shard_head(index, now)
+            if self._refresh_count % self.config.prune_every_periods == 0:
+                retired = self.retire_expired(now)
+                if retired:
+                    self._publish_shard_index(now)
+            return results
         result = self.dictionary.refresh(int(now))
         self._publish_head(now)
         return result
 
+    def retire_expired(self, now: float) -> List[ShardKey]:
+        """Drop shards whose window has passed, with their sync state."""
+        if not self.sharded:
+            return []
+        retired = self.shards.retire_expired(now)
+        for key in retired:
+            self._shard_sync.pop(key.index, None)
+        return retired
+
     # -- views -----------------------------------------------------------------------------
 
     def head(self) -> DictionaryHead:
+        if self.sharded:
+            raise DictionaryError(
+                f"sharded CA {self.name!r} has per-shard heads; use shard_head()"
+            )
         signed_root = self.dictionary.signed_root
         freshness = self.dictionary.latest_freshness
         if signed_root is None or freshness is None:
@@ -151,17 +310,83 @@ class RITMCertificationAuthority:
             freshness=freshness,
         )
 
+    def shard_head(self, shard_index: int) -> DictionaryHead:
+        """The polling object of one expiry shard (sharded mode only)."""
+        if not self.sharded:
+            raise DictionaryError(f"CA {self.name!r} is not sharded; use head()")
+        shard = self.shards.shard_at(shard_index)
+        if shard is None or shard.signed_root is None or shard.latest_freshness is None:
+            raise DictionaryError(
+                f"CA {self.name!r} has no published shard {shard_index}"
+            )
+        return DictionaryHead(
+            ca_name=shard.ca_name,
+            size=shard.size,
+            signed_root=shard.signed_root,
+            freshness=shard.latest_freshness,
+        )
+
+    #: Most recent retired shard indices carried in the published index; the
+    #: wire object must stay O(live shards), not grow with the CA's history.
+    RETIRED_INDICES_PUBLISHED = 16
+
+    def shard_index(self, now: float) -> ShardIndex:
+        """The shard discovery object: live and recently retired indices."""
+        if not self.sharded:
+            raise DictionaryError(f"CA {self.name!r} is not sharded")
+        return ShardIndex(
+            ca_name=self.name,
+            width_seconds=self.config.shard_width_seconds,
+            live=tuple(self.shards.live_shard_indices(now)),
+            retired=tuple(
+                self.shards.retired_indices()[-self.RETIRED_INDICES_PUBLISHED:]
+            ),
+        )
+
+    def sync_server_for(self, shard_index: int) -> Optional[SyncServer]:
+        """The per-shard sync endpoint (``None`` for unknown shards)."""
+        if not self.sharded:
+            return self.sync_server
+        if self.shards.shard_at(shard_index) is None:
+            return None
+        return self._sync_server_for(shard_index)
+
+    def prove_status(
+        self, serial: SerialNumber, expiry: int, now: Optional[int] = None
+    ) -> RevocationStatus:
+        """Revocation status from the master copy, expiry-aware in sharded mode."""
+        if self.sharded:
+            return self.shards.prove(serial, expiry, now=now)
+        return self.dictionary.prove(serial)
+
+    def total_revocations(self) -> int:
+        """Entries in the master dictionary (live shards only when sharded)."""
+        if self.sharded:
+            return self.shards.total_revocations()
+        return self.dictionary.size
+
+    def storage_size_bytes(self) -> int:
+        """Per-entry storage of the master copy (live shards when sharded)."""
+        if self.sharded:
+            return self.shards.storage_size_bytes()
+        return self.dictionary.storage_size_bytes()
+
     def issuance_count(self) -> int:
         return self._batch_counter
 
     def manifest(self) -> dict:
         """The §VIII bootstrap manifest (would live at ``/RITM.json``)."""
-        return {
+        manifest = {
             "ca": self.name,
             "delta_seconds": self.config.delta_seconds,
             "head": head_path(self.name),
             "issuance_prefix": f"/ritm/{self.name}/issuance/",
         }
+        if self.sharded:
+            manifest["sharded"] = True
+            manifest["shard_width_seconds"] = self.config.shard_width_seconds
+            manifest["shard_index"] = shard_index_path(self.name)
+        return manifest
 
     # -- internals ------------------------------------------------------------------------------
 
@@ -180,4 +405,42 @@ class RITMCertificationAuthority:
             return
         content = json.dumps(self.manifest()).encode("utf-8")
         self.cdn.publish(manifest_path(self.name), content, now, ttl_seconds=86_400.0)
+        self.publication_stats.bytes_uploaded += len(content)
+
+    def _sync_server_for(self, shard_index: int) -> SyncServer:
+        """The (possibly newly created) sync server of one shard."""
+        if shard_index not in self._shard_sync:
+            shard = self.shards.shard_at(shard_index)
+            if shard is None:
+                raise DictionaryError(
+                    f"CA {self.name!r} has no shard {shard_index} to sync from"
+                )
+            self._shard_sync[shard_index] = SyncServer(shard)
+        return self._shard_sync[shard_index]
+
+    def _publish_shard_head(self, shard_index: int, now: float) -> None:
+        """Publish one shard's head object under its shard name."""
+        if self.cdn is None:
+            return
+        content = encode_head(self.shard_head(shard_index))
+        self.cdn.publish(
+            head_path(shard_name(self.name, shard_index)),
+            content,
+            now,
+            ttl_seconds=self.config.cdn_ttl_seconds,
+        )
+        self.publication_stats.heads_published += 1
+        self.publication_stats.bytes_uploaded += len(content)
+
+    def _publish_shard_index(self, now: float) -> None:
+        """Publish the shard discovery object."""
+        if self.cdn is None:
+            return
+        content = encode_shard_index(self.shard_index(now))
+        self.cdn.publish(
+            shard_index_path(self.name),
+            content,
+            now,
+            ttl_seconds=self.config.cdn_ttl_seconds,
+        )
         self.publication_stats.bytes_uploaded += len(content)

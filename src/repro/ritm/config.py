@@ -9,10 +9,12 @@ constructors below match the values used in its figures.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from enum import Enum
 
 from repro.crypto.hashing import DEFAULT_DIGEST_SIZE
+from repro.dictionary.sharding import DEFAULT_SHARD_SECONDS
 from repro.errors import ConfigurationError
 from repro.store import DEFAULT_ENGINE, ENGINES
 
@@ -60,6 +62,14 @@ class RITMConfig:
     #: Authenticated-store engine backing every dictionary in the deployment
     #: (see :data:`repro.store.ENGINES`).
     store_engine: str = DEFAULT_ENGINE
+    #: Expiry-split dictionaries (§VIII "Ever-growing dictionaries"): when
+    #: set, the CA routes revocations into per-expiry-window shards and RAs
+    #: prune whole shards once their window passes.
+    sharded: bool = False
+    #: Expiry-window width of each shard, in seconds (sharded mode only).
+    shard_width_seconds: int = DEFAULT_SHARD_SECONDS
+    #: How often (in Δ periods) CAs retire and RAs prune expired shards.
+    prune_every_periods: int = 1
 
     def __post_init__(self) -> None:
         if self.delta_seconds <= 0:
@@ -75,6 +85,10 @@ class RITMConfig:
                 f"unknown store engine {self.store_engine!r}; "
                 f"available engines: {sorted(ENGINES)}"
             )
+        if self.shard_width_seconds <= 0:
+            raise ConfigurationError("shard_width_seconds must be positive")
+        if self.prune_every_periods < 1:
+            raise ConfigurationError("prune_every_periods must be at least 1")
 
     @property
     def attack_window_seconds(self) -> int:
@@ -88,16 +102,7 @@ class RITMConfig:
 
     def with_delta(self, delta_seconds: int) -> "RITMConfig":
         """A copy with a different Δ (used by the parameter sweeps)."""
-        return RITMConfig(
-            delta_seconds=delta_seconds,
-            chain_length=self.chain_length,
-            freshness_tolerance_periods=self.freshness_tolerance_periods,
-            digest_size=self.digest_size,
-            deployment=self.deployment,
-            prove_full_chain=self.prove_full_chain,
-            cdn_ttl_seconds=self.cdn_ttl_seconds,
-            store_engine=self.store_engine,
-        )
+        return dataclasses.replace(self, delta_seconds=delta_seconds)
 
     @classmethod
     def for_label(cls, label: str, **overrides) -> "RITMConfig":

@@ -6,20 +6,42 @@ shows the replica is current, only the freshness statement is applied (the
 common case whose cost dominates Fig. 7).  If the head's size is larger than
 the replica's, the RA fetches the missing issuance batches (or falls back to
 the sync protocol) and applies them.
+
+For CAs running expiry-split dictionaries (§VIII, ``RITMConfig.sharded``)
+the cycle gains one discovery step: the RA first pulls the CA's small shard
+*index* object, then runs the ordinary head/issuance cycle once per live
+shard (each shard is an independent dictionary under its shard name), and
+every pruning period deletes replicas of shards whose expiry window has
+passed — the storage reclamation the §VIII relaxation is about.  The shard
+index itself is unauthenticated, but it can only direct the RA *towards*
+shards: every shard's content is still verified against that shard's
+CA-signed root, so a forged index can cause wasted fetches, never a false
+revocation status.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.cdn.geography import GeoLocation
 from repro.cdn.network import CDNNetwork
+from repro.crypto.signing import PublicKey
+from repro.dictionary.sharding import (
+    MAX_CERTIFICATE_LIFETIME_SECONDS,
+    ShardKey,
+    shard_name,
+)
 from repro.dictionary.sync import SyncRequest, SyncServer
-from repro.errors import CDNError, DictionaryError, SignatureError
+from repro.errors import CDNError, DictionaryError, SignatureError, TLSError
 from repro.ritm.agent import RevocationAgent
-from repro.ritm.ca_service import RITMCertificationAuthority, head_path, issuance_path
-from repro.ritm.messages import decode_head, decode_issuance
+from repro.ritm.ca_service import (
+    RITMCertificationAuthority,
+    head_path,
+    issuance_path,
+    shard_index_path,
+)
+from repro.ritm.messages import decode_head, decode_issuance, decode_shard_index
 
 
 @dataclass
@@ -35,6 +57,11 @@ class PullResult:
     serials_applied: int = 0
     resyncs: int = 0
     errors: List[str] = field(default_factory=list)
+    #: Sharded-mode accounting (zero for unsharded CAs).
+    shard_indexes_checked: int = 0
+    shards_pruned: int = 0
+    entries_pruned: int = 0
+    bytes_reclaimed: int = 0
 
 
 class RADisseminationClient:
@@ -56,17 +83,54 @@ class RADisseminationClient:
         #: Highest issuance batch already applied, per CA.
         self._applied_batches: Dict[str, int] = {}
         self.pull_history: List[PullResult] = []
+        #: Sharded CAs: base CA name → (public key, per-shard sync lookup).
+        self._sharded_cas: Dict[str, tuple] = {}
+        #: Pull cycles completed per sharded CA (drives the pruning cadence).
+        self._shard_pulls: Dict[str, int] = {}
 
     def register_sync_server(self, ca_name: str, server: SyncServer) -> None:
         """Register the CA's direct sync endpoint for desync recovery."""
         self.sync_servers[ca_name] = server
+
+    def register_sharded_ca(
+        self,
+        ca_name: str,
+        public_key: PublicKey,
+        width_seconds: int,
+        sync_server_for: Optional[Callable[[int], Optional[SyncServer]]] = None,
+    ) -> None:
+        """Register a CA running expiry-split dictionaries (§VIII).
+
+        The pull cycle will discover this CA's shards through its shard
+        index object and replicate each live shard under its shard name;
+        ``sync_server_for`` (shard index → :class:`SyncServer`) provides the
+        per-shard desync-recovery endpoints.  ``width_seconds`` comes from
+        deployment configuration (the same :class:`RITMConfig` both sides
+        share), never from the unauthenticated index object — a published
+        index advertising a different width is treated as malformed.
+        """
+        self.agent.register_sharded_ca(ca_name, width_seconds)
+        self._sharded_cas[ca_name] = (public_key, sync_server_for)
 
     # -- the Δ-periodic pull -------------------------------------------------------
 
     def pull(self, now: float) -> PullResult:
         """One pull cycle over every CA the RA replicates."""
         result = PullResult(time=now)
-        for ca_name, replica in self.agent.replicas.items():
+        for ca_name in self._sharded_cas:
+            index = None
+            try:
+                index = self._pull_sharded(ca_name, now, result)
+            except (CDNError, DictionaryError, SignatureError, TLSError) as exc:
+                result.errors.append(f"{ca_name}: {exc}")
+            # Pruning depends only on the local clock, so it must not be
+            # suppressible by a missing/forged index object: expired shard
+            # replicas are reclaimed whether or not the index decoded.
+            self._prune_sharded(ca_name, index, now, result)
+        shard_replica_names = self.agent.shard_replica_names()
+        for ca_name, replica in list(self.agent.replicas.items()):
+            if ca_name in shard_replica_names:
+                continue  # shard replicas were handled by their CA's index pull
             try:
                 self._pull_one(ca_name, replica, now, result)
             except (CDNError, DictionaryError, SignatureError) as exc:
@@ -75,6 +139,93 @@ class RADisseminationClient:
                 result.errors.append(f"{ca_name}: {exc}")
         self.pull_history.append(result)
         return result
+
+    def _pull_sharded(self, ca_name: str, now: float, result: PullResult):
+        """Discovery + per-shard pulls for one sharded CA; returns the index."""
+        public_key, sync_server_for = self._sharded_cas[ca_name]
+        download = self.cdn.download(shard_index_path(ca_name), self.location, now)
+        result.bytes_downloaded += download.bytes_on_wire
+        result.latency_seconds += download.latency_seconds
+        result.shard_indexes_checked += 1
+        index = decode_shard_index(download.content)
+
+        # The width registered at attach time (from deployment config) is
+        # authoritative: the index is unauthenticated, so a forged width
+        # must not re-map (or mass-expire) the agent's shard replicas.  A
+        # mismatch is treated as a malformed object, like any other
+        # undecodable index.
+        width = self.agent.shard_widths[ca_name]
+        if index.width_seconds != width:
+            raise TLSError(
+                f"shard index for {ca_name!r} advertises width "
+                f"{index.width_seconds}s but the agent is configured with "
+                f"{width}s"
+            )
+        plausible_end = now + MAX_CERTIFICATE_LIFETIME_SECONDS + width
+        # Dedup before iterating: a forged index repeating one live entry a
+        # million times must cost one head fetch, not a million.  Distinct
+        # in-range live indices are bounded by ~lifetime/width + 2.
+        for shard_idx in sorted(set(index.live)):
+            key = ShardKey(shard_idx, width)
+            if key.is_expired(now):
+                # A stale (cached) index can still list a shard whose window
+                # has passed locally; re-replicating it would just be pruned
+                # again, double-counting reclaimed storage and applied serials.
+                continue
+            if key.window_start > plausible_end:
+                # No certificate can expire past now + the CA/B lifetime cap,
+                # so a (forged or corrupt) index must not make the RA
+                # register unbounded far-future replicas that never prune.
+                result.errors.append(
+                    f"{ca_name}: shard index lists implausible far-future "
+                    f"shard {shard_idx}"
+                )
+                continue
+            name = shard_name(ca_name, shard_idx)
+            try:
+                replica = self.agent.register_shard_replica(
+                    ca_name, shard_idx, public_key
+                )
+                if sync_server_for is not None and name not in self.sync_servers:
+                    server = sync_server_for(shard_idx)
+                    if server is not None:
+                        self.sync_servers[name] = server
+                self._pull_one(name, replica, now, result)
+            except (CDNError, DictionaryError, SignatureError) as exc:
+                result.errors.append(f"{name}: {exc}")
+        return index
+
+    def _prune_sharded(self, ca_name: str, index, now: float, result: PullResult) -> None:
+        """Reclaim expired shard replicas of one sharded CA.
+
+        Runs every pull (whether or not the index fetch succeeded) and
+        prunes when the cadence fires — or promptly when the decoded
+        index's retired list names a shard the RA still holds.  Either way
+        replicas are dropped solely by the local-clock window check, so a
+        forged retired list cannot make the RA delete live shards.
+        """
+        width = self.agent.shard_widths.get(ca_name)
+        if width is None:
+            return
+        held_indices = self.agent.shard_replicas(ca_name)
+        ca_retired_held = index is not None and any(
+            idx in held_indices and ShardKey(idx, width).is_expired(now)
+            for idx in index.retired
+        )
+        self._shard_pulls[ca_name] = self._shard_pulls.get(ca_name, 0) + 1
+        if (
+            ca_retired_held
+            or self._shard_pulls[ca_name] % self.agent.config.prune_every_periods == 0
+        ):
+            held = [shard_name(ca_name, idx) for idx in held_indices]
+            entries, bytes_freed = self.agent.prune_shard_replicas(ca_name, now)
+            for name in held:
+                if name not in self.agent.replicas:
+                    result.shards_pruned += 1
+                    self._applied_batches.pop(name, None)
+                    self.sync_servers.pop(name, None)
+            result.entries_pruned += entries
+            result.bytes_reclaimed += bytes_freed
 
     def _pull_one(self, ca_name: str, replica, now: float, result: PullResult) -> None:
         download = self.cdn.download(head_path(ca_name), self.location, now)
@@ -205,9 +356,22 @@ def attach_agent_to_cas(
     cdn: CDNNetwork,
     location: GeoLocation,
 ) -> RADisseminationClient:
-    """Wire an RA to a set of RITM CAs: register replicas and sync servers."""
+    """Wire an RA to a set of RITM CAs: register replicas and sync servers.
+
+    Sharded CAs are registered for shard discovery instead of getting a
+    single base-name replica; their per-shard replicas appear as the pull
+    cycle reads the CA's shard index.
+    """
     client = RADisseminationClient(agent, cdn, location)
     for ca in cas:
-        agent.register_ca(ca.name, ca.public_key)
-        client.register_sync_server(ca.name, ca.sync_server)
+        if ca.sharded:
+            client.register_sharded_ca(
+                ca.name,
+                ca.public_key,
+                ca.config.shard_width_seconds,
+                ca.sync_server_for,
+            )
+        else:
+            agent.register_ca(ca.name, ca.public_key)
+            client.register_sync_server(ca.name, ca.sync_server)
     return client

@@ -16,6 +16,7 @@ codec is also the source of truth for the analysis module.
 
 from __future__ import annotations
 
+import json
 import struct
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
@@ -313,6 +314,59 @@ def encode_issuance(issuance: RevocationIssuance) -> bytes:
         parts.append(_pack_bytes(serial.to_bytes()))
     parts.append(_pack_bytes(encode_signed_root(issuance.signed_root)))
     return b"".join(parts)
+
+
+@dataclass(frozen=True)
+class ShardIndex:
+    """The per-CA shard discovery object of sharded mode (§VIII).
+
+    RAs pull this small object every Δ to learn which expiry shards the CA
+    currently maintains (``live``) and which it has retired (``retired``),
+    then pull one head object per live shard and prune replicas of retired
+    ones.  ``width_seconds`` lets an RA map a certificate expiry to a shard
+    index without further round trips.
+    """
+
+    ca_name: str
+    width_seconds: int
+    live: Tuple[int, ...]
+    retired: Tuple[int, ...] = ()
+
+    def encoded_size(self) -> int:
+        """Wire size in bytes."""
+        return len(encode_shard_index(self))
+
+
+def encode_shard_index(index: ShardIndex) -> bytes:
+    """Serialize a shard index for publication on the CDN."""
+    return json.dumps(
+        {
+            "ca": index.ca_name,
+            "width_seconds": index.width_seconds,
+            "live": list(index.live),
+            "retired": list(index.retired),
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def decode_shard_index(data: bytes) -> ShardIndex:
+    """Parse a shard index object, rejecting malformed payloads."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+        width_seconds = int(payload["width_seconds"])
+        if width_seconds <= 0:
+            # The index is unauthenticated; a forged zero width must not
+            # reach ShardKey arithmetic (or overwrite the agent's width).
+            raise ValueError(f"shard width must be positive, got {width_seconds}")
+        return ShardIndex(
+            ca_name=payload["ca"],
+            width_seconds=width_seconds,
+            live=tuple(int(i) for i in payload["live"]),
+            retired=tuple(int(i) for i in payload.get("retired", ())),
+        )
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        raise TLSError(f"malformed shard index object: {exc}") from None
 
 
 def decode_issuance(data: bytes) -> RevocationIssuance:

@@ -26,6 +26,9 @@ class ConnectionState:
     stage: HandshakeStage = HandshakeStage.CLIENT_HELLO
     ca_name: Optional[str] = None
     serial: Optional[SerialNumber] = None
+    #: ``not_after`` of the observed server certificate; selects the expiry
+    #: shard when the issuing CA runs sharded dictionaries (§VIII).
+    certificate_expiry: Optional[int] = None
     #: TLS session identifier (for session-ID resumption bookkeeping).
     session_id: bytes = b""
     created_at: float = 0.0

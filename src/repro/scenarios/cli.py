@@ -88,6 +88,14 @@ def _cmd_describe(name: str) -> int:
         ("gossip_audit", config.gossip_audit),
         ("compare_engines", ", ".join(config.compare_engines) or "none"),
         ("baseline", config.baseline or "none"),
+        (
+            "sharded",
+            f"width {config.shard_width_periods} periods, "
+            f"lifetime {config.cert_lifetime_periods} periods, "
+            f"prune every {config.prune_every_periods}"
+            if config.sharded
+            else False,
+        ),
         ("attack_window_bound", f"{config.attack_window_seconds()}s"),
         ("tags", ", ".join(config.tags)),
     ]

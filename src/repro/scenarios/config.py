@@ -211,6 +211,18 @@ class ScenarioConfig:
     compare_engines: Tuple[str, ...] = ()
     #: Compare the observed attack window against a baseline scheme.
     baseline: str = ""
+    #: Run the CA in expiry-split mode (§VIII "Ever-growing dictionaries"):
+    #: revocations are routed into per-expiry-window shards, RAs prune whole
+    #: shards once their window passes, and the runner tracks an unsharded
+    #: oracle dictionary to compare verdicts and storage growth against.
+    sharded: bool = False
+    #: Width of each expiry shard, in Δ periods (sharded mode only).
+    shard_width_periods: int = 0
+    #: Certificate-lifetime spread, in Δ periods: each revoked certificate's
+    #: expiry falls 1..N periods after its revocation (sharded mode only).
+    cert_lifetime_periods: int = 0
+    #: How often (in Δ periods) the CA retires and RAs prune expired shards.
+    prune_every_periods: int = 1
     #: Simulated Unix time the scenario starts at (scripted workloads).
     epoch: int = 1_400_000_000
     #: Field overrides applied by :meth:`smoke` for fast CI runs.
@@ -279,6 +291,35 @@ class ScenarioConfig:
                 )
         if self.baseline and not self.victim_host:
             raise ConfigurationError("a baseline comparison requires victim_host")
+        if self.prune_every_periods < 1:
+            raise ConfigurationError("prune_every_periods must be at least 1")
+        if self.sharded:
+            if self.workload.kind != "scripted":
+                raise ConfigurationError(
+                    "sharded scenarios need a scripted workload (expiry churn "
+                    "is derived from the period schedule)"
+                )
+            if self.shard_width_periods < 1:
+                raise ConfigurationError(
+                    "sharded scenarios need shard_width_periods >= 1"
+                )
+            if self.cert_lifetime_periods < 1:
+                raise ConfigurationError(
+                    "sharded scenarios need cert_lifetime_periods >= 1"
+                )
+            if self.victim_host or self.gossip_audit or self.baseline:
+                raise ConfigurationError(
+                    "sharded scenarios do not support victim/gossip/baseline "
+                    "study phases yet"
+                )
+            if self.faults:
+                raise ConfigurationError(
+                    "sharded scenarios do not support fault injection yet"
+                )
+        elif self.shard_width_periods or self.cert_lifetime_periods:
+            raise ConfigurationError(
+                "shard_width_periods/cert_lifetime_periods require sharded=True"
+            )
 
     # -- derived values ------------------------------------------------------------
 

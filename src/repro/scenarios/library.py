@@ -1,11 +1,12 @@
 """The built-in scenario library.
 
-Seven scenarios ship with the engine.  Four re-express the original
+Eight scenarios ship with the engine.  Four re-express the original
 ``examples/`` scripts (``quickstart``, ``heartbleed``, ``iot-long-lived``,
-``ca-audit-gossip``); three are new workloads the declarative engine makes
+``ca-audit-gossip``); four are new workloads the declarative engine makes
 cheap (``flash-crowd`` with a store-engine comparison, ``degraded-ra``
-probing the attack window under missed pulls, and ``tampered-cdn`` combining
-a forged batch with a CA outage).
+probing the attack window under missed pulls, ``tampered-cdn`` combining
+a forged batch with a CA outage, and ``sharded-longrun`` driving the §VIII
+expiry-split deployment mode through a multi-quarter clock advance).
 
 Each scenario is a plain :class:`~repro.scenarios.config.ScenarioConfig`;
 adding a new one is a ~30-line :func:`~repro.scenarios.registry.register`
@@ -300,5 +301,58 @@ TAMPERED_CDN = register(
             FaultSpec(kind="ca-outage", at_period=5, duration_periods=2),
         ),
         tags=("fault", "tamper", "outage"),
+    )
+)
+
+SHARDED_LONGRUN = register(
+    ScenarioConfig(
+        name="sharded-longrun",
+        title="Ever-growing dictionaries: expiry shards bound RA storage",
+        summary=(
+            "A multi-quarter run with steady revocations and certificate "
+            "expiry churn: the CA routes revocations into expiry shards, RAs "
+            "delete whole shards as their windows pass, and RA storage "
+            "plateaus while an unsharded oracle dictionary grows forever."
+        ),
+        description=(
+            "The paper's §VIII relaxation for ever-growing dictionaries: a "
+            "CA maintains one dictionary per expiry window, so an RA can "
+            "reclaim a whole shard once every certificate in it has expired. "
+            "The clock advances one week per Δ for 40 weeks; each revoked "
+            "certificate expires 1-10 weeks later, shards are 6 weeks wide, "
+            "and both sides prune every period. The runner feeds the same "
+            "revocations to an unsharded oracle and checks that (a) RA "
+            "storage is actually reclaimed, (b) every live serial gets the "
+            "same proof verdict from the sharded replica as from the oracle, "
+            "(c) proving a serial in a never-revoked window does not mutate "
+            "shard state, and (d) the sharded RA footprint ends below the "
+            "monotonically growing baseline."
+        ),
+        delta_seconds=7 * 86_400,
+        duration_periods=40,
+        agents=(AgentSpec("backbone-ra", "EUROPE"),),
+        workload=WorkloadSpec(
+            kind="scripted",
+            events=tuple(
+                RevocationEvent(at_period=period, count=25, reason="steady issuance")
+                for period in range(40)
+            ),
+        ),
+        sharded=True,
+        shard_width_periods=6,
+        cert_lifetime_periods=10,
+        prune_every_periods=1,
+        smoke_overrides={
+            "duration_periods": 12,
+            "shard_width_periods": 3,
+            "cert_lifetime_periods": 4,
+            "workload": {
+                "events": tuple(
+                    RevocationEvent(at_period=period, count=8, reason="steady issuance")
+                    for period in range(12)
+                )
+            },
+        },
+        tags=("sharding", "storage", "longrun"),
     )
 )

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.cdn import CDNNetwork, GeoLocation
 from repro.crypto import HashChain, KeyPair
 from repro.crypto.merkle import SortedMerkleTree
+from repro.dictionary.authdict import CADictionary
 from repro.dictionary.signed_root import SignedRoot
 from repro.errors import ConfigurationError
 from repro.net.clock import SimulatedClock
@@ -78,10 +79,18 @@ class ScenarioRunner:
         cfg = self.config
         periods, counts = self._build_timeline()
         duration = len(periods)
+        ritm_kwargs: Dict[str, object] = {}
+        if cfg.sharded:
+            ritm_kwargs = {
+                "sharded": True,
+                "shard_width_seconds": cfg.shard_width_periods * cfg.delta_seconds,
+                "prune_every_periods": cfg.prune_every_periods,
+            }
         ritm_config = RITMConfig(
             delta_seconds=cfg.delta_seconds,
             chain_length=cfg.effective_chain_length(duration),
             store_engine=cfg.store_engine,
+            **ritm_kwargs,
         )
 
         self._events: List[Dict[str, object]] = []
@@ -90,6 +99,20 @@ class ScenarioRunner:
         self._numbered: List[Tuple[int, SerialNumber]] = []
         self._backlog: List[Tuple[float, List[SerialNumber], str, bool]] = []
         self._revocations_issued = 0
+        #: Sharded mode: serial value → assigned certificate expiry, the
+        #: unsharded oracle dictionary, and the per-period storage timeline.
+        self._expiries: Dict[int, int] = {}
+        self._expiry_cycle = 0
+        self._oracle: Optional[CADictionary] = None
+        self._storage_timeline: List[Dict[str, object]] = []
+        if cfg.sharded:
+            self._oracle = CADictionary(
+                ca_name=f"{cfg.ca_name} (unsharded oracle)",
+                keys=KeyPair.generate(f"{cfg.name}-oracle".encode()),
+                delta=cfg.delta_seconds,
+                chain_length=cfg.effective_chain_length(duration),
+                engine=cfg.store_engine,
+            )
 
         setup_time = periods[0][1] - 2
         authority = CertificationAuthority(cfg.ca_name, key_seed=cfg.name.encode())
@@ -137,6 +160,8 @@ class ScenarioRunner:
             extras["baseline"] = self._baseline_comparison(victim)
         if victim is not None:
             extras["victim"] = victim.as_dict()
+        if cfg.sharded:
+            extras["sharded_storage"] = self._sharded_extras(ca, runtimes, end_time)
 
         metrics = self._collect_metrics(ca, runtimes)
         checks = self._build_checks(ca, runtimes, victim, extras)
@@ -252,6 +277,9 @@ class ScenarioRunner:
             for error in result.errors:
                 self._event(period, "pull-error", error)
 
+        if cfg.sharded:
+            self._record_sharded_storage(period, pull_time, ca, runtimes[0])
+
         if victim is not None and victim.deployment is not None:
             self._session_upkeep(period, pull_time, victim)
 
@@ -266,6 +294,9 @@ class ScenarioRunner:
         victim: Optional["_VictimRuntime"],
     ) -> None:
         """Flush any outage backlog, then revoke this period's serials."""
+        if self.config.sharded:
+            self._issue_sharded(period, now, serials, reason, ca)
+            return
         for intended_time, queued, queued_reason, queued_victim in self._backlog:
             issuance = ca.revoke(queued, now=now, reason=queued_reason)
             self._record_issuance(issuance, intended_time)
@@ -302,12 +333,86 @@ class ScenarioRunner:
             )
         )
 
+    def _issue_sharded(
+        self,
+        period: int,
+        now: float,
+        serials: List[SerialNumber],
+        reason: str,
+        ca: RITMCertificationAuthority,
+    ) -> None:
+        """Sharded-mode issuance: assign expiries, route to shards, refresh.
+
+        Every serial gets a deterministic certificate expiry 1..N periods
+        after its revocation (``cert_lifetime_periods``), producing the
+        expiry churn that makes shards fill and retire over a long run.  The
+        same serials are fed to the unsharded oracle dictionary for the
+        verdict/storage comparison.  The CA refreshes every period, which
+        also drives shard retirement at the configured cadence.
+        """
+        if serials:
+            pairs = [(serial, self._assign_expiry(serial, now)) for serial in serials]
+            issuances = ca.revoke_with_expiry(pairs, now=now, reason=reason or "unspecified")
+            for _, issuance in issuances:
+                self._batches.append(list(issuance.serials))
+            self._revocations_issued += len(serials)
+            self._pending.append(
+                _PendingProvability(
+                    event_time=now, cumulative_size=self._revocations_issued
+                )
+            )
+            self._oracle.insert(serials, int(now))
+            self._event(period, "revocation", f"{len(serials)} serial(s) revoked")
+        ca.refresh(now=now)
+
+    def _assign_expiry(self, serial: SerialNumber, now: float) -> int:
+        """Deterministic expiry churn: 1..cert_lifetime_periods periods out."""
+        lifetime = self.config.cert_lifetime_periods
+        offset = (self._expiry_cycle % lifetime) + 1
+        self._expiry_cycle += 1
+        expiry = int(now + offset * self.config.delta_seconds)
+        self._expiries[serial.value] = expiry
+        return expiry
+
+    def _record_sharded_storage(
+        self,
+        period: int,
+        pull_time: float,
+        ca: RITMCertificationAuthority,
+        runtime: _AgentRuntime,
+    ) -> None:
+        """Append one sample to the sharded-vs-baseline storage timeline."""
+        replicas = runtime.agent.shard_replicas(ca.name)
+        self._storage_timeline.append(
+            {
+                "period": period,
+                "time": pull_time,
+                "ca_storage_bytes": ca.storage_size_bytes(),
+                "ca_shard_count": ca.shards.shard_count,
+                "ra_storage_bytes": sum(
+                    replica.storage_size_bytes() for replica in replicas.values()
+                ),
+                "ra_shard_count": len(replicas),
+                "baseline_storage_bytes": self._oracle.storage_size_bytes(),
+            }
+        )
+
     def _advance_provability(
         self, runtime: _AgentRuntime, available_at: float, ca_name: str
     ) -> None:
-        """Record dissemination lag for every batch the agent now covers."""
-        replica = runtime.agent.replica_for(ca_name)
-        size = replica.size if replica is not None else 0
+        """Record dissemination lag for every batch the agent now covers.
+
+        In sharded mode shard pruning shrinks replica sizes, so coverage is
+        tracked by cumulative serials *applied* (which only grows) instead
+        of the replica's current size.
+        """
+        if self.config.sharded:
+            size = sum(
+                pull.serials_applied for pull in runtime.client.pull_history
+            )
+        else:
+            replica = runtime.agent.replica_for(ca_name)
+            size = replica.size if replica is not None else 0
         while runtime.provability_cursor < len(self._pending):
             entry = self._pending[runtime.provability_cursor]
             if entry.cumulative_size > size:
@@ -543,6 +648,143 @@ class ScenarioRunner:
             "ritm_bound_seconds": self.config.attack_window_seconds(),
         }
 
+    # -- sharded study phase -------------------------------------------------------
+
+    def _sharded_extras(
+        self,
+        ca: RITMCertificationAuthority,
+        runtimes: List[_AgentRuntime],
+        end_time: float,
+    ) -> Dict[str, object]:
+        """The §VIII study results: storage timeline, differential verdicts,
+        read-path purity, and reclaimed storage."""
+        agent = runtimes[0].agent
+        oracle = self._oracle
+
+        # Differential verdicts: every revoked serial whose certificate is
+        # still live must get the same verdict from the sharded replica as
+        # from the unsharded oracle; a few absent serials in live windows
+        # must prove absent on both.
+        live_checked = mismatches = absent_checked = 0
+        live_expiries: List[int] = []
+        for value, expiry in self._expiries.items():
+            if expiry <= end_time:
+                continue
+            live_expiries.append(expiry)
+            serial = SerialNumber(value)
+            replica = agent.replica_for_certificate(ca.name, expiry)
+            if replica is None:
+                mismatches += 1
+                continue
+            live_checked += 1
+            if replica.prove(serial).is_revoked != oracle.contains(serial):
+                mismatches += 1
+        unused_value = max(self._expiries, default=0) + 1
+        for expiry in live_expiries[:5]:
+            probe = SerialNumber(unused_value)
+            unused_value += 1
+            replica = agent.replica_for_certificate(ca.name, expiry)
+            if replica is None:
+                mismatches += 1
+                continue
+            absent_checked += 1
+            if replica.prove(probe).is_revoked or oracle.contains(probe):
+                mismatches += 1
+
+        # Read-path purity: proving a serial in a window no shard covers
+        # must answer "absent" without creating (and retaining) a shard.
+        shards_before = ca.shards.shard_count
+        storage_before = ca.storage_size_bytes()
+        unknown_window_expiry = int(
+            end_time + 2 * self.config.shard_width_periods * self.config.delta_seconds
+        )
+        probe_status = ca.prove_status(
+            SerialNumber(unused_value), unknown_window_expiry, now=int(end_time)
+        )
+        read_path_pure = (
+            ca.shards.shard_count == shards_before
+            and ca.storage_size_bytes() == storage_before
+            and not probe_status.is_revoked
+        )
+
+        baseline_series = [
+            sample["baseline_storage_bytes"] for sample in self._storage_timeline
+        ]
+        sharded_series = [
+            sample["ra_storage_bytes"] for sample in self._storage_timeline
+        ]
+        return {
+            "timeline": self._storage_timeline,
+            "live_serials_checked": live_checked,
+            "absent_serials_checked": absent_checked,
+            "verdict_mismatches": mismatches,
+            "read_path_pure": read_path_pure,
+            "ca_shards_retired": ca.shards.retired_count,
+            "ca_reclaimed_bytes": ca.shards.reclaimed_storage_bytes,
+            "ra_reclaimed_bytes": agent.reclaimed_storage_bytes,
+            "ra_pruned_entries": agent.pruned_revocations,
+            "baseline_final_bytes": baseline_series[-1] if baseline_series else 0,
+            "sharded_final_bytes": sharded_series[-1] if sharded_series else 0,
+            "sharded_peak_bytes": max(sharded_series, default=0),
+            "baseline_monotonic": all(
+                earlier <= later
+                for earlier, later in zip(baseline_series, baseline_series[1:])
+            ),
+        }
+
+    def _sharded_checks(self, study: Dict[str, object]) -> List[ScenarioCheck]:
+        """Pass/fail assertions derived from the §VIII study results."""
+        return [
+            ScenarioCheck(
+                "ra-storage-reclaimed",
+                bool(study["ra_reclaimed_bytes"]) and study["ca_shards_retired"] > 0,
+                f"{study['ra_reclaimed_bytes']} B freed across "
+                f"{study['ca_shards_retired']} retired shard(s)",
+            ),
+            ScenarioCheck(
+                "verdicts-match-unsharded-oracle",
+                study["verdict_mismatches"] == 0 and study["live_serials_checked"] > 0,
+                f"{study['live_serials_checked']} live + "
+                f"{study['absent_serials_checked']} absent serials, "
+                f"{study['verdict_mismatches']} mismatch(es)",
+            ),
+            ScenarioCheck(
+                "read-path-pure-on-unknown-window",
+                bool(study["read_path_pure"]),
+                "prove() on an uncovered expiry window left shard_count "
+                "and storage unchanged",
+            ),
+            ScenarioCheck(
+                "sharded-storage-plateaus",
+                bool(study["baseline_monotonic"])
+                and study["sharded_final_bytes"] < study["baseline_final_bytes"],
+                f"sharded RA ends at {study['sharded_final_bytes']} B vs "
+                f"ever-growing baseline {study['baseline_final_bytes']} B",
+            ),
+        ]
+
+    def _shard_replicas_converged(
+        self, ca: RITMCertificationAuthority, runtime: _AgentRuntime
+    ) -> bool:
+        """Does the agent hold an equal-size replica of every live CA shard?
+
+        Shards whose window expired by the agent's last pull are skipped:
+        the RA prunes at pull time (bin start + Δ) while the CA retires at
+        its next refresh (the following bin start), so a window boundary
+        inside the final period legitimately leaves the CA one shard ahead.
+        """
+        replicas = runtime.agent.shard_replicas(ca.name)
+        history = runtime.client.pull_history
+        last_pull = history[-1].time if history else 0.0
+        for key in ca.shards.shard_keys():
+            if key.is_expired(last_pull):
+                continue
+            replica = replicas.get(key.index)
+            shard = ca.shards.shard_at(key.index)
+            if replica is None or shard is None or replica.size != shard.size:
+                return False
+        return True
+
     # -- report assembly -----------------------------------------------------------
 
     def _collect_metrics(
@@ -562,13 +804,25 @@ class ScenarioRunner:
             serials += sum(pull.serials_applied for pull in history)
             resyncs += sum(pull.resyncs for pull in history)
             errors += sum(len(pull.errors) for pull in history)
-            replica = runtime.agent.replica_for(ca.name)
-            per_agent[runtime.spec_name] = {
-                "size": replica.size if replica else 0,
-                "storage_bytes": replica.storage_size_bytes() if replica else 0,
-                "missed_pulls": runtime.missed_pulls,
-                "max_lag_seconds": round(runtime.max_lag_seconds, 3),
-            }
+            if self.config.sharded:
+                replicas = runtime.agent.shard_replicas(ca.name)
+                per_agent[runtime.spec_name] = {
+                    "size": sum(replica.size for replica in replicas.values()),
+                    "storage_bytes": sum(
+                        replica.storage_size_bytes() for replica in replicas.values()
+                    ),
+                    "shard_count": len(replicas),
+                    "missed_pulls": runtime.missed_pulls,
+                    "max_lag_seconds": round(runtime.max_lag_seconds, 3),
+                }
+            else:
+                replica = runtime.agent.replica_for(ca.name)
+                per_agent[runtime.spec_name] = {
+                    "size": replica.size if replica else 0,
+                    "storage_bytes": replica.storage_size_bytes() if replica else 0,
+                    "missed_pulls": runtime.missed_pulls,
+                    "max_lag_seconds": round(runtime.max_lag_seconds, 3),
+                }
         return {
             "dissemination": {
                 "pulls": pulls,
@@ -583,10 +837,30 @@ class ScenarioRunner:
                 "errors": errors,
             },
             "dictionary": {
-                "ca_size": ca.dictionary.size,
+                "ca_size": ca.total_revocations(),
                 "revocations_issued": self._revocations_issued,
                 "issuance_batches": ca.issuance_count(),
             },
+            **(
+                {
+                    "sharding": {
+                        "ca_shard_count": ca.shards.shard_count,
+                        "ca_shards_retired": ca.shards.retired_count,
+                        "ca_reclaimed_bytes": ca.shards.reclaimed_storage_bytes,
+                        "ra_shards_pruned": sum(
+                            r.agent.stats.shard_replicas_pruned for r in runtimes
+                        ),
+                        "ra_pruned_entries": sum(
+                            r.agent.pruned_revocations for r in runtimes
+                        ),
+                        "ra_reclaimed_bytes": sum(
+                            r.agent.reclaimed_storage_bytes for r in runtimes
+                        ),
+                    }
+                }
+                if self.config.sharded
+                else {}
+            ),
             "attack_window": {
                 "bound_seconds": self.config.attack_window_seconds(),
                 "max_lag_seconds": round(
@@ -622,18 +896,25 @@ class ScenarioRunner:
         converged_agents = [
             r for r in runtimes if not (cfg.gossip_audit and r is runtimes[-1])
         ]
-        converged = all(
-            (r.agent.replica_for(ca.name).size if r.agent.replica_for(ca.name) else 0)
-            == ca.dictionary.size
-            for r in converged_agents
-        )
+        if cfg.sharded:
+            converged = all(
+                self._shard_replicas_converged(ca, r) for r in converged_agents
+            )
+        else:
+            converged = all(
+                (r.agent.replica_for(ca.name).size if r.agent.replica_for(ca.name) else 0)
+                == ca.dictionary.size
+                for r in converged_agents
+            )
         checks.append(
             ScenarioCheck(
                 "replicas-converged",
                 converged,
-                f"CA size {ca.dictionary.size}",
+                f"CA size {ca.total_revocations()}",
             )
         )
+        if cfg.sharded and "sharded_storage" in extras:
+            checks.extend(self._sharded_checks(extras["sharded_storage"]))
         if victim is not None:
             checks.append(
                 ScenarioCheck(
@@ -737,6 +1018,16 @@ class ScenarioRunner:
             "workload": cfg.workload.kind,
             "victim_host": cfg.victim_host,
             "attack_window_bound_seconds": cfg.attack_window_seconds(),
+            "sharded": cfg.sharded,
+            **(
+                {
+                    "shard_width_periods": cfg.shard_width_periods,
+                    "cert_lifetime_periods": cfg.cert_lifetime_periods,
+                    "prune_every_periods": cfg.prune_every_periods,
+                }
+                if cfg.sharded
+                else {}
+            ),
             "tags": list(cfg.tags),
         }
 

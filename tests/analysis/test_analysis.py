@@ -7,6 +7,8 @@ from repro.analysis.dissemination_speed import build_revocation_message, run_fig
 from repro.analysis.overhead import (
     FIGURE7_DELTAS,
     figure_7,
+    live_shard_count,
+    sharded_storage_overhead,
     status_size_for_dictionary,
     storage_overhead,
 )
@@ -108,6 +110,83 @@ class TestCostModel:
         lookup = {(cell.clients_per_ra, cell.delta_label): cell.average_cost_usd for cell in cells}
         assert lookup[(30, "1h")] > lookup[(250, "1h")]
         assert lookup[(30, "1h")] > lookup[(30, "1d")]
+
+    def test_sharded_polling_raises_freshness_traffic(self, trace, population):
+        base = simulate_costs(
+            config=CostModelConfig(clients_per_ra=1_000),
+            trace=trace, population=population,
+        )
+        sharded = simulate_costs(
+            config=CostModelConfig(clients_per_ra=1_000, shards_per_dictionary=14),
+            trace=trace, population=population,
+        )
+        # More head objects per poll → strictly higher bytes and cost, but
+        # far less than 14×: serial payloads are unchanged.
+        assert sharded.average_cost("1h") > base.average_cost("1h")
+        month_base = base.monthly["1h"][0]
+        month_sharded = sharded.monthly["1h"][0]
+        assert month_sharded.bytes_per_ra > month_base.bytes_per_ra
+        assert month_sharded.bytes_per_ra < 14 * month_base.bytes_per_ra
+
+    def test_sharded_polling_charges_per_request_overhead(self, trace, population):
+        plain = simulate_costs(
+            config=CostModelConfig(clients_per_ra=1_000, shards_per_dictionary=2),
+            trace=trace, population=population,
+        )
+        padded = simulate_costs(
+            config=CostModelConfig(
+                clients_per_ra=1_000, shards_per_dictionary=2,
+                per_request_overhead_bytes=50,
+            ),
+            trace=trace, population=population,
+        )
+        month_plain = plain.monthly["1h"][0]
+        month_padded = padded.monthly["1h"][0]
+        polls = 31 * 86_400 / 3600
+        # The index fetch plus each of the 2 head fetches per poll carries
+        # the request overhead.
+        assert month_padded.bytes_per_ra - month_plain.bytes_per_ra == pytest.approx(
+            polls * 3 * 50
+        )
+
+    def test_shards_per_dictionary_validated(self):
+        with pytest.raises(ValueError):
+            CostModelConfig(shards_per_dictionary=0)
+
+
+class TestShardedStorageModel:
+    def test_live_shard_count_quarter_width(self):
+        assert live_shard_count(90 * 86_400) == 14
+
+    def test_live_shard_count_validates_width(self):
+        with pytest.raises(ValueError):
+            live_shard_count(0)
+
+    def test_unsharded_grows_monotonically_sharded_plateaus(self):
+        result = sharded_storage_overhead(
+            revocations_per_day=100,
+            days=360,
+            certificate_lifetime_days=90,
+            shard_width_days=30,
+        )
+        assert all(
+            earlier < later
+            for earlier, later in zip(result.unsharded_bytes, result.unsharded_bytes[1:])
+        )
+        assert result.plateau_bytes < result.unsharded_bytes[-1]
+        # Steady state: the footprint stops growing once shards retire.
+        assert result.sharded_bytes[-1] == result.plateau_bytes
+        assert result.reclaimed_bytes > 0
+        assert result.final_savings_bytes() == result.reclaimed_bytes
+
+    def test_plateau_scales_with_lifetime_not_horizon(self):
+        short = sharded_storage_overhead(days=240, certificate_lifetime_days=60)
+        long = sharded_storage_overhead(days=720, certificate_lifetime_days=60)
+        assert short.plateau_bytes == long.plateau_bytes
+
+    def test_model_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            sharded_storage_overhead(days=0)
 
 
 class TestOverhead:

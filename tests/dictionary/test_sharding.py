@@ -1,14 +1,18 @@
 """Tests for expiry-split dictionaries (§VIII 'Ever-growing dictionaries')."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.crypto.signing import KeyPair
+from repro.dictionary.authdict import CADictionary
 from repro.dictionary.sharding import (
     DEFAULT_SHARD_SECONDS,
+    MAX_CERTIFICATE_LIFETIME_SECONDS,
     ShardKey,
     ShardedCADictionary,
     ShardedReplica,
     shard_name,
+    shard_prefix,
 )
 from repro.errors import DictionaryError, RevokedCertificateError
 from repro.pki.serial import SerialNumber
@@ -141,3 +145,217 @@ class TestShardedReplica:
         replica.apply_freshness(1, refreshed[1])
         status = replica.prove(SerialNumber(9), expiry=QUARTER + 10)
         status.verify(keys.public, now=125, delta=10)
+
+
+class TestReadPathPurity:
+    """Regression: prove() used to create and retain shards on the read path."""
+
+    def test_prove_unknown_window_does_not_create_a_shard(self, sharded):
+        sharded.revoke([(SerialNumber(1), 10)], now=100)
+        before_count = sharded.shard_count
+        before_storage = sharded.storage_size_bytes()
+        status = sharded.prove(SerialNumber(2), expiry=5 * QUARTER + 3, now=150)
+        assert not status.is_revoked
+        assert sharded.shard_count == before_count
+        assert sharded.storage_size_bytes() == before_storage
+        assert [key.index for key in sharded.shard_keys()] == [0]
+
+    def test_prove_unknown_window_does_not_inflate_refresh_all(self, sharded):
+        sharded.revoke([(SerialNumber(1), 10)], now=100)
+        sharded.prove(SerialNumber(2), expiry=5 * QUARTER + 3, now=150)
+        # refresh_all must still touch only the shard revocations created.
+        assert list(sharded.refresh_all(now=200)) == [0]
+
+    def test_unknown_window_absence_status_verifies(self, sharded, keys):
+        status = sharded.prove(SerialNumber(7), expiry=2 * QUARTER + 1, now=500)
+        status.verify(keys.public, now=505, delta=10)
+
+    def test_repeated_unknown_window_queries_stay_pure(self, sharded):
+        for query in range(5):
+            sharded.prove(SerialNumber(query + 1), expiry=QUARTER * 3 + query, now=100)
+        assert sharded.shard_count == 0
+
+
+class TestProveTimestamps:
+    """Regression: prove() used to fall back to refresh(0) when now was omitted."""
+
+    def test_prove_without_now_on_unsigned_shard_raises(self, sharded):
+        with pytest.raises(DictionaryError, match="real timestamp"):
+            sharded.prove(SerialNumber(1), expiry=10)
+
+    def test_prove_with_now_mints_a_fresh_root(self, sharded, keys):
+        now = 86_400 * 1000
+        status = sharded.prove(SerialNumber(1), expiry=now + 10, now=now)
+        assert status.signed_root.timestamp == now
+        # A root minted at epoch 0 would fail this freshness check.
+        status.verify(keys.public, now=now + 5, delta=10)
+
+    def test_prove_without_now_on_signed_shard_is_fine(self, sharded):
+        sharded.revoke([(SerialNumber(1), 10)], now=100)
+        status = sharded.prove(SerialNumber(1), expiry=10)
+        assert status.is_revoked
+
+
+class TestValidation:
+    """Regression: the lifetime cap was exported but never enforced; zero
+    shard widths raised a bare ZeroDivisionError."""
+
+    def test_revoke_rejects_expiry_beyond_maximum_lifetime(self, sharded):
+        now = 1_000_000
+        too_far = now + MAX_CERTIFICATE_LIFETIME_SECONDS + 1
+        with pytest.raises(DictionaryError, match="maximum lifetime"):
+            sharded.revoke([(SerialNumber(1), too_far)], now=now)
+        assert sharded.shard_count == 0
+
+    def test_revoke_accepts_expiry_at_the_cap(self, sharded):
+        now = 1_000_000
+        at_cap = now + MAX_CERTIFICATE_LIFETIME_SECONDS
+        issuances = sharded.revoke([(SerialNumber(1), at_cap)], now=now)
+        assert len(issuances) == 1
+
+    def test_rejected_batch_creates_no_shards(self, sharded):
+        """A batch with one bad expiry must not leave empty shards behind."""
+        now = 1_000_000
+        with pytest.raises(DictionaryError, match="maximum lifetime"):
+            sharded.revoke(
+                [
+                    (SerialNumber(1), now + 10),
+                    (SerialNumber(2), now + MAX_CERTIFICATE_LIFETIME_SECONDS + 1),
+                ],
+                now=now,
+            )
+        assert sharded.shard_count == 0
+        assert sharded.total_revocations() == 0
+        # a corrected retry goes through
+        issuances = sharded.revoke(
+            [(SerialNumber(1), now + 10), (SerialNumber(2), now + 20)], now=now
+        )
+        assert sum(len(issuance.serials) for _, issuance in issuances) == 2
+
+    @pytest.mark.parametrize("width", [0, -90])
+    def test_zero_or_negative_shard_width_rejected(self, width):
+        with pytest.raises(DictionaryError, match="positive"):
+            ShardKey.for_expiry(100, width_seconds=width)
+
+    @pytest.mark.parametrize("width", [0, -1])
+    def test_sharded_dictionary_rejects_bad_width(self, keys, width):
+        with pytest.raises(DictionaryError, match="positive"):
+            ShardedCADictionary("Shard-CA", keys, delta=10, shard_seconds=width)
+
+    @pytest.mark.parametrize("width", [0, -1])
+    def test_sharded_replica_rejects_bad_width(self, keys, width):
+        with pytest.raises(DictionaryError, match="positive"):
+            ShardedReplica("Shard-CA", keys.public, shard_seconds=width)
+
+    def test_shard_prefix_matches_shard_name(self):
+        assert shard_name("CA", 3).startswith(shard_prefix("CA"))
+
+
+class TestAccounting:
+    """Reclaimed-storage counters feed the §VIII cost/overhead analyses."""
+
+    def test_ca_reclaimed_bytes_accumulate(self, sharded):
+        sharded.revoke(
+            [(SerialNumber(1), 10), (SerialNumber(2), QUARTER + 10)], now=100
+        )
+        before = sharded.storage_size_bytes()
+        sharded.retire_expired(now=QUARTER + 1)
+        assert sharded.reclaimed_storage_bytes > 0
+        assert sharded.reclaimed_storage_bytes + sharded.storage_size_bytes() == before
+        assert sharded.retired_revocations == 1
+        assert sharded.retired_indices() == [0]
+
+    def test_replica_reclaimed_bytes_accumulate(self, sharded, keys):
+        replica = ShardedReplica("Shard-CA", keys.public)
+        for key, issuance in sharded.revoke(
+            [(SerialNumber(1), 10), (SerialNumber(2), QUARTER + 10)], now=100
+        ):
+            replica.apply_issuance(key, issuance)
+        before = replica.storage_size_bytes()
+        freed = replica.prune_expired(now=QUARTER + 1)
+        assert freed == 1
+        assert replica.pruned_revocations == 1
+        assert replica.reclaimed_storage_bytes + replica.storage_size_bytes() == before
+
+
+class TestDifferentialOracle:
+    """Sharded and unsharded dictionaries must agree on every verdict."""
+
+    @pytest.mark.parametrize("engine", ["naive", "incremental"])
+    def test_same_revocations_same_verdicts(self, keys, engine):
+        sharded = ShardedCADictionary(
+            "Shard-CA", keys, delta=10, chain_length=32, engine=engine
+        )
+        replica = ShardedReplica("Shard-CA", keys.public, engine=engine)
+        oracle = CADictionary(
+            "Oracle-CA", keys, delta=10, chain_length=32, engine=engine
+        )
+        now = 1_000_000
+        pairs = [
+            (SerialNumber(value), now + (value % 7 + 1) * QUARTER // 3)
+            for value in range(1, 41)
+        ]
+        for key, issuance in sharded.revoke(pairs, now=now):
+            replica.apply_issuance(key, issuance)
+        oracle.insert([serial for serial, _ in pairs], now=now)
+        oracle_proofs_absent = SerialNumber(999)
+
+        for serial, expiry in pairs:
+            ca_status = sharded.prove(serial, expiry, now=now)
+            ra_status = replica.prove(serial, expiry)
+            assert ca_status.is_revoked == ra_status.is_revoked == oracle.contains(serial)
+        for _, expiry in pairs[:5]:
+            assert not sharded.prove(oracle_proofs_absent, expiry, now=now).is_revoked
+            assert not replica.prove(oracle_proofs_absent, expiry).is_revoked
+            assert not oracle.contains(oracle_proofs_absent)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    expiry_offsets=st.lists(
+        st.integers(min_value=1, max_value=6 * QUARTER), min_size=1, max_size=24
+    ),
+    retire_after=st.integers(min_value=0, max_value=8 * QUARTER),
+    engine=st.sampled_from(["naive", "incremental"]),
+)
+def test_prune_retire_round_trip_property(expiry_offsets, retire_after, engine):
+    """Property: retiring/pruning at any time keeps CA and RA in lockstep.
+
+    After retirement at an arbitrary time, (a) CA and RA hold the same live
+    shard indices with the same sizes and roots, (b) both freed the same
+    number of bytes, and (c) later revocations into future windows still
+    flow and prove correctly.
+    """
+    keys = KeyPair.generate(b"prune-retire-property")
+    now = 1_000_000
+    sharded = ShardedCADictionary(
+        "Prop-CA", keys, delta=10, chain_length=32, engine=engine
+    )
+    replica = ShardedReplica("Prop-CA", keys.public, engine=engine)
+    pairs = [
+        (SerialNumber(index + 1), now + offset)
+        for index, offset in enumerate(expiry_offsets)
+    ]
+    for key, issuance in sharded.revoke(pairs, now=now):
+        replica.apply_issuance(key, issuance)
+
+    cutoff = now + retire_after
+    retired = sharded.retire_expired(cutoff)
+    replica.prune_expired(cutoff)
+
+    live_ca = {key.index for key in sharded.shard_keys()}
+    assert live_ca == set(replica.live_indices())
+    assert all(not key.is_expired(cutoff) for key in sharded.shard_keys())
+    assert {key.index for key in retired}.isdisjoint(live_ca)
+    assert sharded.reclaimed_storage_bytes == replica.reclaimed_storage_bytes
+    for index in live_ca:
+        assert sharded.shard_at(index).root() == replica.replica_at(index).root()
+        assert sharded.shard_at(index).size == replica.replica_at(index).size
+
+    # The stream keeps flowing into future windows after retirement.
+    future_expiry = cutoff + QUARTER
+    serial = SerialNumber(10_000)
+    for key, issuance in sharded.revoke([(serial, future_expiry)], now=cutoff):
+        replica.apply_issuance(key, issuance)
+    assert replica.prove(serial, future_expiry).is_revoked
+    assert sharded.prove(serial, future_expiry, now=cutoff).is_revoked

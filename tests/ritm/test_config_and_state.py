@@ -47,11 +47,26 @@ class TestRITMConfig:
             {"freshness_tolerance_periods": -1},
             {"digest_size": 0},
             {"digest_size": 64},
+            {"shard_width_seconds": 0},
+            {"shard_width_seconds": -86_400},
+            {"prune_every_periods": 0},
         ],
     )
     def test_invalid_configurations_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
             RITMConfig(**kwargs)
+
+    def test_sharded_defaults(self):
+        config = RITMConfig(sharded=True)
+        assert config.shard_width_seconds == 90 * 86_400
+        assert config.prune_every_periods == 1
+
+    def test_with_delta_preserves_sharding_fields(self):
+        base = RITMConfig(sharded=True, shard_width_seconds=7 * 86_400, prune_every_periods=2)
+        changed = base.with_delta(3600)
+        assert changed.sharded
+        assert changed.shard_width_seconds == 7 * 86_400
+        assert changed.prune_every_periods == 2
 
 
 class TestConnectionState:

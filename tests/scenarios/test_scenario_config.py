@@ -167,3 +167,50 @@ def test_fault_covers():
     assert fault.covers(2)
     assert fault.covers(4)
     assert not fault.covers(5)
+
+
+class TestShardedValidation:
+    """Sharded mode (§VIII) needs a width, a lifetime, and no study phases."""
+
+    def make_sharded(self, **overrides):
+        defaults = dict(sharded=True, shard_width_periods=2, cert_lifetime_periods=3)
+        defaults.update(overrides)
+        return make_config(**defaults)
+
+    def test_valid_sharded_config_builds(self):
+        config = self.make_sharded()
+        assert config.sharded
+        assert config.shard_width_periods == 2
+
+    def test_sharded_requires_width(self):
+        with pytest.raises(ConfigurationError, match="shard_width_periods"):
+            self.make_sharded(shard_width_periods=0)
+
+    def test_sharded_requires_lifetime(self):
+        with pytest.raises(ConfigurationError, match="cert_lifetime_periods"):
+            self.make_sharded(cert_lifetime_periods=0)
+
+    def test_sharded_rejects_victim_phases(self):
+        with pytest.raises(ConfigurationError, match="study phases"):
+            self.make_sharded(victim_host="shop.example")
+
+    def test_sharded_rejects_faults(self):
+        with pytest.raises(ConfigurationError, match="fault injection"):
+            self.make_sharded(
+                faults=(FaultSpec(kind="ca-outage", at_period=1),)
+            )
+
+    def test_sharded_requires_scripted_workload(self):
+        trace = WorkloadSpec(
+            kind="trace", trace_start="2014-04-14", trace_end="2014-04-15"
+        )
+        with pytest.raises(ConfigurationError, match="scripted"):
+            self.make_sharded(workload=trace, duration_periods=0)
+
+    def test_shard_knobs_require_sharded(self):
+        with pytest.raises(ConfigurationError, match="require sharded"):
+            make_config(shard_width_periods=2)
+
+    def test_prune_cadence_validated(self):
+        with pytest.raises(ConfigurationError, match="prune_every_periods"):
+            make_config(prune_every_periods=0)

@@ -149,6 +149,44 @@ def test_victim_revoked_during_ca_outage_is_tracked():
     assert report.all_checks_passed, [c.name for c in report.failed_checks()]
 
 
+def test_sharded_longrun_reclaims_storage_and_matches_oracle():
+    report = report_for("sharded-longrun")
+    assert report.all_checks_passed, [c.name for c in report.failed_checks()]
+    study = report.extras["sharded_storage"]
+    assert study["ra_reclaimed_bytes"] > 0
+    assert study["ca_shards_retired"] > 0
+    assert study["verdict_mismatches"] == 0
+    assert study["live_serials_checked"] > 0
+    assert study["read_path_pure"] is True
+    assert study["baseline_monotonic"] is True
+    assert study["sharded_final_bytes"] < study["baseline_final_bytes"]
+    sharding = report.metrics["sharding"]
+    assert sharding["ra_reclaimed_bytes"] == study["ra_reclaimed_bytes"]
+    assert sharding["ca_shard_count"] > 0
+    # every timeline sample reports both series
+    for sample in study["timeline"]:
+        assert {"ra_storage_bytes", "baseline_storage_bytes"} <= set(sample)
+
+
+def test_sharded_run_converges_across_window_boundary():
+    """Regression: a shard-window boundary inside the final period must not
+    fail replicas-converged (the RA prunes at pull time, one Δ before the
+    CA's next refresh retires the same shard)."""
+    from repro.scenarios.config import RevocationEvent
+
+    config = get("sharded-longrun").with_overrides(
+        duration_periods=38,
+        workload={
+            "events": tuple(
+                RevocationEvent(at_period=period, count=5, reason="steady")
+                for period in range(38)
+            )
+        },
+    )
+    report = run_scenario(config)
+    assert report.all_checks_passed, [c.name for c in report.failed_checks()]
+
+
 def test_tampered_cdn_recovers_via_resync():
     report = report_for("tampered-cdn")
     assert report.metrics["dissemination"]["resyncs"] >= 1
