@@ -1,0 +1,307 @@
+"""Hot-path verification engine: cold vs warm read-path latency (§VII).
+
+The paper's core pitch is that revocation checking is cheap enough to sit on
+the TLS handshake path at CDN scale.  This bench measures what the
+``repro.perf`` engine buys on the read path and emits the repo's first
+machine-readable perf baseline, ``benchmarks/results/handshake_hotpath.json``:
+
+* **cold vs warm end-to-end handshakes** — a fresh client verifying the
+  server chain and the status root from scratch, vs a client whose
+  verified-root / chain-validation caches are warm and an RA whose proof
+  cache holds the serial (session resumption / flash-crowd shape);
+* **cold vs warm status verification** — the client-side
+  ``RevocationStatus.verify`` with and without the
+  :class:`~repro.perf.root_cache.VerifiedRootCache`;
+* **cold vs warm proof building** — the RA-side Merkle audit path,
+  recomputed vs served from the :class:`~repro.perf.proof_cache.ProofCache`;
+* **batch vs serial Ed25519 verification** — ``crypto.signing.verify_batch``
+  against a one-by-one loop, at the configured batch width;
+* **cache hit rates** — per layer, including the CDN edge object cache
+  under a same-region RA fleet pulling with a nonzero TTL.
+
+CI uploads the JSON artifact and fails the perf job unless the warm path
+measurably beats the cold path (a guard against silently disabled caches).
+See docs/PERFORMANCE.md for how to read the artifact.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.cdn.geography import GeoLocation, Region
+from repro.cdn.network import CDNNetwork
+from repro.crypto.signing import KeyPair, verify_batch
+from repro.dictionary.signed_root import SignedRoot
+from repro.net.clock import SimulatedClock
+from repro.analysis.reporting import format_table
+from repro.perf import VerifiedRootCache
+from repro.ritm.agent import RevocationAgent
+from repro.ritm.ca_service import RITMCertificationAuthority
+from repro.ritm.config import RITMConfig
+from repro.ritm.deployment import build_close_to_client_deployment
+from repro.ritm.dissemination import attach_agent_to_cas
+from repro.tls.connection import ChainValidationCache
+from repro.workloads import serials_for_count
+from repro.workloads.certificates import generate_corpus
+
+from bench_harness import write_json_result, write_result
+
+EPOCH = 1_400_000_000
+#: Revoked serials in the CA's dictionary (a real tree, not a toy).
+DICTIONARY_SIZE = 2_000
+COLD_HANDSHAKES = 6
+WARM_HANDSHAKES = 24
+VERIFY_REPS = 12
+PROOF_REPS = 400
+
+
+def build_world():
+    """One CA with a populated dictionary, a synced RA, and a TLS corpus."""
+    config = RITMConfig(delta_seconds=10, chain_length=64, cdn_ttl_seconds=10.0)
+    corpus = generate_corpus(
+        ca_count=1, domains_per_ca=1, use_intermediates=True, now=EPOCH
+    )
+    cdn = CDNNetwork()
+    cas = []
+    for authority in corpus.authorities:
+        ca = RITMCertificationAuthority(authority, config, cdn)
+        ca.bootstrap(now=EPOCH + 1)
+        cas.append(ca)
+    from repro.pki.serial import SerialNumber
+
+    pool = [
+        SerialNumber(value)
+        for value in serials_for_count(DICTIONARY_SIZE + 40, seed=0xBEEF)
+    ]
+    revoked, probes = pool[:DICTIONARY_SIZE], pool[DICTIONARY_SIZE:]
+    cas[0].revoke(revoked, now=EPOCH + 2, reason="hotpath-bench")
+    agent = RevocationAgent("bench-ra", config)
+    attach_agent_to_cas(agent, cas, cdn, GeoLocation(Region.EUROPE)).pull(now=EPOCH + 3)
+    return config, corpus, cas, cdn, agent, probes
+
+
+def _median_ms(samples):
+    return round(statistics.median(samples) * 1e3, 4)
+
+
+def _run_handshake(config, corpus, cas, agent, root_cache, validation_cache):
+    deployment = build_close_to_client_deployment(
+        server_chain=corpus.chains[0],
+        trust_store=corpus.trust_store,
+        ca_public_keys={ca.name: ca.public_key for ca in cas},
+        config=config,
+        agent=agent,
+        clock=SimulatedClock(EPOCH + 5),
+        root_cache=root_cache,
+        validation_cache=validation_cache,
+    )
+    assert deployment.run_handshake()
+    return deployment
+
+
+def bench_handshakes(config, corpus, cas, agent):
+    """Cold (fresh caches each time) vs warm (shared caches) handshakes."""
+    cold = []
+    for _ in range(COLD_HANDSHAKES):
+        agent.proof_cache.clear()
+        started = time.perf_counter()
+        _run_handshake(config, corpus, cas, agent, None, None)
+        cold.append(time.perf_counter() - started)
+
+    root_cache = VerifiedRootCache(maxsize=config.root_cache_size)
+    validation_cache = ChainValidationCache()
+    agent.proof_cache.clear()
+    _run_handshake(config, corpus, cas, agent, root_cache, validation_cache)  # prime
+    warm = []
+    for _ in range(WARM_HANDSHAKES):
+        started = time.perf_counter()
+        _run_handshake(config, corpus, cas, agent, root_cache, validation_cache)
+        warm.append(time.perf_counter() - started)
+    return {
+        "cold_ms": _median_ms(cold),
+        "warm_ms": _median_ms(warm),
+        "warm_speedup": round(statistics.median(cold) / statistics.median(warm), 2),
+    }, root_cache, validation_cache
+
+
+def bench_status_verify(config, cas, agent, probe):
+    """Client-side status verification with and without the root cache."""
+    ca = cas[0]
+    status = agent.build_status(ca.name, probe)
+    now = EPOCH + 6
+    cold = []
+    for _ in range(VERIFY_REPS):
+        started = time.perf_counter()
+        assert status.is_acceptable(ca.public_key, now, config.delta_seconds)
+        cold.append(time.perf_counter() - started)
+    cache = VerifiedRootCache(maxsize=config.root_cache_size)
+    assert status.is_acceptable(ca.public_key, now, config.delta_seconds, root_cache=cache)
+    warm = []
+    for _ in range(VERIFY_REPS * 4):
+        started = time.perf_counter()
+        assert status.is_acceptable(
+            ca.public_key, now, config.delta_seconds, root_cache=cache
+        )
+        warm.append(time.perf_counter() - started)
+    return {
+        "cold_ms": _median_ms(cold),
+        "warm_ms": _median_ms(warm),
+        "warm_speedup": round(statistics.median(cold) / statistics.median(warm), 2),
+    }
+
+
+def bench_proof_build(cas, agent, probes):
+    """RA-side Merkle path construction vs the proof cache."""
+    ca = cas[0]
+    replica = agent.replica_for(ca.name)
+    probes = probes[:20]
+    cold = []
+    for _ in range(PROOF_REPS // len(probes)):
+        for probe in probes:
+            started = time.perf_counter()
+            replica.prove(probe)
+            cold.append(time.perf_counter() - started)
+    for probe in probes:  # prime the cache
+        agent.build_status(ca.name, probe)
+    warm = []
+    for _ in range(PROOF_REPS // len(probes)):
+        for probe in probes:
+            started = time.perf_counter()
+            agent.build_status(ca.name, probe)
+            warm.append(time.perf_counter() - started)
+    return {
+        "cold_us": round(statistics.median(cold) * 1e6, 2),
+        "warm_us": round(statistics.median(warm) * 1e6, 2),
+        "warm_speedup": round(statistics.median(cold) / statistics.median(warm), 2),
+    }
+
+
+def bench_batch_verify(config):
+    """Batched vs one-by-one Ed25519 verification of signed roots."""
+    keys = KeyPair.generate(b"hotpath-batch")
+    width = config.signature_batch_width
+    roots = []
+    for index in range(width):
+        unsigned = SignedRoot(
+            ca_name="Batch CA",
+            root=bytes([index]) * 20,
+            size=index + 1,
+            anchor=bytes([index ^ 0xFF]) * 20,
+            timestamp=EPOCH + index,
+            chain_length=64,
+        )
+        roots.append(unsigned.sign(keys.private))
+    items = [(keys.public, root.payload(), root.signature) for root in roots]
+
+    serial_samples = []
+    batch_samples = []
+    for _ in range(5):  # medians keep a CI scheduler hiccup out of the guard
+        started = time.perf_counter()
+        serial_ok = [
+            keys.public.verify(message, signature) for _, message, signature in items
+        ]
+        serial_samples.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        batch_ok = verify_batch(items, batch_width=width)
+        batch_samples.append(time.perf_counter() - started)
+        assert all(serial_ok)
+        assert batch_ok == serial_ok
+    serial_seconds = statistics.median(serial_samples)
+    batch_seconds = statistics.median(batch_samples)
+    return {
+        "width": width,
+        "serial_ms": round(serial_seconds * 1e3, 2),
+        "batch_ms": round(batch_seconds * 1e3, 2),
+        "speedup": round(serial_seconds / batch_seconds, 2),
+    }
+
+
+def bench_edge_cache(config, cas, cdn):
+    """Edge object-cache hit rate for a same-region fleet pulling each Δ."""
+    fleet = []
+    for index in range(3):
+        agent = RevocationAgent(f"fleet-ra-{index}", config)
+        fleet.append(attach_agent_to_cas(agent, cas, cdn, GeoLocation(Region.EUROPE)))
+    for period in range(3):
+        now = EPOCH + 10 + period * config.delta_seconds
+        for client in fleet:
+            client.pull(now=now)
+    edges = [edge for edge in cdn.all_edges() if edge.requests_served]
+    hits = sum(edge.cache_hits for edge in edges)
+    requests = sum(edge.requests_served for edge in edges)
+    return {"hits": hits, "requests": requests, "hit_rate": round(hits / requests, 4)}
+
+
+def test_handshake_hotpath():
+    config, corpus, cas, cdn, agent, probes = build_world()
+
+    handshake, root_cache, validation_cache = bench_handshakes(config, corpus, cas, agent)
+    status_verify = bench_status_verify(config, cas, agent, probes[-1])
+    proof_build = bench_proof_build(cas, agent, probes)
+    batch = bench_batch_verify(config)
+    edge = bench_edge_cache(config, cas, cdn)
+
+    payload = {
+        "config": {
+            "dictionary_size": DICTIONARY_SIZE,
+            "delta_seconds": config.delta_seconds,
+            "proof_cache_size": config.proof_cache_size,
+            "root_cache_size": config.root_cache_size,
+            "signature_batch_width": config.signature_batch_width,
+            "cold_handshakes": COLD_HANDSHAKES,
+            "warm_handshakes": WARM_HANDSHAKES,
+        },
+        "handshake": handshake,
+        "status_verify": status_verify,
+        "proof_build": proof_build,
+        "batch_verify": batch,
+        "cache_hit_rates": {
+            "agent_proof_cache": round(agent.proof_cache.stats.hit_rate(), 4),
+            "client_root_cache": round(root_cache.stats.hit_rate(), 4),
+            "chain_validation_cache": round(validation_cache.stats.hit_rate(), 4),
+            "edge_object_cache": edge["hit_rate"],
+        },
+    }
+    write_json_result("handshake_hotpath", payload)
+
+    table = format_table(
+        ["metric", "cold", "warm", "speedup"],
+        [
+            [
+                "end-to-end handshake",
+                f"{handshake['cold_ms']} ms",
+                f"{handshake['warm_ms']} ms",
+                f"{handshake['warm_speedup']}x",
+            ],
+            [
+                "status verification (client)",
+                f"{status_verify['cold_ms']} ms",
+                f"{status_verify['warm_ms']} ms",
+                f"{status_verify['warm_speedup']}x",
+            ],
+            [
+                "proof build (RA)",
+                f"{proof_build['cold_us']} us",
+                f"{proof_build['warm_us']} us",
+                f"{proof_build['warm_speedup']}x",
+            ],
+            [
+                f"Ed25519 verify x{batch['width']}",
+                f"{batch['serial_ms']} ms",
+                f"{batch['batch_ms']} ms",
+                f"{batch['speedup']}x",
+            ],
+        ],
+        title=f"Hot-path verification engine ({DICTIONARY_SIZE}-entry dictionary)",
+    )
+    write_result("handshake_hotpath", table)
+
+    # The warm path must measurably beat the cold path — this is the guard
+    # CI relies on against silently disabled caches.
+    assert handshake["warm_speedup"] > 1.2, handshake
+    assert status_verify["warm_speedup"] > 2.0, status_verify
+    assert proof_build["warm_speedup"] > 1.2, proof_build
+    assert batch["speedup"] > 1.2, batch
+    for layer, rate in payload["cache_hit_rates"].items():
+        assert rate > 0.0, (layer, payload["cache_hit_rates"])

@@ -1,9 +1,18 @@
-"""CDN edge servers with TTL caching.
+"""CDN edge servers with TTL + LRU caching.
 
 Edge servers replicate origin content on demand (the pull model of §II) and
 cache it for the origin-specified TTL.  The paper's Fig. 5 measurement turns
 caching *off* (TTL = 0) to measure the worst case; the ablation benches keep
 it on to show the effect on origin load.
+
+The edge's object cache is part of the hot-path verification engine
+(docs/PERFORMANCE.md): the objects it holds — head, issuance, and shard
+index objects — are exactly the proof-bearing material every RA pulls each
+Δ, so during a flash crowd of pulls the edge is the first cache layer the
+read path hits.  The cache is a bounded LRU
+(:class:`~repro.perf.cache.LRUCache`) with the engine's uniform
+hit/miss/eviction/invalidation counters, so scenario reports and benchmarks
+can aggregate edge behaviour next to the RA-side caches.
 
 Each edge belongs to a pricing region and records the bytes it serves, which
 is exactly what the CDN bills the CA for (§VII-C).
@@ -12,12 +21,17 @@ is exactly what the CDN bills the CA for (§VII-C).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 from repro.cdn.geography import Region
 from repro.cdn.origin import DistributionPoint, StoredObject
-from repro.errors import CDNError
 from repro.net.link import Link
+from repro.perf import CacheStats, LRUCache
+
+#: Default bound on cached objects per edge.  RITM's working set is small
+#: (one head per dictionary plus recent issuance batches), so the bound only
+#: matters when a misbehaving origin publishes unbounded object names.
+DEFAULT_MAX_OBJECTS = 65_536
 
 
 @dataclass
@@ -28,6 +42,7 @@ class CachedObject:
     fetched_at: float
 
     def is_fresh(self, now: float) -> bool:
+        """Whether the origin-assigned TTL still covers this copy at ``now``."""
         if self.stored.ttl_seconds <= 0:
             return False
         return now - self.fetched_at < self.stored.ttl_seconds
@@ -54,6 +69,7 @@ class EdgeServer:
         region: Region,
         origin: DistributionPoint,
         origin_link: Optional[Link] = None,
+        max_objects: Optional[int] = DEFAULT_MAX_OBJECTS,
     ) -> None:
         self.name = name
         self.region = region
@@ -62,18 +78,28 @@ class EdgeServer:
         self.origin_link = origin_link if origin_link is not None else Link(
             latency_seconds=0.030, bandwidth_bytes_per_second=50_000_000.0, name="edge-origin"
         )
-        self._cache: Dict[str, CachedObject] = {}
+        self._cache = LRUCache(maxsize=max_objects)
         self.bytes_served = 0
         self.bytes_from_origin = 0
         self.requests_served = 0
-        self.cache_hits = 0
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Freshness-aware cache counters in the engine's uniform shape."""
+        return self._cache.stats
+
+    @property
+    def cache_hits(self) -> int:
+        """Requests answered from a fresh cached copy."""
+        return self._cache.stats.hits
 
     def serve(self, path: str, now: float) -> EdgeFetchResult:
         """Serve ``path`` to a client, pulling from the origin when needed."""
         self.requests_served += 1
-        cached = self._cache.get(path)
-        if cached is not None and cached.is_fresh(now):
-            self.cache_hits += 1
+        # A TTL-expired entry is a miss, not a hit: the freshness-aware
+        # lookup drops the dead copy (counted as an invalidation).
+        cached = self._cache.get(path, is_valid=lambda entry: entry.is_fresh(now))
+        if cached is not None:
             self.bytes_served += cached.stored.size
             return EdgeFetchResult(
                 content=cached.stored.content,
@@ -84,7 +110,7 @@ class EdgeServer:
                 served_bytes=cached.stored.size,
             )
         stored = self.origin.fetch(path)
-        self._cache[path] = CachedObject(stored=stored, fetched_at=now)
+        self._cache.put(path, CachedObject(stored=stored, fetched_at=now))
         self.bytes_from_origin += stored.size
         self.bytes_served += stored.size
         origin_latency = self.origin_link.round_trip_time(
@@ -100,8 +126,12 @@ class EdgeServer:
         )
 
     def peek_version(self, path: str, now: float) -> Optional[int]:
-        """Version of the cached copy if fresh, else ``None`` (forces a pull)."""
-        cached = self._cache.get(path)
+        """Version of the cached copy if fresh, else ``None`` (forces a pull).
+
+        A peek neither touches the LRU order nor the hit/miss counters —
+        it is a freshness probe, not a served request.
+        """
+        cached = self._cache.peek(path)
         if cached is not None and cached.is_fresh(now):
             return cached.stored.version
         return None
@@ -111,9 +141,14 @@ class EdgeServer:
         if path is None:
             self._cache.clear()
         else:
-            self._cache.pop(path, None)
+            self._cache.discard(path)
+
+    def cached_object_count(self) -> int:
+        """Objects currently held (fresh or TTL-expired-but-unreclaimed)."""
+        return len(self._cache)
 
     def cache_hit_ratio(self) -> float:
+        """Fresh hits as a fraction of requests served."""
         if self.requests_served == 0:
             return 0.0
         return self.cache_hits / self.requests_served

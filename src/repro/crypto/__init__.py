@@ -25,11 +25,13 @@ from repro.crypto.merkle import (
     encode_leaf,
 )
 from repro.crypto.signing import (
+    DEFAULT_BATCH_WIDTH,
     PUBLIC_KEY_SIZE,
     SIGNATURE_SIZE,
     KeyPair,
     PrivateKey,
     PublicKey,
+    verify_batch,
 )
 
 __all__ = [
@@ -56,4 +58,6 @@ __all__ = [
     "PublicKey",
     "SIGNATURE_SIZE",
     "PUBLIC_KEY_SIZE",
+    "DEFAULT_BATCH_WIDTH",
+    "verify_batch",
 ]

@@ -25,7 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.crypto.hashchain import HashChain
 from repro.crypto.hashing import DEFAULT_DIGEST_SIZE
-from repro.crypto.signing import KeyPair, PublicKey
+from repro.crypto.signing import KeyPair, PublicKey, verify_batch
 from repro.store import create_store
 from repro.dictionary.freshness import FreshnessStatement, periods_elapsed
 from repro.dictionary.proofs import RevocationStatus
@@ -291,6 +291,12 @@ class ReplicaDictionary(_DictionaryCore):
         self._ca_public_key = ca_public_key
         self._signed_root: Optional[SignedRoot] = None
         self._latest_freshness: Optional[FreshnessStatement] = None
+        #: Optional :class:`~repro.perf.root_cache.VerifiedRootCache` (duck
+        #: typed: anything with ``verify_many``).  Wired by the owning
+        #: :class:`~repro.ritm.agent.RevocationAgent` so every replica of
+        #: one RA shares a single memo of verified roots; ``None`` keeps the
+        #: replica self-contained and verification un-memoized.
+        self.root_cache = None
 
     @property
     def ca_public_key(self) -> PublicKey:
@@ -329,16 +335,16 @@ class ReplicaDictionary(_DictionaryCore):
                 raise DictionaryError(
                     f"issuance for {issuance.ca_name!r} applied to {self.ca_name!r}'s replica"
                 )
-            if not issuance.signed_root.verify(self._ca_public_key):
-                raise SignatureError(
-                    f"revocation issuance for {self.ca_name!r} carries an invalid root signature"
-                )
             if issuance.first_number != expected_first:
                 raise DesynchronizedError(
                     f"issuance batches for {self.ca_name!r} are not consecutive: expected "
                     f"first number {expected_first}, got {issuance.first_number}"
                 )
             expected_first += len(issuance.serials)
+        # Every queued batch's root signature is checked in one batched
+        # verification (amortized doubling chain; memoized when the owning
+        # agent wired a shared root cache) before anything is staged.
+        self._verify_root_signatures([issuance.signed_root for issuance in issuances])
         signed_root = issuances[-1].signed_root
         if self._signed_root is not None and signed_root.timestamp < self._signed_root.timestamp:
             raise DictionaryError("revocation issuance is older than the current signed root")
@@ -365,9 +371,25 @@ class ReplicaDictionary(_DictionaryCore):
         )
         return len(serials)
 
+    def _verify_root_signatures(self, signed_roots: Sequence[SignedRoot]) -> None:
+        """Batch-verify root signatures, memoized through :attr:`root_cache`."""
+        if self.root_cache is not None:
+            verdicts = self.root_cache.verify_many(signed_roots, self._ca_public_key)
+        else:
+            verdicts = verify_batch(
+                [
+                    (self._ca_public_key, signed_root.payload(), signed_root.signature)
+                    for signed_root in signed_roots
+                ]
+            )
+        if not all(verdicts):
+            raise SignatureError(
+                f"revocation issuance for {self.ca_name!r} carries an invalid root signature"
+            )
+
     def install_root(self, signed_root: SignedRoot) -> None:
         """Accept a re-signed root over unchanged content (chain exhaustion)."""
-        if not signed_root.verify(self._ca_public_key):
+        if not self._root_signature_valid(signed_root):
             raise SignatureError("re-signed root failed verification")
         if signed_root.size != self.size or signed_root.root != self.root():
             raise DesynchronizedError(
@@ -378,6 +400,12 @@ class ReplicaDictionary(_DictionaryCore):
         self._latest_freshness = FreshnessStatement(
             ca_name=self.ca_name, value=signed_root.anchor, dictionary_size=self.size
         )
+
+    def _root_signature_valid(self, signed_root: SignedRoot) -> bool:
+        """One root's signature check, memoized through :attr:`root_cache`."""
+        if self.root_cache is not None:
+            return self.root_cache.verify(signed_root, self._ca_public_key)
+        return signed_root.verify(self._ca_public_key)
 
     def apply_freshness(self, statement: FreshnessStatement) -> None:
         """Replace the stored freshness statement after linking it to the anchor."""

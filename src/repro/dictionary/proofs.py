@@ -53,8 +53,16 @@ class RevocationStatus:
         now: int,
         delta: int,
         tolerance_periods: int = 1,
+        root_cache=None,
     ) -> None:
         """Run the full client-side check of §III step 5 (b) and (c).
+
+        ``root_cache`` may name a
+        :class:`~repro.perf.root_cache.VerifiedRootCache`; the signed root's
+        Ed25519 check is then memoized per epoch (a tampered root has a
+        different cache key and always takes the full verification path).
+        Every other check — proof shape, root binding, freshness against
+        ``now`` — runs in full on every call.
 
         Raises
         ------
@@ -68,7 +76,10 @@ class RevocationStatus:
         RevokedCertificateError
             if everything verifies but the proof shows the serial revoked.
         """
-        self.signed_root.verify_or_raise(ca_public_key)
+        if root_cache is not None:
+            root_cache.verify_or_raise(self.signed_root, ca_public_key)
+        else:
+            self.signed_root.verify_or_raise(ca_public_key)
 
         expected_key = self.serial.to_bytes()
         if isinstance(self.proof, PresenceProof):
@@ -111,10 +122,11 @@ class RevocationStatus:
         now: int,
         delta: int,
         tolerance_periods: int = 1,
+        root_cache=None,
     ) -> bool:
         """Boolean form of :meth:`verify` (accept = verified *and* not revoked)."""
         try:
-            self.verify(ca_public_key, now, delta, tolerance_periods)
+            self.verify(ca_public_key, now, delta, tolerance_periods, root_cache)
         except (SignatureError, ProofError, StaleStatusError, RevokedCertificateError):
             return False
         return True

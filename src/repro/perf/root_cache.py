@@ -1,0 +1,154 @@
+"""Memoized Ed25519 verification of CA-signed dictionary roots.
+
+A signed root changes at most once per Δ epoch (a revocation or a hash-chain
+exhaustion), but a naive verifier re-runs the ~millisecond pure-Python
+Ed25519 check on every TLS handshake and on every status refresh of an
+established connection.  :class:`VerifiedRootCache` memoizes *successful*
+verifications so each distinct root is checked exactly once per epoch.
+
+Correctness does not rest on invalidation: the cache key is a SHA-256 digest
+of the exact ``public key ‖ payload ‖ signature`` bytes, so a tampered root,
+a different signer, or a rotated epoch produces a different key and always
+takes the full verification path.  Failed verifications are never cached —
+forged roots cannot displace useful entries, and a repeat forgery costs the
+attacker a full verification each time, not the verifier.  Explicit
+invalidation (:meth:`invalidate_ca`) exists purely to keep the bounded cache
+from carrying dead epochs after a refresh, resync, or shard retirement.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, List, Sequence, Set
+
+from repro.crypto.signing import DEFAULT_BATCH_WIDTH, PublicKey, verify_batch
+from repro.errors import SignatureError
+from repro.perf.cache import CacheStats
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from repro.dictionary.signed_root import SignedRoot
+
+#: Default capacity: a few epochs of roots for every CA a busy RA replicates.
+DEFAULT_ROOT_CACHE_SIZE = 256
+
+
+class VerifiedRootCache:
+    """Bounded memo of successfully verified signed roots, per verifier."""
+
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_ROOT_CACHE_SIZE,
+        batch_width: int = DEFAULT_BATCH_WIDTH,
+    ) -> None:
+        if maxsize < 0:
+            raise ValueError("maxsize must be >= 0 (0 disables the cache)")
+        if batch_width < 1:
+            raise ValueError("batch_width must be at least 1")
+        self.maxsize = maxsize
+        self.batch_width = batch_width
+        self.stats = CacheStats()
+        #: cache key → CA name (the value only serves index cleanup).
+        self._entries: "OrderedDict[bytes, str]" = OrderedDict()
+        #: CA name → cache keys, for explicit per-CA invalidation.
+        self._by_ca: Dict[str, Set[bytes]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(signed_root: "SignedRoot", public_key: PublicKey) -> bytes:
+        """Digest of the exact bytes whose verification is being memoized."""
+        digest = hashlib.sha256()
+        digest.update(public_key.key_bytes)
+        digest.update(signed_root.payload())
+        digest.update(signed_root.signature)
+        return digest.digest()
+
+    # -- verification --------------------------------------------------------
+
+    def verify(self, signed_root: "SignedRoot", public_key: PublicKey) -> bool:
+        """Like :meth:`SignedRoot.verify`, but each success is checked once."""
+        return self.verify_many([signed_root], public_key)[0]
+
+    def verify_or_raise(self, signed_root: "SignedRoot", public_key: PublicKey) -> None:
+        """Raise :class:`SignatureError` unless the root verifies (memoized)."""
+        if not self.verify(signed_root, public_key):
+            raise SignatureError(
+                f"signed root from {signed_root.ca_name!r} failed verification"
+            )
+
+    def verify_many(
+        self, signed_roots: Sequence["SignedRoot"], public_key: PublicKey
+    ) -> List[bool]:
+        """Per-root validity; cache misses are batch-verified and memoized.
+
+        This is the path dissemination pulls and resyncs use: all the roots
+        queued since the last pull share one batched verification
+        (:func:`repro.crypto.signing.verify_batch`) instead of one full
+        scalar-multiplication pair each.
+        """
+        results: List[bool] = [False] * len(signed_roots)
+        missed: List[int] = []
+        for index, signed_root in enumerate(signed_roots):
+            key = self._key(signed_root, public_key)
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                results[index] = True
+            else:
+                self.stats.misses += 1
+                missed.append(index)
+        if missed:
+            verdicts = verify_batch(
+                [
+                    (public_key, signed_roots[i].payload(), signed_roots[i].signature)
+                    for i in missed
+                ],
+                batch_width=self.batch_width,
+            )
+            for index, valid in zip(missed, verdicts):
+                results[index] = valid
+                if valid:
+                    self._remember(signed_roots[index], public_key)
+        return results
+
+    # -- maintenance ---------------------------------------------------------
+
+    def invalidate_ca(self, ca_name: str) -> int:
+        """Drop every cached verdict for one CA (or shard) name.
+
+        Called on epoch refresh, resync, and shard retirement so the bounded
+        cache does not carry dead epochs; never required for correctness.
+        """
+        keys = self._by_ca.pop(ca_name, None)
+        if not keys:
+            return 0
+        for key in keys:
+            self._entries.pop(key, None)
+        self.stats.invalidations += len(keys)
+        return len(keys)
+
+    def clear(self) -> int:
+        """Drop every cached verdict; returns how many were invalidated."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._by_ca.clear()
+        self.stats.invalidations += dropped
+        return dropped
+
+    def _remember(self, signed_root: "SignedRoot", public_key: PublicKey) -> None:
+        """Memoize one verified root, evicting the LRU entry when full."""
+        if self.maxsize == 0:
+            return
+        key = self._key(signed_root, public_key)
+        self._entries[key] = signed_root.ca_name
+        self._by_ca.setdefault(signed_root.ca_name, set()).add(key)
+        if len(self._entries) > self.maxsize:
+            evicted_key, evicted_ca = self._entries.popitem(last=False)
+            members = self._by_ca.get(evicted_ca)
+            if members is not None:
+                members.discard(evicted_key)
+                if not members:
+                    del self._by_ca[evicted_ca]
+            self.stats.evictions += 1

@@ -32,6 +32,7 @@ from repro.dictionary.sharding import ShardKey, shard_name
 from repro.errors import DesynchronizedError, DictionaryError, TLSError
 from repro.net.node import Middlebox
 from repro.net.packet import Direction, Packet
+from repro.perf import ProofCache, VerifiedRootCache
 from repro.pki.certificate import CertificateChain
 from repro.pki.serial import SerialNumber
 from repro.ritm.config import RITMConfig
@@ -90,6 +91,14 @@ class RevocationAgent(Middlebox):
         self.reclaimed_storage_bytes = 0
         #: Revocation entries dropped with pruned shard replicas.
         self.pruned_revocations = 0
+        #: Hot-path verification engine (docs/PERFORMANCE.md): Merkle proofs
+        #: for repeat lookups (session resumption, flash crowds) and a memo
+        #: of Ed25519-verified roots shared by every replica of this RA.
+        self.proof_cache = ProofCache(maxsize=self.config.proof_cache_size)
+        self.root_cache = VerifiedRootCache(
+            maxsize=self.config.root_cache_size,
+            batch_width=self.config.signature_batch_width,
+        )
 
     # -- dictionary management -------------------------------------------------
 
@@ -101,12 +110,14 @@ class RevocationAgent(Middlebox):
         between engines from one knob.
         """
         if ca_name not in self.replicas:
-            self.replicas[ca_name] = ReplicaDictionary(
+            replica = ReplicaDictionary(
                 ca_name,
                 public_key,
                 digest_size=self.config.digest_size,
                 engine=self.config.store_engine,
             )
+            replica.root_cache = self.root_cache
+            self.replicas[ca_name] = replica
         return self.replicas[ca_name]
 
     def replica_for(self, ca_name: str) -> Optional[ReplicaDictionary]:
@@ -197,7 +208,12 @@ class RevocationAgent(Middlebox):
             if ShardKey(index, width).is_expired(now):
                 entries += replica.size
                 bytes_freed += replica.storage_size_bytes()
-                del self.replicas[members.pop(index)]
+                name = members.pop(index)
+                del self.replicas[name]
+                # Shard retirement: evict the retired dictionary's cached
+                # proofs and root verdicts along with its replica.
+                self.proof_cache.invalidate_dictionary(name)
+                self.root_cache.invalidate_ca(name)
                 self.stats.shard_replicas_pruned += 1
         self.pruned_revocations += entries
         self.reclaimed_storage_bytes += bytes_freed
@@ -222,6 +238,11 @@ class RevocationAgent(Middlebox):
                 f"RA {self.name!r} has no replica for CA {ca_name!r}"
             )
         applied = replica.update_many(list(issuances))
+        if applied:
+            # The replica now serves a new root; proofs cached under the old
+            # one are unreachable (the root is part of the cache key), so
+            # reclaim their space eagerly.
+            self.proof_cache.invalidate_dictionary(ca_name)
         for issuance in issuances:
             self.consistency.observe_root(issuance.signed_root)
         return applied
@@ -354,6 +375,52 @@ class RevocationAgent(Middlebox):
         self.stats.statuses_attached += 1
         return packet.with_payload(new_payload)
 
+    def build_status(
+        self, ca_name: str, serial: SerialNumber, expiry: Optional[int] = None
+    ) -> RevocationStatus:
+        """Build one certificate's revocation status through the proof cache.
+
+        Identical in content to ``replica.prove(serial)`` — differentially
+        tested — but the Merkle audit path is served from
+        :attr:`proof_cache` when the same ``(dictionary, root, serial)``
+        lookup was answered before (session resumption, flash crowds), while
+        the signed root and the freshness statement are always read live so
+        a cached proof can never carry a stale epoch.
+
+        Raises :class:`DictionaryError` when no replica covers the
+        certificate and :class:`DesynchronizedError` when the replica has no
+        verified root yet (mirroring ``prove``).
+        """
+        replica = self.replica_for_certificate(ca_name, expiry)
+        if replica is None:
+            raise DictionaryError(
+                f"RA {self.name!r} has no replica covering CA {ca_name!r}"
+            )
+        return self._status_from(ca_name, replica, serial)
+
+    def _status_from(
+        self, ca_name: str, replica: ReplicaDictionary, serial: SerialNumber
+    ) -> RevocationStatus:
+        """Proof-cached status assembly from an already-resolved replica."""
+        signed_root = replica.signed_root
+        freshness = replica.latest_freshness
+        if signed_root is None or freshness is None:
+            raise DesynchronizedError(
+                f"replica of {replica.ca_name!r} has no signed root / freshness statement yet"
+            )
+        shard = replica.ca_name if replica.ca_name != ca_name else ""
+        proof = self.proof_cache.get(ca_name, shard, signed_root.root, serial.value)
+        if proof is None:
+            proof = replica.prove_membership(serial)
+            self.proof_cache.put(ca_name, shard, signed_root.root, serial.value, proof)
+        return RevocationStatus(
+            ca_name=replica.ca_name,
+            serial=serial,
+            proof=proof,
+            signed_root=signed_root,
+            freshness=freshness,
+        )
+
     def _build_statuses(
         self, state: ConnectionState, now: float
     ) -> Optional[List[RevocationStatus]]:
@@ -364,7 +431,7 @@ class RevocationAgent(Middlebox):
             self.stats.unknown_ca += 1
             return None
         try:
-            statuses = [replica.prove(state.serial)]
+            statuses = [self._status_from(state.ca_name or "", replica, state.serial)]
         except DesynchronizedError:
             return None
         if self.config.prove_full_chain:
@@ -375,7 +442,11 @@ class RevocationAgent(Middlebox):
                         certificate.issuer, certificate.not_after
                     )
                     if issuer_replica is not None and issuer_replica.signed_root is not None:
-                        statuses.append(issuer_replica.prove(certificate.serial))
+                        statuses.append(
+                            self._status_from(
+                                certificate.issuer, issuer_replica, certificate.serial
+                            )
+                        )
         return statuses
 
     def _status_record(self, statuses: List[RevocationStatus]) -> TLSRecord:
@@ -431,3 +502,10 @@ class RevocationAgent(Middlebox):
 
     def dictionary_sizes(self) -> Dict[str, int]:
         return {name: replica.size for name, replica in self.replicas.items()}
+
+    def hot_path_metrics(self) -> Dict[str, Dict[str, object]]:
+        """Counters of the RA's read-path caches (docs/PERFORMANCE.md)."""
+        return {
+            "proof_cache": self.proof_cache.stats.as_dict(),
+            "root_cache": self.root_cache.stats.as_dict(),
+        }

@@ -35,6 +35,7 @@ from repro.errors import (
 )
 from repro.net.node import Endpoint
 from repro.net.packet import Packet
+from repro.perf import VerifiedRootCache
 from repro.pki.ca import TrustStore
 from repro.ritm.config import RITMConfig
 from repro.ritm.consistency import ConsistencyChecker
@@ -81,17 +82,32 @@ class RITMClient(Endpoint):
         expect_ritm_protection: bool = True,
         session_id: bytes = b"",
         session_ticket: bytes = b"",
+        root_cache: Optional[VerifiedRootCache] = None,
+        validation_cache=None,
     ) -> None:
-        super().__init__(ip_address)
         self.config = config if config is not None else RITMConfig()
+        super().__init__(ip_address)
         self.ca_public_keys = ca_public_keys
         self.expect_ritm_protection = expect_ritm_protection
+        #: Hot-path engine (docs/PERFORMANCE.md): each CA's signed root is
+        #: Ed25519-verified once per Δ epoch instead of once per handshake.
+        #: Pass a shared cache to model a client fleet (or a browser across
+        #: reconnects); by default each client keeps its own.
+        self.root_cache = (
+            root_cache
+            if root_cache is not None
+            else VerifiedRootCache(
+                maxsize=self.config.root_cache_size,
+                batch_width=self.config.signature_batch_width,
+            )
+        )
         self.tls = TLSClientConnection(
             ClientConnectionConfig(
                 server_name=server_name,
                 use_ritm_extension=True,
                 session_id=session_id,
                 session_ticket=session_ticket,
+                validation_cache=validation_cache,
             ),
             trust_store,
         )
@@ -248,6 +264,7 @@ class RITMClient(Endpoint):
                 now=int(now),
                 delta=self.config.delta_seconds,
                 tolerance_periods=self.config.freshness_tolerance_periods,
+                root_cache=self.root_cache,
             )
         except RevokedCertificateError as exc:
             self.stats.statuses_valid += 1

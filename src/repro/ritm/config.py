@@ -14,8 +14,10 @@ from dataclasses import dataclass
 from enum import Enum
 
 from repro.crypto.hashing import DEFAULT_DIGEST_SIZE
+from repro.crypto.signing import DEFAULT_BATCH_WIDTH
 from repro.dictionary.sharding import DEFAULT_SHARD_SECONDS
 from repro.errors import ConfigurationError
+from repro.perf import DEFAULT_PROOF_CACHE_SIZE, DEFAULT_ROOT_CACHE_SIZE
 from repro.store import DEFAULT_ENGINE, ENGINES
 
 SECONDS_PER_MINUTE = 60
@@ -70,6 +72,17 @@ class RITMConfig:
     shard_width_seconds: int = DEFAULT_SHARD_SECONDS
     #: How often (in Δ periods) CAs retire and RAs prune expired shards.
     prune_every_periods: int = 1
+    #: Hot-path verification engine (see docs/PERFORMANCE.md).  Capacity of
+    #: the per-party Merkle :class:`~repro.perf.proof_cache.ProofCache`
+    #: (0 disables proof caching).
+    proof_cache_size: int = DEFAULT_PROOF_CACHE_SIZE
+    #: Capacity of the per-party
+    #: :class:`~repro.perf.root_cache.VerifiedRootCache` memoizing Ed25519
+    #: root verifications (0 disables root-verdict caching).
+    root_cache_size: int = DEFAULT_ROOT_CACHE_SIZE
+    #: How many signatures share one batched verification equation in
+    #: dissemination pulls and resyncs.
+    signature_batch_width: int = DEFAULT_BATCH_WIDTH
 
     def __post_init__(self) -> None:
         if self.delta_seconds <= 0:
@@ -89,6 +102,12 @@ class RITMConfig:
             raise ConfigurationError("shard_width_seconds must be positive")
         if self.prune_every_periods < 1:
             raise ConfigurationError("prune_every_periods must be at least 1")
+        if self.proof_cache_size < 0:
+            raise ConfigurationError("proof_cache_size cannot be negative")
+        if self.root_cache_size < 0:
+            raise ConfigurationError("root_cache_size cannot be negative")
+        if self.signature_batch_width < 1:
+            raise ConfigurationError("signature_batch_width must be at least 1")
 
     @property
     def attack_window_seconds(self) -> int:

@@ -64,6 +64,8 @@ def _client_for(
     ca_public_keys: Dict[str, object],
     config: RITMConfig,
     expect_protection: bool,
+    root_cache=None,
+    validation_cache=None,
 ) -> RITMClient:
     return RITMClient(
         ip_address=client_ip,
@@ -72,6 +74,8 @@ def _client_for(
         ca_public_keys=ca_public_keys,
         config=config,
         expect_ritm_protection=expect_protection,
+        root_cache=root_cache,
+        validation_cache=validation_cache,
     )
 
 
@@ -85,12 +89,27 @@ def build_close_to_client_deployment(
     server_ip: str = "98.76.54.32",
     clock: Optional[SimulatedClock] = None,
     extra_middleboxes: Optional[List] = None,
+    root_cache=None,
+    validation_cache=None,
 ) -> Deployment:
-    """RA at the access-network gateway (the paper's Fig. 3 topology)."""
+    """RA at the access-network gateway (the paper's Fig. 3 topology).
+
+    ``root_cache`` / ``validation_cache`` optionally share the client-side
+    hot-path caches across deployments (one household or fleet reconnecting
+    to the same sites — see docs/PERFORMANCE.md); by default every
+    deployment's client starts cold.
+    """
     config = config if config is not None else RITMConfig(deployment=DeploymentModel.CLOSE_TO_CLIENT)
     agent = agent if agent is not None else RevocationAgent("gateway-ra", config)
     client = _client_for(
-        client_ip, server_chain.leaf.subject, trust_store, ca_public_keys, config, True
+        client_ip,
+        server_chain.leaf.subject,
+        trust_store,
+        ca_public_keys,
+        config,
+        True,
+        root_cache=root_cache,
+        validation_cache=validation_cache,
     )
     server = RITMServer(server_ip, server_chain)
     middleboxes: List = [agent]
@@ -120,12 +139,21 @@ def build_close_to_server_deployment(
     server_ip: str = "98.76.54.32",
     clock: Optional[SimulatedClock] = None,
     extra_middleboxes: Optional[List] = None,
+    root_cache=None,
+    validation_cache=None,
 ) -> Deployment:
     """RA co-located with a TLS terminator at the data-center ingress."""
     config = config if config is not None else RITMConfig(deployment=DeploymentModel.CLOSE_TO_SERVER)
     agent = agent if agent is not None else RevocationAgent("terminator-ra", config)
     client = _client_for(
-        client_ip, server_chain.leaf.subject, trust_store, ca_public_keys, config, True
+        client_ip,
+        server_chain.leaf.subject,
+        trust_store,
+        ca_public_keys,
+        config,
+        True,
+        root_cache=root_cache,
+        validation_cache=validation_cache,
     )
     server = TLSTerminator(server_ip, server_chain)
     middleboxes: List = []

@@ -62,6 +62,14 @@ class PullResult:
     shards_pruned: int = 0
     entries_pruned: int = 0
     bytes_reclaimed: int = 0
+    #: Hot-path verification engine accounting (docs/PERFORMANCE.md):
+    #: root-signature checks answered from the agent's verified-root cache
+    #: during this cycle, full Ed25519 verifications actually performed
+    #: (batched through ``crypto.signing.verify_batch``), and proof-cache
+    #: entries evicted by this cycle's refreshes/resyncs/prunes.
+    root_cache_hits: int = 0
+    root_signatures_verified: int = 0
+    proofs_invalidated: int = 0
 
 
 class RADisseminationClient:
@@ -117,6 +125,11 @@ class RADisseminationClient:
     def pull(self, now: float) -> PullResult:
         """One pull cycle over every CA the RA replicates."""
         result = PullResult(time=now)
+        root_stats = self.agent.root_cache.stats
+        proof_stats = self.agent.proof_cache.stats
+        hits_before = root_stats.hits
+        misses_before = root_stats.misses
+        invalidations_before = proof_stats.invalidations
         for ca_name in self._sharded_cas:
             index = None
             try:
@@ -137,6 +150,9 @@ class RADisseminationClient:
                 # One CA's bad objects (or forged signatures) must never
                 # abort the pull cycle for every other healthy CA.
                 result.errors.append(f"{ca_name}: {exc}")
+        result.root_cache_hits = root_stats.hits - hits_before
+        result.root_signatures_verified = root_stats.misses - misses_before
+        result.proofs_invalidated = proof_stats.invalidations - invalidations_before
         self.pull_history.append(result)
         return result
 
@@ -250,6 +266,11 @@ class RADisseminationClient:
             # Same content; a newer signed root only appears when the CA's
             # hash chain ran out and it re-signed the same dictionary.
             if head.signed_root.timestamp > replica.signed_root.timestamp:
+                # Epoch refresh: retire the old epoch's cached verdicts, then
+                # install (verifying and memoizing the new root).  Cached
+                # proofs survive — the root *hash* is unchanged, so they are
+                # still byte-identical to freshly built ones.
+                self.agent.root_cache.invalidate_ca(ca_name)
                 replica.install_root(head.signed_root)
 
         replica.apply_freshness(head.freshness)
@@ -326,6 +347,11 @@ class RADisseminationClient:
         if server is None:
             result.errors.append(f"{ca_name}: desynchronized and no sync server known")
             return None
+        # Resync replaces the replica's verified state wholesale: evict the
+        # dictionary's cached proofs and root verdicts up front so the cache
+        # only ever holds entries derived from the recovered state.
+        self.agent.proof_cache.invalidate_dictionary(ca_name)
+        self.agent.root_cache.invalidate_ca(ca_name)
         response = server.serve(SyncRequest(ca_name=ca_name, have_count=replica.size))
         result.bytes_downloaded += response.encoded_size()
         if response.serials:

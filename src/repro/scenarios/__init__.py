@@ -25,6 +25,7 @@ from repro.scenarios.config import (
 )
 from repro.scenarios.registry import all_scenarios, get, names, register
 from repro.scenarios.report import (
+    CACHE_METRIC_KEYS,
     DISSEMINATION_METRIC_KEYS,
     REPORT_SCHEMA_KEYS,
     ScenarioCheck,
@@ -42,6 +43,7 @@ __all__ = [
     "ScenarioCheck",
     "REPORT_SCHEMA_KEYS",
     "DISSEMINATION_METRIC_KEYS",
+    "CACHE_METRIC_KEYS",
     "ScenarioRunner",
     "run_scenario",
     "register",

@@ -38,6 +38,18 @@ DISSEMINATION_METRIC_KEYS = (
     "serials_applied",
     "resyncs",
     "errors",
+    "root_cache_hits",
+    "root_signatures_verified",
+)
+
+#: The pinned keys of each cache section under ``metrics["hot_path"]``
+#: (matching :meth:`repro.perf.cache.CacheStats.as_dict`).
+CACHE_METRIC_KEYS = (
+    "hits",
+    "misses",
+    "evictions",
+    "invalidations",
+    "hit_rate",
 )
 
 

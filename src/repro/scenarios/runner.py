@@ -26,6 +26,7 @@ from repro.dictionary.authdict import CADictionary
 from repro.dictionary.signed_root import SignedRoot
 from repro.errors import ConfigurationError
 from repro.net.clock import SimulatedClock
+from repro.perf import CacheStats
 from repro.pki import CertificationAuthority, SerialNumber, TrustStore
 from repro.ritm import (
     GossipExchange,
@@ -163,7 +164,7 @@ class ScenarioRunner:
         if cfg.sharded:
             extras["sharded_storage"] = self._sharded_extras(ca, runtimes, end_time)
 
-        metrics = self._collect_metrics(ca, runtimes)
+        metrics = self._collect_metrics(ca, runtimes, cdn)
         checks = self._build_checks(ca, runtimes, victim, extras)
         return ScenarioReport(
             scenario=cfg.name,
@@ -788,10 +789,15 @@ class ScenarioRunner:
     # -- report assembly -----------------------------------------------------------
 
     def _collect_metrics(
-        self, ca: RITMCertificationAuthority, runtimes: List[_AgentRuntime]
+        self,
+        ca: RITMCertificationAuthority,
+        runtimes: List[_AgentRuntime],
+        cdn: CDNNetwork,
     ) -> Dict[str, object]:
-        """Aggregate dissemination, dictionary, and attack-window metrics."""
+        """Aggregate dissemination, dictionary, hot-path, and attack-window
+        metrics."""
         pulls = bytes_downloaded = freshness = issuances = serials = resyncs = errors = 0
+        root_cache_hits = root_signatures_verified = 0
         latencies: List[float] = []
         per_agent: Dict[str, Dict[str, object]] = {}
         for runtime in runtimes:
@@ -804,6 +810,10 @@ class ScenarioRunner:
             serials += sum(pull.serials_applied for pull in history)
             resyncs += sum(pull.resyncs for pull in history)
             errors += sum(len(pull.errors) for pull in history)
+            root_cache_hits += sum(pull.root_cache_hits for pull in history)
+            root_signatures_verified += sum(
+                pull.root_signatures_verified for pull in history
+            )
             if self.config.sharded:
                 replicas = runtime.agent.shard_replicas(ca.name)
                 per_agent[runtime.spec_name] = {
@@ -835,7 +845,10 @@ class ScenarioRunner:
                 "serials_applied": serials,
                 "resyncs": resyncs,
                 "errors": errors,
+                "root_cache_hits": root_cache_hits,
+                "root_signatures_verified": root_signatures_verified,
             },
+            "hot_path": self._hot_path_metrics(runtimes, cdn),
             "dictionary": {
                 "ca_size": ca.total_revocations(),
                 "revocations_issued": self._revocations_issued,
@@ -873,6 +886,32 @@ class ScenarioRunner:
             },
             "agents": per_agent,
         }
+
+    @staticmethod
+    def _hot_path_metrics(
+        runtimes: List[_AgentRuntime], cdn: CDNNetwork
+    ) -> Dict[str, object]:
+        """Aggregate the verification-engine cache counters across the fleet.
+
+        One section per cache layer (see docs/PERFORMANCE.md): the agents'
+        Merkle proof caches, their verified-root caches, and the CDN edges'
+        object caches — each in the uniform :class:`CacheStats` shape.
+        """
+        sections = {
+            "proof_cache": [r.agent.proof_cache.stats for r in runtimes],
+            "root_cache": [r.agent.root_cache.stats for r in runtimes],
+            "edge_object_cache": [e.cache_stats for e in cdn.all_edges()],
+        }
+        metrics: Dict[str, object] = {}
+        for name, stats_list in sections.items():
+            total = CacheStats()
+            for stats in stats_list:
+                total.hits += stats.hits
+                total.misses += stats.misses
+                total.evictions += stats.evictions
+                total.invalidations += stats.invalidations
+            metrics[name] = total.as_dict()
+        return metrics
 
     def _build_checks(
         self,

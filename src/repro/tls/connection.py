@@ -13,12 +13,14 @@ remember the session's CA and serial from the original handshake.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional, Tuple
 
 from repro.errors import CertificateError, TLSError
+from repro.perf import LRUCache
 from repro.pki.ca import TrustStore
 from repro.pki.certificate import CertificateChain
 from repro.pki.validation import ValidationResult, validate_chain
@@ -56,6 +58,83 @@ class HandshakeStage(Enum):
     CLOSED = "closed"
 
 
+class ChainValidationCache:
+    """Memoizes *successful* chain validations across connections.
+
+    Chain validation runs one Ed25519 check per certificate — milliseconds
+    each in this pure-Python stack — on every full handshake, although a
+    flash crowd presents the same server chain thousands of times.  The
+    cache keys on a digest of the exact chain bytes, a digest of the trust
+    store contents, and the expected subject, and stores the
+    :class:`~repro.pki.validation.ValidationResult` together with the
+    chain's intersected validity window; a lookup outside that window (or
+    after the trust store changed) re-runs the full validation.  Failed
+    validations are never cached, so a forged chain always pays the full
+    check and can never displace a useful entry.
+
+    Share one instance per trust domain — e.g. across the connections of one
+    client, or across a fleet behind one gateway (see docs/PERFORMANCE.md).
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self._cache = LRUCache(maxsize=maxsize)
+
+    @property
+    def stats(self):
+        """The underlying :class:`~repro.perf.cache.CacheStats` counters."""
+        return self._cache.stats
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @staticmethod
+    def _chain_fingerprint(chain: CertificateChain) -> bytes:
+        """Digest of the exact certificate bytes being validated."""
+        digest = hashlib.sha256()
+        for certificate in chain:
+            digest.update(certificate.to_bytes())
+        return digest.digest()
+
+    @staticmethod
+    def _trust_fingerprint(trust_store: TrustStore) -> bytes:
+        """Digest of the trust store contents (roots added → new keys miss)."""
+        digest = hashlib.sha256()
+        for name in trust_store.names():
+            digest.update(name.encode("utf-8"))
+            digest.update(trust_store.public_key_for(name).key_bytes)
+        return digest.digest()
+
+    def validate(
+        self,
+        chain: CertificateChain,
+        trust_store: TrustStore,
+        now: int,
+        expected_subject: Optional[str] = None,
+    ) -> ValidationResult:
+        """Drop-in memoized :func:`~repro.pki.validation.validate_chain`."""
+        key = (
+            self._chain_fingerprint(chain),
+            self._trust_fingerprint(trust_store),
+            expected_subject,
+        )
+        # Outside the validity window the cached verdict no longer applies:
+        # the freshness-aware lookup counts it as a miss, drops the dead
+        # entry, and the full validation below reports the precise failure.
+        cached = self._cache.get(
+            key, is_valid=lambda entry: entry[1] <= now <= entry[2]
+        )
+        if cached is not None:
+            return cached[0]
+        result = validate_chain(
+            chain, trust_store, now=now, expected_subject=expected_subject
+        )
+        if result.valid:
+            not_before = max(certificate.not_before for certificate in chain)
+            not_after = min(certificate.not_after for certificate in chain)
+            self._cache.put(key, (result, not_before, not_after))
+        return result
+
+
 @dataclass
 class ClientConnectionConfig:
     """Client knobs: RITM support, resumption material, expected hostname."""
@@ -65,6 +144,9 @@ class ClientConnectionConfig:
     session_id: bytes = b""
     session_ticket: bytes = b""
     extra_extensions: Tuple[Extension, ...] = ()
+    #: Optional shared :class:`ChainValidationCache`; ``None`` validates the
+    #: server chain from scratch on every full handshake.
+    validation_cache: Optional[ChainValidationCache] = None
 
 
 class TLSClientConnection:
@@ -100,9 +182,11 @@ class TLSClientConnection:
         return TLSRecord(ContentType.HANDSHAKE, hello.to_bytes())
 
     def finished(self) -> TLSRecord:
+        """The client's Finished record (handshake completion)."""
         return TLSRecord(ContentType.HANDSHAKE, Finished().to_bytes())
 
     def application_data(self, payload: bytes) -> TLSRecord:
+        """Wrap ``payload`` as application data (established connections only)."""
         if self.stage != HandshakeStage.ESTABLISHED:
             raise TLSError("cannot send application data before the handshake completes")
         return TLSRecord(ContentType.APPLICATION_DATA, payload)
@@ -140,12 +224,20 @@ class TLSClientConnection:
             if self.stage != HandshakeStage.SERVER_HELLO:
                 raise TLSError("Certificate message out of order")
             self.server_chain = message.chain
-            self.validation = validate_chain(
-                message.chain,
-                self.trust_store,
-                now=now,
-                expected_subject=self.config.server_name,
-            )
+            if self.config.validation_cache is not None:
+                self.validation = self.config.validation_cache.validate(
+                    message.chain,
+                    self.trust_store,
+                    now=now,
+                    expected_subject=self.config.server_name,
+                )
+            else:
+                self.validation = validate_chain(
+                    message.chain,
+                    self.trust_store,
+                    now=now,
+                    expected_subject=self.config.server_name,
+                )
             if not self.validation:
                 raise CertificateError(
                     f"standard validation failed: {self.validation.reason}"
@@ -165,6 +257,7 @@ class TLSClientConnection:
 
     @property
     def is_established(self) -> bool:
+        """Whether the handshake completed and the session is usable."""
         return self.stage == HandshakeStage.ESTABLISHED
 
 
@@ -211,6 +304,7 @@ class TLSServerConnection:
         return responses
 
     def application_data(self, payload: bytes) -> TLSRecord:
+        """Wrap ``payload`` as application data (established connections only)."""
         if self.stage != HandshakeStage.ESTABLISHED:
             raise TLSError("cannot send application data before the handshake completes")
         return TLSRecord(ContentType.APPLICATION_DATA, payload)

@@ -198,3 +198,52 @@ class TestPricing:
 
         with pytest.raises(ValueError):
             PricingModel(negotiated_discount=1.5)
+
+
+class TestEdgeObjectCacheBound:
+    """The edge object cache is a bounded LRU with uniform counters."""
+
+    def _edge(self, max_objects=None):
+        origin = DistributionPoint()
+        for index in range(6):
+            origin.publish(f"/object-{index}", b"x" * 10, now=0.0, ttl_seconds=60.0)
+        kwargs = {} if max_objects is None else {"max_objects": max_objects}
+        return EdgeServer("edge-lru", Region.EUROPE, origin, **kwargs)
+
+    def test_lru_bound_evicts_cold_objects(self):
+        edge = self._edge(max_objects=2)
+        for index in range(4):
+            edge.serve(f"/object-{index}", now=1.0)
+        assert edge.cached_object_count() == 2
+        assert edge.cache_stats.evictions == 2
+        # The most recent two still hit; the evicted ones refetch.
+        assert edge.serve("/object-3", now=2.0).cache_hit
+        assert not edge.serve("/object-0", now=2.0).cache_hit
+
+    def test_ttl_expiry_counts_as_miss_and_invalidation(self):
+        edge = self._edge()
+        edge.serve("/object-0", now=1.0)
+        assert edge.serve("/object-0", now=10.0).cache_hit
+        stale = edge.serve("/object-0", now=120.0)  # beyond the 60 s TTL
+        assert not stale.cache_hit
+        assert edge.cache_stats.invalidations == 1
+        assert edge.cache_stats.hits == edge.cache_hits == 1
+        assert edge.cache_hit_ratio() == pytest.approx(1 / 3)
+
+    def test_peek_version_does_not_touch_counters(self):
+        edge = self._edge()
+        edge.serve("/object-0", now=1.0)
+        lookups_before = edge.cache_stats.lookups
+        assert edge.peek_version("/object-0", now=2.0) is not None
+        assert edge.peek_version("/missing", now=2.0) is None
+        assert edge.cache_stats.lookups == lookups_before
+
+    def test_invalidate_counts(self):
+        edge = self._edge()
+        edge.serve("/object-0", now=1.0)
+        edge.serve("/object-1", now=1.0)
+        edge.invalidate("/object-0")
+        assert edge.cache_stats.invalidations == 1
+        edge.invalidate()
+        assert edge.cached_object_count() == 0
+        assert edge.cache_stats.invalidations == 2

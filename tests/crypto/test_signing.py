@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.crypto.signing import PUBLIC_KEY_SIZE, SIGNATURE_SIZE, KeyPair, PrivateKey, PublicKey
+from repro.crypto.signing import (
+    PUBLIC_KEY_SIZE,
+    SIGNATURE_SIZE,
+    KeyPair,
+    PrivateKey,
+    PublicKey,
+    verify_batch,
+)
 from repro.errors import SignatureError
 
 
@@ -63,3 +70,89 @@ class TestPrivateKey:
         signature = signer.sign(b"msg")
         assert signer.public_key().verify(b"msg", signature)
         assert not other.public_key().verify(b"msg", signature)
+
+
+class TestVerifyBatch:
+    """Batched verification must match serial verification exactly."""
+
+    def _items(self, count, seed=b"batch"):
+        keys = [KeyPair.generate(seed + bytes([index])) for index in range(count)]
+        messages = [f"message-{index}".encode() for index in range(count)]
+        return [
+            (key.public, message, key.sign(message))
+            for key, message in zip(keys, messages)
+        ]
+
+    def test_empty_batch(self):
+        assert verify_batch([]) == []
+
+    def test_single_item(self):
+        items = self._items(1)
+        assert verify_batch(items) == [True]
+
+    def test_all_valid(self):
+        items = self._items(5)
+        assert verify_batch(items) == [True] * 5
+
+    def test_tampered_signature_is_pinpointed(self):
+        items = self._items(5)
+        public, message, signature = items[2]
+        corrupted = signature[:40] + bytes([signature[40] ^ 1]) + signature[41:]
+        items[2] = (public, message, corrupted)
+        assert verify_batch(items) == [True, True, False, True, True]
+
+    def test_tampered_message_is_pinpointed(self):
+        items = self._items(4)
+        public, message, signature = items[0]
+        items[0] = (public, message + b"!", signature)
+        assert verify_batch(items) == [False, True, True, True]
+
+    def test_swapped_signatures_fail(self):
+        items = self._items(3)
+        swapped = [items[0], (items[1][0], items[1][1], items[2][2]),
+                   (items[2][0], items[2][1], items[1][2])]
+        assert verify_batch(swapped) == [True, False, False]
+
+    def test_malformed_signature_length_is_invalid_not_raised(self):
+        items = self._items(2)
+        items[1] = (items[1][0], items[1][1], b"short")
+        assert verify_batch(items) == [True, False]
+
+    def test_chunking_respects_batch_width(self):
+        items = self._items(5)
+        for width in (1, 2, 3, 5, 16):
+            assert verify_batch(items, batch_width=width) == [True] * 5
+
+    def test_invalid_batch_width_rejected(self):
+        with pytest.raises(SignatureError):
+            verify_batch(self._items(1), batch_width=0)
+
+    def test_matches_serial_verification_on_random_corruptions(self):
+        from hypothesis import given, settings, strategies as st
+
+        base = self._items(4, seed=b"prop")
+
+        @settings(max_examples=20, deadline=None)
+        @given(
+            corrupt=st.lists(
+                st.tuples(st.integers(0, 3), st.sampled_from(["sig", "msg", "none"])),
+                max_size=4,
+            )
+        )
+        def run(corrupt):
+            items = list(base)
+            for index, kind in corrupt:
+                public, message, signature = items[index]
+                if kind == "sig":
+                    mutated = bytes([signature[0] ^ 0x55]) + signature[1:]
+                    items[index] = (public, message, mutated)
+                elif kind == "msg":
+                    items[index] = (public, message + b"x", signature)
+            expected = [
+                public.verify(message, signature)
+                for public, message, signature in items
+            ]
+            assert verify_batch(items, batch_width=2) == expected
+            assert verify_batch(items) == expected
+
+        run()

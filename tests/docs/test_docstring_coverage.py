@@ -1,10 +1,11 @@
 """Docstring coverage gate for the documented public API surfaces.
 
-Every public class and function in ``repro.store``,
-``repro.ritm.dissemination``, ``repro.dictionary.sharding``, and
-``repro.scenarios`` must carry a docstring.  CI additionally runs
-``interrogate``; this test is the always-on, stdlib-only enforcement so the
-gate holds wherever the suite runs.
+Every public class and function in ``repro.store``, ``repro.perf``,
+``repro.ritm.dissemination``, ``repro.dictionary.sharding``,
+``repro.tls.connection``, ``repro.cdn.edge``, and ``repro.scenarios`` must
+carry a docstring.  CI additionally runs ``interrogate``; this test is the
+always-on, stdlib-only enforcement so the gate holds wherever the suite
+runs.
 """
 
 import ast
@@ -18,8 +19,11 @@ SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 COVERED_FILES = sorted(
     [
         *(SRC / "store").glob("*.py"),
+        *(SRC / "perf").glob("*.py"),
         SRC / "ritm" / "dissemination.py",
         SRC / "dictionary" / "sharding.py",
+        SRC / "tls" / "connection.py",
+        SRC / "cdn" / "edge.py",
         *(SRC / "scenarios").glob("*.py"),
     ]
 )

@@ -1,0 +1,80 @@
+"""``docs/RESULTS.md`` stays in sync with the artifact registry.
+
+The generated results index must list every benchmark artifact exactly once
+and every registered scenario exactly once, and the registry in
+``tools/gen_results.py`` must know about every artifact the benchmark suite
+actually writes (no silently unmapped results).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+RESULTS_MD = REPO / "docs" / "RESULTS.md"
+
+
+@pytest.fixture(scope="module")
+def gen_results():
+    """The generator module, imported from tools/ by path."""
+    spec = importlib.util.spec_from_file_location(
+        "gen_results", REPO / "tools" / "gen_results.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Register before exec: dataclasses resolves string annotations through
+    # sys.modules[cls.__module__].
+    sys.modules["gen_results"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def results_text():
+    assert RESULTS_MD.exists(), "docs/RESULTS.md is missing; run tools/gen_results.py"
+    return RESULTS_MD.read_text(encoding="utf-8")
+
+
+def test_document_carries_generation_marker(gen_results, results_text):
+    assert gen_results.MARKER in results_text
+
+
+def test_every_artifact_listed_exactly_once(gen_results, results_text):
+    filenames = [artifact.filename for artifact in gen_results.ARTIFACTS]
+    assert len(filenames) == len(set(filenames)), "registry has duplicate artifacts"
+    for filename in filenames:
+        occurrences = results_text.count(f"`benchmarks/results/{filename}`")
+        assert occurrences == 1, f"{filename} mapped {occurrences} times in RESULTS.md"
+
+
+def test_every_registered_scenario_listed_exactly_once(results_text):
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.scenarios import registry
+
+    names = registry.names()
+    assert names, "no scenarios registered"
+    for name in names:
+        occurrences = results_text.count(f"`python -m repro run {name}`")
+        assert occurrences == 1, f"scenario {name} listed {occurrences} times"
+
+
+def test_registry_covers_every_written_artifact(gen_results):
+    """No benchmark may write an artifact the results index cannot map."""
+    results_dir = REPO / "benchmarks" / "results"
+    if not results_dir.exists():
+        pytest.skip("benchmarks have not produced artifacts in this checkout")
+    known = {artifact.filename for artifact in gen_results.ARTIFACTS}
+    written = {
+        path.name
+        for path in results_dir.iterdir()
+        if path.suffix in (".txt", ".json")
+    }
+    unmapped = sorted(written - known)
+    assert not unmapped, f"artifacts missing from the gen_results registry: {unmapped}"
+
+
+def test_generator_is_deterministic(gen_results):
+    assert gen_results.generate() == gen_results.generate()

@@ -1,0 +1,79 @@
+"""Tests for the Merkle proof cache: keying, LRU bound, invalidation."""
+
+import pytest
+
+from repro.perf import ProofCache
+
+ROOT_A = b"\xaa" * 20
+ROOT_B = b"\xbb" * 20
+
+
+class TestProofCache:
+    def test_round_trip(self):
+        cache = ProofCache()
+        assert cache.get("CA", "", ROOT_A, 7) is None
+        cache.put("CA", "", ROOT_A, 7, "proof-7")
+        assert cache.get("CA", "", ROOT_A, 7) == "proof-7"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_key_includes_root_hash(self):
+        cache = ProofCache()
+        cache.put("CA", "", ROOT_A, 7, "old-proof")
+        assert cache.get("CA", "", ROOT_B, 7) is None
+
+    def test_key_includes_shard(self):
+        cache = ProofCache()
+        cache.put("CA", "CA#expiry-1", ROOT_A, 7, "shard-proof")
+        assert cache.get("CA", "", ROOT_A, 7) is None
+        assert cache.get("CA", "CA#expiry-2", ROOT_A, 7) is None
+        assert cache.get("CA", "CA#expiry-1", ROOT_A, 7) == "shard-proof"
+
+    def test_invalidate_dictionary_unsharded(self):
+        cache = ProofCache()
+        cache.put("CA-A", "", ROOT_A, 1, "a1")
+        cache.put("CA-A", "", ROOT_A, 2, "a2")
+        cache.put("CA-B", "", ROOT_B, 1, "b1")
+        assert cache.invalidate_dictionary("CA-A") == 2
+        assert len(cache) == 1
+        assert cache.get("CA-B", "", ROOT_B, 1) == "b1"
+        assert cache.stats.invalidations == 2
+
+    def test_invalidate_dictionary_by_shard_name(self):
+        cache = ProofCache()
+        cache.put("CA", "CA#expiry-1", ROOT_A, 1, "s1")
+        cache.put("CA", "CA#expiry-2", ROOT_A, 1, "s2")
+        assert cache.invalidate_dictionary("CA#expiry-1") == 1
+        assert cache.get("CA", "CA#expiry-2", ROOT_A, 1) == "s2"
+
+    def test_invalidate_unknown_dictionary_is_noop(self):
+        cache = ProofCache()
+        assert cache.invalidate_dictionary("nope") == 0
+
+    def test_lru_bound_and_eviction_index_cleanup(self):
+        cache = ProofCache(maxsize=2)
+        cache.put("CA", "", ROOT_A, 1, "p1")
+        cache.put("CA", "", ROOT_A, 2, "p2")
+        assert cache.get("CA", "", ROOT_A, 1) == "p1"  # p2 becomes LRU
+        cache.put("CA", "", ROOT_A, 3, "p3")
+        assert cache.stats.evictions == 1
+        assert cache.get("CA", "", ROOT_A, 2) is None
+        # The evicted key is gone from the index too: invalidation counts 2.
+        assert cache.invalidate_dictionary("CA") == 2
+
+    def test_maxsize_zero_disables(self):
+        cache = ProofCache(maxsize=0)
+        cache.put("CA", "", ROOT_A, 1, "p1")
+        assert len(cache) == 0
+        assert cache.get("CA", "", ROOT_A, 1) is None
+
+    def test_negative_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            ProofCache(maxsize=-1)
+
+    def test_clear(self):
+        cache = ProofCache()
+        cache.put("CA", "", ROOT_A, 1, "p1")
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.invalidate_dictionary("CA") == 0

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.scenarios import (
+    CACHE_METRIC_KEYS,
     DISSEMINATION_METRIC_KEYS,
     REPORT_SCHEMA_KEYS,
     all_scenarios,
@@ -33,6 +34,10 @@ def test_report_schema_is_pinned(name):
     assert tuple(sorted(payload)) == tuple(sorted(REPORT_SCHEMA_KEYS))
     dissemination = payload["metrics"]["dissemination"]
     assert tuple(sorted(dissemination)) == tuple(sorted(DISSEMINATION_METRIC_KEYS))
+    hot_path = payload["metrics"]["hot_path"]
+    assert sorted(hot_path) == ["edge_object_cache", "proof_cache", "root_cache"]
+    for section in hot_path.values():
+        assert tuple(sorted(section)) == tuple(sorted(CACHE_METRIC_KEYS))
     # the whole report must survive a JSON round trip
     assert json.loads(json.dumps(payload)) == payload
 

@@ -192,3 +192,84 @@ class TestStateMachineErrors:
 
         client.process_record(TLSRecord(ContentType.ALERT, b"\x02\x28"), NOW)
         assert client.stage == HandshakeStage.CLOSED
+
+
+class TestChainValidationCache:
+    """The memoized chain-validation fast path must be invisible except in cost."""
+
+    def test_cached_result_matches_uncached(self, small_corpus):
+        from repro.pki.validation import validate_chain
+        from repro.tls.connection import ChainValidationCache
+
+        chain = small_corpus.chains[0]
+        cache = ChainValidationCache()
+        direct = validate_chain(
+            chain, small_corpus.trust_store, now=NOW, expected_subject=chain.leaf.subject
+        )
+        cached = cache.validate(
+            chain, small_corpus.trust_store, now=NOW, expected_subject=chain.leaf.subject
+        )
+        again = cache.validate(
+            chain, small_corpus.trust_store, now=NOW, expected_subject=chain.leaf.subject
+        )
+        assert cached.valid and direct.valid
+        assert cached.checks == direct.checks
+        assert again is cached  # served from the cache
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lookup_outside_validity_window_reverifies(self, small_corpus):
+        from repro.tls.connection import ChainValidationCache
+
+        chain = small_corpus.chains[0]
+        cache = ChainValidationCache()
+        assert cache.validate(chain, small_corpus.trust_store, now=NOW).valid
+        far_future = max(cert.not_after for cert in chain) + 10
+        late = cache.validate(chain, small_corpus.trust_store, now=far_future)
+        assert not late.valid
+        assert "validity window" in late.reason
+        assert len(cache) == 0  # the dead entry was dropped, failure not cached
+
+    def test_failures_are_not_cached(self, small_corpus):
+        from repro.tls.connection import ChainValidationCache
+
+        chain = small_corpus.chains[0]
+        cache = ChainValidationCache()
+        for _ in range(2):
+            result = cache.validate(
+                chain, small_corpus.trust_store, now=NOW, expected_subject="wrong.example"
+            )
+            assert not result.valid
+        assert len(cache) == 0
+        assert cache.stats.misses == 2
+
+    def test_trust_store_contents_are_part_of_the_key(self, small_corpus):
+        from repro.pki.ca import TrustStore
+        from repro.tls.connection import ChainValidationCache
+
+        chain = small_corpus.chains[0]
+        cache = ChainValidationCache()
+        assert cache.validate(chain, small_corpus.trust_store, now=NOW).valid
+        empty = TrustStore()
+        distrusted = cache.validate(chain, empty, now=NOW)
+        assert not distrusted.valid
+        assert cache.stats.hits == 0  # different trust store, different key
+
+    def test_client_connection_uses_shared_cache(self, small_corpus):
+        from repro.tls.connection import ChainValidationCache
+
+        chain = small_corpus.chains[0]
+        cache = ChainValidationCache()
+        for _ in range(2):
+            client = TLSClientConnection(
+                ClientConnectionConfig(
+                    server_name=chain.leaf.subject, validation_cache=cache
+                ),
+                small_corpus.trust_store,
+            )
+            server = TLSServerConnection(ServerConnectionConfig(chain=chain))
+            run_handshake(client, server)
+            assert client.is_established
+            assert client.validation.valid
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
