@@ -29,7 +29,7 @@ def test_flash_crowd_engine_comparison():
     assert report.all_checks_passed
     comparison = report.extras["engine_comparison"]
     rows = []
-    for engine in ("naive", "incremental"):
+    for engine in ("naive", "incremental", "durable"):
         entry = comparison[engine]
         rows.append((engine, entry["serials"], f"{entry['seconds'] * 1e3:.2f} ms"))
     text = format_table(

@@ -94,6 +94,20 @@ class _DictionaryCore:
         """Registry name of the store engine backing this dictionary."""
         return self._tree.engine_name
 
+    def close(self) -> None:
+        """Release the backing store's persistent resources (if any).
+
+        Part of the explicit lifecycle the durable engine introduced: every
+        layer that owns dictionaries (:class:`~repro.ritm.agent.RevocationAgent`,
+        :class:`~repro.ritm.ca_service.RITMCertificationAuthority`, the
+        scenario runner) closes them when done.  Safe to call twice.
+        """
+        self._tree.close()
+
+    def leaf_items(self) -> List[Tuple[bytes, bytes]]:
+        """The exact ``(key, value)`` leaf set, for snapshots/checkpoints."""
+        return list(self._tree.items())
+
     def __len__(self) -> int:
         return len(self._tree)
 
@@ -400,6 +414,61 @@ class ReplicaDictionary(_DictionaryCore):
         self._latest_freshness = FreshnessStatement(
             ca_name=self.ca_name, value=signed_root.anchor, dictionary_size=self.size
         )
+
+    def restore_snapshot(
+        self,
+        items: Sequence[Tuple[bytes, bytes]],
+        signed_root: SignedRoot,
+        freshness: FreshnessStatement,
+    ) -> None:
+        """Warm-start an empty replica from checkpointed state, verifying it.
+
+        ``items`` is the leaf dump of a previous replica of the same CA
+        (:meth:`leaf_items`), ``signed_root``/``freshness`` the verified
+        state it was serving.  The checkpoint is *not* trusted: the root
+        signature is re-verified under the CA key, the tree is rebuilt and
+        its recomputed root compared against the signed one, and the
+        freshness statement must link to the root's anchor — so a corrupted
+        or tampered checkpoint can never warm-start a replica into a state
+        the CA did not sign.  On any mismatch the replica is rolled back to
+        empty (cold sync still works) and the error propagates.
+        """
+        if signed_root.ca_name != self.ca_name:
+            raise DictionaryError(
+                f"checkpoint for {signed_root.ca_name!r} restored into "
+                f"{self.ca_name!r}'s replica"
+            )
+        if self.size:
+            raise DictionaryError(
+                f"replica of {self.ca_name!r} is not empty; restore_snapshot "
+                f"requires a fresh replica"
+            )
+        if not self._root_signature_valid(signed_root):
+            raise SignatureError(
+                f"checkpointed root for {self.ca_name!r} failed verification"
+            )
+        self._tree.insert_batch(items)
+        if self.root() != signed_root.root or self.size != signed_root.size:
+            self._tree.remove_batch(key for key, _ in items)
+            raise DesynchronizedError(
+                f"checkpointed leaves for {self.ca_name!r} do not reproduce "
+                f"the signed root; checkpoint rejected"
+            )
+        for key, value in items:
+            serial = SerialNumber.from_bytes(key)
+            self._numbers[serial.value] = _value_to_number(value)
+        self._signed_root = signed_root
+        try:
+            self.apply_freshness(freshness)
+        except DictionaryError:
+            # A freshness statement that does not link invalidates only the
+            # *freshness* half; fall back to the root's own anchor (always
+            # linkable) so the replica still warm-starts.
+            self._latest_freshness = FreshnessStatement(
+                ca_name=self.ca_name,
+                value=signed_root.anchor,
+                dictionary_size=self.size,
+            )
 
     def _root_signature_valid(self, signed_root: SignedRoot) -> bool:
         """One root's signature check, memoized through :attr:`root_cache`."""

@@ -190,9 +190,15 @@ class ShardedCADictionary:
             shard = self._shards[key.index]
             self.reclaimed_storage_bytes += shard.storage_size_bytes()
             self.retired_revocations += shard.size
+            shard.close()  # release the retired shard's store (durable engines)
             del self._shards[key.index]
             self._retired.append(key.index)
         return retired
+
+    def close(self) -> None:
+        """Close every retained shard's backing store."""
+        for shard in self._shards.values():
+            shard.close()
 
     @property
     def shard_count(self) -> int:
@@ -400,9 +406,15 @@ class ShardedReplica:
                 replica = self._replicas[index]
                 freed += replica.size
                 self.reclaimed_storage_bytes += replica.storage_size_bytes()
+                replica.close()  # release the pruned store (durable engines)
                 del self._replicas[index]
         self.pruned_revocations += freed
         return freed
+
+    def close(self) -> None:
+        """Close every held shard replica's backing store."""
+        for replica in self._replicas.values():
+            replica.close()
 
     @property
     def shard_count(self) -> int:

@@ -30,6 +30,12 @@ class ProofError(ReproError):
     """A Merkle presence/absence proof is malformed or does not verify."""
 
 
+class StorageError(ReproError):
+    """A durable-store persistence structure (WAL, snapshot, or checkpoint)
+    is missing, corrupt, truncated mid-record, or of an incompatible format
+    version."""
+
+
 class DictionaryError(ReproError):
     """An authenticated-dictionary operation violated its invariants."""
 

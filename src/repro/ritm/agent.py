@@ -29,7 +29,7 @@ from repro.dictionary.authdict import ReplicaDictionary, RevocationIssuance
 from repro.dictionary.freshness import FreshnessStatement
 from repro.dictionary.proofs import RevocationStatus
 from repro.dictionary.sharding import ShardKey, shard_name
-from repro.errors import DesynchronizedError, DictionaryError, TLSError
+from repro.errors import DesynchronizedError, DictionaryError, ReproError, TLSError
 from repro.net.node import Middlebox
 from repro.net.packet import Direction, Packet
 from repro.perf import ProofCache, VerifiedRootCache
@@ -37,6 +37,12 @@ from repro.pki.certificate import CertificateChain
 from repro.pki.serial import SerialNumber
 from repro.ritm.config import RITMConfig
 from repro.ritm.consistency import ConsistencyChecker
+from repro.ritm.persistence import (
+    AgentCheckpoint,
+    ReplicaCheckpoint,
+    load_checkpoint,
+    write_checkpoint,
+)
 from repro.ritm.dpi import DPIEngine, InspectionResult
 from repro.ritm.messages import decode_status_bundle, encode_status_bundle
 from repro.ritm.state import ConnectionState, ConnectionTable
@@ -209,6 +215,7 @@ class RevocationAgent(Middlebox):
                 entries += replica.size
                 bytes_freed += replica.storage_size_bytes()
                 name = members.pop(index)
+                replica.close()  # release the pruned store (durable engines)
                 del self.replicas[name]
                 # Shard retirement: evict the retired dictionary's cached
                 # proofs and root verdicts along with its replica.
@@ -218,6 +225,102 @@ class RevocationAgent(Middlebox):
         self.pruned_revocations += entries
         self.reclaimed_storage_bytes += bytes_freed
         return (entries, bytes_freed)
+
+    # -- crash recovery (docs/STORAGE.md) --------------------------------------
+
+    def checkpoint(self, directory) -> int:
+        """Persist this RA's warm-start state under ``directory``.
+
+        Writes every replica that currently serves verified state (signed
+        root + freshness + exact leaf dump), the shard widths, and the
+        explicit shard registry through :mod:`repro.ritm.persistence`.
+        Replicas that have not completed a first sync are skipped — there is
+        nothing verified to persist, and a restored RA simply cold-syncs
+        them.  Returns the number of replicas persisted.
+        """
+        replicas = []
+        for ca_name in sorted(self.replicas):
+            replica = self.replicas[ca_name]
+            if replica.signed_root is None or replica.latest_freshness is None:
+                continue
+            replicas.append(
+                ReplicaCheckpoint(
+                    ca_name=ca_name,
+                    public_key_bytes=replica.ca_public_key.key_bytes,
+                    signed_root=replica.signed_root,
+                    freshness=replica.latest_freshness,
+                    items=replica.leaf_items(),
+                )
+            )
+        write_checkpoint(
+            AgentCheckpoint(
+                agent_name=self.name,
+                shard_widths=dict(self.shard_widths),
+                shard_members={
+                    ca: dict(members) for ca, members in self._shard_members.items()
+                },
+                replicas=replicas,
+            ),
+            directory,
+        )
+        return len(replicas)
+
+    def restore(self, directory) -> int:
+        """Warm-start this RA from a checkpoint written by :meth:`checkpoint`.
+
+        Every persisted replica is rebuilt and *re-verified* (root signature
+        under the checkpointed CA key, recomputed Merkle root against the
+        signed one) before it serves anything; a replica whose checkpoint
+        fails verification is dropped and left to cold-sync on the next
+        pull instead of aborting the whole restore.  Shard widths and the
+        shard registry are restored so the TLS path maps certificate
+        expiries to shard replicas immediately.  Returns the number of
+        replicas warm-started.
+        """
+        checkpoint = load_checkpoint(directory)
+        for ca_name, width in checkpoint.shard_widths.items():
+            self.register_sharded_ca(ca_name, width)
+        restored_names = set()
+        failed_names = set()
+        for entry in checkpoint.replicas:
+            replica = self.register_ca(entry.ca_name, entry.public_key)
+            try:
+                replica.restore_snapshot(entry.items, entry.signed_root, entry.freshness)
+            except ReproError:
+                # Corrupt or mismatched state: restore_snapshot rolled the
+                # replica back to empty, so this CA simply cold-syncs on the
+                # next pull instead of aborting the whole restore.
+                failed_names.add(entry.ca_name)
+                continue
+            restored_names.add(entry.ca_name)
+        shard_named = {
+            name
+            for members in checkpoint.shard_members.values()
+            for name in members.values()
+        }
+        # A shard replica that failed verification must not linger: keeping
+        # it registered (empty) would map TLS-path lookups for its expiry
+        # window onto an unverified replica and make the main pull loop
+        # treat it as a base CA.  Drop it entirely — the next shard-index
+        # pull rediscovers and cold-syncs it.
+        for name in failed_names & shard_named:
+            replica = self.replicas.pop(name, None)
+            if replica is not None:
+                replica.close()
+        for ca_name, members in checkpoint.shard_members.items():
+            kept = {
+                index: name
+                for index, name in members.items()
+                if name in restored_names
+            }
+            if kept:
+                self._shard_members.setdefault(ca_name, {}).update(kept)
+        return len(restored_names)
+
+    def close(self) -> None:
+        """Close every replica's backing store (durable engines release I/O)."""
+        for replica in self.replicas.values():
+            replica.close()
 
     def apply_issuance(self, issuance: RevocationIssuance) -> None:
         self.apply_issuances(issuance.ca_name, [issuance])

@@ -374,6 +374,17 @@ class RITMCertificationAuthority:
     def issuance_count(self) -> int:
         return self._batch_counter
 
+    def close(self) -> None:
+        """Close the master dictionary's (or every shard's) backing store.
+
+        Part of the store-lifecycle contract introduced with the durable
+        engine (``docs/STORAGE.md``); in-memory engines treat it as a no-op.
+        """
+        if self.sharded:
+            self.shards.close()
+        else:
+            self.dictionary.close()
+
     def manifest(self) -> dict:
         """The §VIII bootstrap manifest (would live at ``/RITM.json``)."""
         manifest = {

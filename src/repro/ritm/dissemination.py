@@ -21,6 +21,8 @@ revocation status.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -42,6 +44,7 @@ from repro.ritm.ca_service import (
     shard_index_path,
 )
 from repro.ritm.messages import decode_head, decode_issuance, decode_shard_index
+from repro.store.durable import atomic_write
 
 
 @dataclass
@@ -99,6 +102,67 @@ class RADisseminationClient:
     def register_sync_server(self, ca_name: str, server: SyncServer) -> None:
         """Register the CA's direct sync endpoint for desync recovery."""
         self.sync_servers[ca_name] = server
+
+    # -- crash recovery (docs/STORAGE.md) ---------------------------------------
+
+    #: File holding the client-side warm-start state inside a checkpoint.
+    STATE_FILENAME = "dissemination.json"
+
+    def checkpoint(self, directory) -> int:
+        """Persist the agent plus this client's applied-batch cursors.
+
+        The cursors are what turn a warm restart into a *delta* fetch: the
+        restored client resumes from the last issuance batch it committed
+        instead of re-walking (or re-downloading) the CA's whole batch
+        history.  Returns the number of replicas persisted.
+        """
+        state = {
+            "format": 1,
+            "applied_batches": dict(self._applied_batches),
+            "shard_pulls": dict(self._shard_pulls),
+        }
+        # Cursors are written first (atomically), the agent manifest last:
+        # the manifest is the checkpoint's commit point, so a crash at any
+        # point during checkpointing leaves either no restorable checkpoint
+        # at all or a complete one — never a warm-startable checkpoint
+        # whose missing cursors silently downgrade the next restart to a
+        # full batch-history refetch.
+        os.makedirs(str(directory), exist_ok=True)
+        atomic_write(
+            os.path.join(str(directory), self.STATE_FILENAME),
+            (json.dumps(state, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+        )
+        return self.agent.checkpoint(directory)
+
+    def restore(self, directory) -> int:
+        """Warm-start the agent and this client from a checkpoint.
+
+        Applied-batch cursors are restored only for dictionaries whose
+        replica actually warm-started (holds a verified root): a cursor
+        without its replica state would make the next pull skip batches the
+        replica never applied.  Returns the number of replicas restored.
+        """
+        restored = self.agent.restore(directory)
+        path = os.path.join(str(directory), self.STATE_FILENAME)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                state = json.load(handle)
+            cursors = {
+                str(name): int(batch)
+                for name, batch in state.get("applied_batches", {}).items()
+            }
+            shard_pulls = {
+                str(name): int(count)
+                for name, count in state.get("shard_pulls", {}).items()
+            }
+        except (OSError, ValueError, TypeError, AttributeError):
+            return restored
+        for name, batch in cursors.items():
+            replica = self.agent.replicas.get(name)
+            if replica is not None and replica.signed_root is not None:
+                self._applied_batches[name] = batch
+        self._shard_pulls.update(shard_pulls)
+        return restored
 
     def register_sharded_ca(
         self,

@@ -1,0 +1,235 @@
+"""RA checkpoint files: the on-disk format behind warm crash-recovery.
+
+A checkpoint captures everything a :class:`~repro.ritm.agent.RevocationAgent`
+needs to resume serving (and delta-syncing) after a process restart without
+re-downloading its dictionaries from the CA:
+
+* ``agent.json`` — the manifest: format version, agent name, shard widths,
+  the explicit shard-membership registry, and one entry per persisted
+  replica (CA name, public key, file name);
+* ``replica-NNNN.bin`` — one binary file per replica: the CA-signed root and
+  latest freshness statement (reusing the wire codecs from
+  :mod:`repro.ritm.messages`), the exact sorted leaf dump, and a trailing
+  CRC32 over the whole file.
+
+Checkpoints are *not* trusted on restore: CRCs catch corruption here, and
+:meth:`~repro.dictionary.authdict.ReplicaDictionary.restore_snapshot`
+re-verifies the root signature and the recomputed Merkle root, so a doctored
+checkpoint can never warm-start a replica into unsigned state.  The format
+is documented in ``docs/STORAGE.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.crypto.signing import PublicKey
+from repro.dictionary.freshness import FreshnessStatement
+from repro.dictionary.signed_root import SignedRoot
+from repro.errors import StorageError
+from repro.ritm.messages import (
+    decode_freshness,
+    decode_signed_root,
+    encode_freshness,
+    encode_signed_root,
+)
+from repro.store.durable import atomic_write, decode_leaf_pairs, encode_leaf_pairs
+
+#: Replica-file magic; the manifest's ``format`` field pins the layout.
+REPLICA_MAGIC = b"RITMRACP"
+
+#: Pinned checkpoint format version (manifest + replica files).
+CHECKPOINT_FORMAT = 1
+
+#: Manifest file name inside a checkpoint directory.
+MANIFEST_FILENAME = "agent.json"
+
+
+@dataclass
+class ReplicaCheckpoint:
+    """One replica's persisted state: verified root, freshness, leaf dump."""
+
+    ca_name: str
+    public_key_bytes: bytes
+    signed_root: SignedRoot
+    freshness: FreshnessStatement
+    items: List[Tuple[bytes, bytes]]
+
+    @property
+    def public_key(self) -> PublicKey:
+        """The CA public key the replica verified its state under."""
+        return PublicKey(self.public_key_bytes)
+
+
+@dataclass
+class AgentCheckpoint:
+    """Everything :meth:`RevocationAgent.restore` needs, decoded from disk."""
+
+    agent_name: str
+    shard_widths: Dict[str, int] = field(default_factory=dict)
+    #: CA name → shard index → replica name (the explicit shard registry).
+    shard_members: Dict[str, Dict[int, str]] = field(default_factory=dict)
+    replicas: List[ReplicaCheckpoint] = field(default_factory=list)
+
+
+def _encode_replica(checkpoint: ReplicaCheckpoint) -> bytes:
+    """Serialize one replica file (magic + fields + CRC32)."""
+    root_bytes = encode_signed_root(checkpoint.signed_root)
+    freshness_bytes = encode_freshness(checkpoint.freshness)
+    body = bytearray()
+    body += REPLICA_MAGIC
+    body += struct.pack(">H", CHECKPOINT_FORMAT)
+    body += struct.pack(">H", len(checkpoint.public_key_bytes))
+    body += checkpoint.public_key_bytes
+    body += struct.pack(">I", len(root_bytes))
+    body += root_bytes
+    body += struct.pack(">I", len(freshness_bytes))
+    body += freshness_bytes
+    body += struct.pack(">Q", len(checkpoint.items))
+    body += encode_leaf_pairs(checkpoint.items)
+    body += struct.pack(">I", zlib.crc32(bytes(body)))
+    return bytes(body)
+
+
+def _decode_replica(data: bytes, ca_name: str) -> ReplicaCheckpoint:
+    """Parse one replica file, checking magic, version, and checksum."""
+    floor = len(REPLICA_MAGIC) + 2 + 4
+    if len(data) < floor or not data.startswith(REPLICA_MAGIC):
+        raise StorageError(f"replica checkpoint for {ca_name!r} is not valid")
+    (stored_crc,) = struct.unpack_from(">I", data, len(data) - 4)
+    if zlib.crc32(data[:-4]) != stored_crc:
+        raise StorageError(f"replica checkpoint for {ca_name!r} failed its checksum")
+    try:
+        offset = len(REPLICA_MAGIC)
+        (version,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        if version != CHECKPOINT_FORMAT:
+            raise StorageError(
+                f"replica checkpoint for {ca_name!r} has format {version}; "
+                f"this build reads format {CHECKPOINT_FORMAT}"
+            )
+        (key_length,) = struct.unpack_from(">H", data, offset)
+        offset += 2
+        public_key_bytes = data[offset : offset + key_length]
+        offset += key_length
+        (root_length,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        signed_root, _ = decode_signed_root(data[offset : offset + root_length])
+        offset += root_length
+        (freshness_length,) = struct.unpack_from(">I", data, offset)
+        offset += 4
+        freshness, _ = decode_freshness(data[offset : offset + freshness_length])
+        offset += freshness_length
+        (leaf_count,) = struct.unpack_from(">Q", data, offset)
+        offset += 8
+        items, offset = decode_leaf_pairs(data, offset, leaf_count)
+        if offset != len(data) - 4:
+            raise StorageError(
+                f"replica checkpoint for {ca_name!r} has trailing bytes"
+            )
+    except struct.error as exc:
+        raise StorageError(
+            f"replica checkpoint for {ca_name!r} is truncated: {exc}"
+        ) from None
+    return ReplicaCheckpoint(
+        ca_name=ca_name,
+        public_key_bytes=public_key_bytes,
+        signed_root=signed_root,
+        freshness=freshness,
+        items=items,
+    )
+
+
+def write_checkpoint(
+    checkpoint: AgentCheckpoint, directory: Union[str, Path]
+) -> Path:
+    """Write a full agent checkpoint under ``directory``; returns its path.
+
+    Replica files are written first and the manifest last, so a crash while
+    checkpointing leaves no manifest — an incomplete checkpoint is invisible
+    to :func:`load_checkpoint` rather than half-restorable.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest_replicas = []
+    for index, replica in enumerate(checkpoint.replicas):
+        filename = f"replica-{index:04d}.bin"
+        (directory / filename).write_bytes(_encode_replica(replica))
+        manifest_replicas.append(
+            {
+                "ca_name": replica.ca_name,
+                "file": filename,
+                "public_key": replica.public_key_bytes.hex(),
+            }
+        )
+    manifest = {
+        "format": CHECKPOINT_FORMAT,
+        "agent": checkpoint.agent_name,
+        "shard_widths": dict(checkpoint.shard_widths),
+        "shard_members": {
+            ca: {str(index): name for index, name in members.items()}
+            for ca, members in checkpoint.shard_members.items()
+        },
+        "replicas": manifest_replicas,
+    }
+    atomic_write(
+        directory / MANIFEST_FILENAME,
+        (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+    )
+    return directory
+
+
+def load_checkpoint(directory: Union[str, Path]) -> AgentCheckpoint:
+    """Read and decode a checkpoint directory written by :func:`write_checkpoint`.
+
+    Raises :class:`StorageError` when the manifest is missing/invalid or any
+    replica file fails its structural checks.  (Cryptographic verification —
+    root signature and recomputed root — happens later, in
+    ``ReplicaDictionary.restore_snapshot``.)
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_FILENAME
+    if not manifest_path.exists():
+        raise StorageError(f"no RA checkpoint manifest under {directory}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest["format"] != CHECKPOINT_FORMAT:
+            raise StorageError(
+                f"checkpoint format {manifest['format']} unsupported; this "
+                f"build reads format {CHECKPOINT_FORMAT}"
+            )
+        agent_name = manifest["agent"]
+        shard_widths = {ca: int(w) for ca, w in manifest["shard_widths"].items()}
+        shard_members = {
+            ca: {int(index): str(name) for index, name in members.items()}
+            for ca, members in manifest["shard_members"].items()
+        }
+        entries = manifest["replicas"]
+    except (ValueError, KeyError, TypeError) as exc:
+        raise StorageError(f"malformed checkpoint manifest: {exc}") from None
+    replicas = []
+    for entry in entries:
+        try:
+            ca_name = entry["ca_name"]
+            data = (directory / entry["file"]).read_bytes()
+            expected_key = bytes.fromhex(entry["public_key"])
+        except (OSError, KeyError, TypeError, ValueError) as exc:
+            raise StorageError(f"unreadable checkpoint replica entry: {exc}") from None
+        replica = _decode_replica(data, ca_name)
+        if replica.public_key_bytes != expected_key:
+            raise StorageError(
+                f"replica checkpoint for {ca_name!r} carries a public key "
+                f"that does not match the manifest"
+            )
+        replicas.append(replica)
+    return AgentCheckpoint(
+        agent_name=agent_name,
+        shard_widths=shard_widths,
+        shard_members=shard_members,
+        replicas=replicas,
+    )

@@ -22,6 +22,7 @@ from repro.analysis.reporting import format_table, human_bytes
 from repro.errors import ConfigurationError
 from repro.scenarios import registry
 from repro.scenarios.runner import run_scenario
+from repro.store import ENGINES
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -46,8 +47,16 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="write <name>.json and <name>.md reports under DIR")
     run.add_argument("--delta", type=int, default=None, metavar="SECONDS",
                      help="override the dissemination period Δ")
-    run.add_argument("--engine", default=None, metavar="NAME",
-                     help="override the authenticated-store engine")
+    run.add_argument(
+        "--engine",
+        default=None,
+        metavar="NAME",
+        choices=sorted(ENGINES),
+        help=(
+            "override the authenticated-store engine; one of: "
+            + ", ".join(sorted(ENGINES))
+        ),
+    )
     return parser
 
 

@@ -55,7 +55,12 @@ class FaultSpec:
     * ``ca-outage`` — the CA publishes nothing for ``duration_periods``
       periods; revocations issued meanwhile queue up and flush on recovery;
     * ``ra-restart`` — the targeted RA misses its pulls for
-      ``duration_periods`` periods, then catches up.
+      ``duration_periods`` periods, then catches up.  By default the restart
+      is *soft* (the process keeps its memory).  With ``crash=True`` the
+      process dies: its in-memory replicas are lost and it resumes with a
+      cold full resync from the CA — unless ``durable=True``, in which case
+      it warm-starts from its last on-disk checkpoint and fetches only the
+      delta since its last applied epoch (docs/STORAGE.md).
     """
 
     kind: str
@@ -63,9 +68,14 @@ class FaultSpec:
     duration_periods: int = 1
     #: RA name targeted by ``ra-restart``; empty selects the last agent.
     agent: str = ""
+    #: ``ra-restart`` only: the restart loses the process's memory.
+    crash: bool = False
+    #: ``ra-restart`` + ``crash`` only: recover from an RA checkpoint
+    #: instead of a cold resync.
+    durable: bool = False
 
     def __post_init__(self) -> None:
-        """Validate the fault kind and timing fields."""
+        """Validate the fault kind, timing fields, and restart mode."""
         if self.kind not in FAULT_KINDS:
             raise ConfigurationError(
                 f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
@@ -74,6 +84,15 @@ class FaultSpec:
             raise ConfigurationError("fault at_period cannot be negative")
         if self.duration_periods < 1:
             raise ConfigurationError("fault duration_periods must be at least 1")
+        if (self.crash or self.durable) and self.kind != "ra-restart":
+            raise ConfigurationError(
+                f"crash/durable restarts only apply to ra-restart faults, "
+                f"not {self.kind!r}"
+            )
+        if self.durable and not self.crash:
+            raise ConfigurationError(
+                "durable=True models recovery from a crash; set crash=True too"
+            )
 
     def covers(self, period: int) -> bool:
         """Whether the fault is active during ``period``."""

@@ -1,12 +1,14 @@
 """The built-in scenario library.
 
-Eight scenarios ship with the engine.  Four re-express the original
+Nine scenarios ship with the engine.  Four re-express the original
 ``examples/`` scripts (``quickstart``, ``heartbleed``, ``iot-long-lived``,
-``ca-audit-gossip``); four are new workloads the declarative engine makes
+``ca-audit-gossip``); five are new workloads the declarative engine makes
 cheap (``flash-crowd`` with a store-engine comparison, ``degraded-ra``
 probing the attack window under missed pulls, ``tampered-cdn`` combining
-a forged batch with a CA outage, and ``sharded-longrun`` driving the §VIII
-expiry-split deployment mode through a multi-quarter clock advance).
+a forged batch with a CA outage, ``sharded-longrun`` driving the §VIII
+expiry-split deployment mode through a multi-quarter clock advance, and
+``ra-crash-recovery`` comparing a durable RA's warm restart against a cold
+full resync on the write-ahead-logged store engine).
 
 Each scenario is a plain :class:`~repro.scenarios.config.ScenarioConfig`;
 adding a new one is a ~30-line :func:`~repro.scenarios.registry.register`
@@ -204,7 +206,7 @@ FLASH_CROWD = register(
                 RevocationEvent(at_period=6, count=50, reason="background"),
             ),
         ),
-        compare_engines=("naive", "incremental"),
+        compare_engines=("naive", "incremental", "durable"),
         smoke_overrides={
             "workload": {
                 "events": (
@@ -301,6 +303,96 @@ TAMPERED_CDN = register(
             FaultSpec(kind="ca-outage", at_period=5, duration_periods=2),
         ),
         tags=("fault", "tamper", "outage"),
+    )
+)
+
+RA_CRASH_RECOVERY = register(
+    ScenarioConfig(
+        name="ra-crash-recovery",
+        title="RA crash recovery: durable warm restart vs cold resync",
+        summary=(
+            "Two RAs on the write-ahead-logged durable store engine crash "
+            "in the same window; the one with an on-disk checkpoint "
+            "warm-starts and fetches only the delta since its last applied "
+            "epoch, while the cold one re-downloads the CA's whole batch "
+            "history — and the warm RA is provably back inside the 2Δ "
+            "bound first."
+        ),
+        description=(
+            "RITM assumes RAs are long-lived middleboxes, but processes "
+            "die: at the ROADMAP's millions-of-users scale a fleet-wide "
+            "restart that cold-resyncs every replica from the CA is a "
+            "resync storm the CDN bill and the attack window both pay for. "
+            "This scenario drives a steady revocation stream against two "
+            "RAs backed by the durable store engine (WAL + snapshots, "
+            "docs/STORAGE.md). Both crash at the same period and stay down "
+            "for the same window. durable-ra checkpoints its replicas, "
+            "signed heads, and applied-batch cursors to disk and restores "
+            "them on restart, so its recovery pull fetches only the "
+            "batches issued while it was down; coldstart-ra loses its "
+            "memory and re-fetches the entire batch history. The report "
+            "compares recovery bytes and the time each RA re-entered the "
+            "2Δ provability bound, and differentially checks every "
+            "recovered verdict against an in-memory oracle dictionary."
+        ),
+        delta_seconds=30,
+        duration_periods=16,
+        agents=(
+            AgentSpec("coldstart-ra", "UNITED_STATES"),
+            AgentSpec("durable-ra", "EUROPE"),
+        ),
+        workload=WorkloadSpec(
+            kind="scripted",
+            events=tuple(
+                RevocationEvent(at_period=period, count=40, reason="steady stream")
+                for period in range(16)
+            ),
+        ),
+        faults=(
+            FaultSpec(
+                kind="ra-restart",
+                at_period=10,
+                duration_periods=3,
+                agent="durable-ra",
+                crash=True,
+                durable=True,
+            ),
+            FaultSpec(
+                kind="ra-restart",
+                at_period=10,
+                duration_periods=3,
+                agent="coldstart-ra",
+                crash=True,
+            ),
+        ),
+        store_engine="durable",
+        smoke_overrides={
+            "duration_periods": 10,
+            "workload": {
+                "events": tuple(
+                    RevocationEvent(at_period=period, count=15, reason="steady stream")
+                    for period in range(10)
+                )
+            },
+            "faults": (
+                FaultSpec(
+                    kind="ra-restart",
+                    at_period=6,
+                    duration_periods=2,
+                    agent="durable-ra",
+                    crash=True,
+                    durable=True,
+                ),
+                FaultSpec(
+                    kind="ra-restart",
+                    at_period=6,
+                    duration_periods=2,
+                    agent="coldstart-ra",
+                    crash=True,
+                ),
+            ),
+        },
+        tags=("fault", "durability", "storage"),
     )
 )
 

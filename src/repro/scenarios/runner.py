@@ -15,8 +15,10 @@ consume the same reports.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time as _time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.cdn import CDNNetwork, GeoLocation
@@ -37,7 +39,7 @@ from repro.ritm import (
     build_close_to_client_deployment,
 )
 from repro.ritm.client import RejectionReason
-from repro.ritm.dissemination import RADisseminationClient
+from repro.ritm.dissemination import PullResult, RADisseminationClient
 from repro.scenarios.config import FaultSpec, ScenarioConfig
 from repro.scenarios.faults import DECOY_SERIAL, tamper_latest_batch
 from repro.scenarios.report import ScenarioCheck, ScenarioReport
@@ -60,10 +62,29 @@ class _AgentRuntime:
     spec_name: str
     agent: RevocationAgent
     client: RADisseminationClient
+    location: GeoLocation
     #: Index into the pending-provability list: entries before it are provable.
     provability_cursor: int = 0
     max_lag_seconds: float = 0.0
     missed_pulls: int = 0
+    #: Pull results of clients discarded by a crash restart, so dissemination
+    #: totals cover the whole run, not just the current process incarnation.
+    archived_pulls: List[PullResult] = field(default_factory=list)
+    #: Crash-restart state: checkpoint directory (durable mode), whether a
+    #: restore must run before the next pull, which crash mode hit this
+    #: agent, and the metrics of its first post-crash recovery pull.
+    checkpoint_dir: Optional[str] = None
+    pending_restore: bool = False
+    crashed_mode: Optional[str] = None
+    recovery: Optional[Dict[str, object]] = None
+
+    def pull_results(self) -> List[PullResult]:
+        """Every pull this agent completed, across crash restarts."""
+        return self.archived_pulls + self.client.pull_history
+
+    def total_bytes_downloaded(self) -> int:
+        """Bytes fetched from the CDN across the agent's whole lifetime."""
+        return sum(pull.bytes_downloaded for pull in self.pull_results())
 
 
 class ScenarioRunner:
@@ -94,12 +115,14 @@ class ScenarioRunner:
             **ritm_kwargs,
         )
 
+        self._ritm_config = ritm_config
         self._events: List[Dict[str, object]] = []
         self._pending: List[_PendingProvability] = []
         self._batches: List[List[SerialNumber]] = []
         self._numbered: List[Tuple[int, SerialNumber]] = []
         self._backlog: List[Tuple[float, List[SerialNumber], str, bool]] = []
         self._revocations_issued = 0
+        self._checkpoint_dirs: List[str] = []
         #: Sharded mode: serial value → assigned certificate expiry, the
         #: unsharded oracle dictionary, and the per-period storage timeline.
         self._expiries: Dict[int, int] = {}
@@ -114,6 +137,17 @@ class ScenarioRunner:
                 chain_length=cfg.effective_chain_length(duration),
                 engine=cfg.store_engine,
             )
+        elif any(fault.crash for fault in cfg.faults):
+            # Crash-recovery study: an always-in-memory oracle fed the same
+            # revocations, so the (possibly durable-engine) replicas'
+            # post-recovery verdicts can be differentially checked.
+            self._oracle = CADictionary(
+                ca_name=cfg.ca_name,
+                keys=KeyPair.generate(f"{cfg.name}-oracle".encode()),
+                delta=cfg.delta_seconds,
+                chain_length=cfg.effective_chain_length(duration),
+                engine="incremental",
+            )
 
         setup_time = periods[0][1] - 2
         authority = CertificationAuthority(cfg.ca_name, key_seed=cfg.name.encode())
@@ -124,58 +158,62 @@ class ScenarioRunner:
         runtimes: List[_AgentRuntime] = []
         for spec in cfg.agents:
             agent = RevocationAgent(spec.name, ritm_config)
-            client = attach_agent_to_cas(
-                agent, [ca], cdn, GeoLocation(spec.geo_region())
-            )
+            location = GeoLocation(spec.geo_region())
+            client = attach_agent_to_cas(agent, [ca], cdn, location)
             client.pull(now=setup_time + 1)
-            runtimes.append(_AgentRuntime(spec.name, agent, client))
+            runtimes.append(_AgentRuntime(spec.name, agent, client, location))
 
-        victim = self._setup_victim(ca, ritm_config, runtimes, setup_time + 1)
-        serial_pool = self._serial_pool(counts, victim)
+        try:
+            victim = self._setup_victim(ca, ritm_config, runtimes, setup_time + 1)
+            serial_pool = self._serial_pool(counts, victim)
 
-        for period, (_, bin_start) in enumerate(periods):
-            self._run_period(
-                period,
-                bin_start,
-                counts[period],
-                ca,
-                cdn,
-                runtimes,
-                serial_pool,
-                victim,
+            for period, (_, bin_start) in enumerate(periods):
+                self._run_period(
+                    period,
+                    bin_start,
+                    counts[period],
+                    ca,
+                    cdn,
+                    runtimes,
+                    serial_pool,
+                    victim,
+                )
+
+            end_time = periods[-1][1] + cfg.delta_seconds
+            extras: Dict[str, object] = {}
+            if cfg.gossip_audit:
+                # The audit phase revokes the victim, so it must precede the
+                # closing handshake for the rejection check to be meaningful.
+                extras["gossip_audit"] = self._gossip_audit(
+                    ca, authority, runtimes, victim, end_time + 1
+                )
+            if victim is not None:
+                self._final_handshake(ca, ritm_config, runtimes[0], victim, end_time + 3)
+            if cfg.compare_engines:
+                extras["engine_comparison"] = self._compare_engines()
+            if cfg.baseline and victim is not None and victim.revoked_at is not None:
+                extras["baseline"] = self._baseline_comparison(victim)
+            if victim is not None:
+                extras["victim"] = victim.as_dict()
+            if cfg.sharded:
+                extras["sharded_storage"] = self._sharded_extras(ca, runtimes, end_time)
+            if any(fault.crash for fault in cfg.faults):
+                extras["crash_recovery"] = self._crash_recovery_extras(ca, runtimes)
+
+            metrics = self._collect_metrics(ca, runtimes, cdn)
+            checks = self._build_checks(ca, runtimes, victim, extras)
+            return ScenarioReport(
+                scenario=cfg.name,
+                title=cfg.title,
+                summary=cfg.summary,
+                config=self._config_dict(duration),
+                metrics=metrics,
+                events=self._events,
+                checks=checks,
+                extras=extras,
             )
-
-        end_time = periods[-1][1] + cfg.delta_seconds
-        extras: Dict[str, object] = {}
-        if cfg.gossip_audit:
-            # The audit phase revokes the victim, so it must precede the
-            # closing handshake for the rejection check to be meaningful.
-            extras["gossip_audit"] = self._gossip_audit(
-                ca, authority, runtimes, victim, end_time + 1
-            )
-        if victim is not None:
-            self._final_handshake(ca, ritm_config, runtimes[0], victim, end_time + 3)
-        if cfg.compare_engines:
-            extras["engine_comparison"] = self._compare_engines()
-        if cfg.baseline and victim is not None and victim.revoked_at is not None:
-            extras["baseline"] = self._baseline_comparison(victim)
-        if victim is not None:
-            extras["victim"] = victim.as_dict()
-        if cfg.sharded:
-            extras["sharded_storage"] = self._sharded_extras(ca, runtimes, end_time)
-
-        metrics = self._collect_metrics(ca, runtimes, cdn)
-        checks = self._build_checks(ca, runtimes, victim, extras)
-        return ScenarioReport(
-            scenario=cfg.name,
-            title=cfg.title,
-            summary=cfg.summary,
-            config=self._config_dict(duration),
-            metrics=metrics,
-            events=self._events,
-            checks=checks,
-            extras=extras,
-        )
+        finally:
+            self._cleanup(ca, runtimes)
 
     # -- schedule and workload -----------------------------------------------------
 
@@ -267,11 +305,44 @@ class ScenarioRunner:
 
         pull_time = bin_start + cfg.delta_seconds
         for runtime in runtimes:
-            if self._agent_restarting(runtime, period, runtimes):
+            fault = self._restart_fault_for(runtime, period, runtimes)
+            if fault is not None:
+                if fault.crash and period == fault.at_period:
+                    self._crash_agent(runtime, fault, ca, cdn, period)
                 runtime.missed_pulls += 1
                 self._event(period, "ra-restart", f"{runtime.spec_name} missed its pull")
                 continue
+            restored_replicas: Optional[int] = None
+            if runtime.pending_restore:
+                restored_replicas = runtime.client.restore(runtime.checkpoint_dir)
+                runtime.pending_restore = False
+                self._event(
+                    period,
+                    "ra-restore",
+                    f"{runtime.spec_name} warm-started from its checkpoint "
+                    f"({restored_replicas} replica(s))",
+                )
             result = runtime.client.pull(now=pull_time)
+            if runtime.crashed_mode is not None and runtime.recovery is None:
+                runtime.recovery = {
+                    "mode": runtime.crashed_mode,
+                    "period": period,
+                    "bytes_downloaded": result.bytes_downloaded,
+                    "latency_seconds": result.latency_seconds,
+                    "serials_applied": result.serials_applied,
+                    "issuances_applied": result.issuances_applied,
+                    "resyncs": result.resyncs,
+                    "restored_replicas": restored_replicas or 0,
+                    "completed_at": pull_time + result.latency_seconds,
+                }
+                self._event(
+                    period,
+                    "ra-recovered",
+                    f"{runtime.spec_name} {runtime.crashed_mode} recovery: "
+                    f"{result.bytes_downloaded} B, "
+                    f"{result.serials_applied} serial(s) applied in "
+                    f"{result.latency_seconds:.3f}s",
+                )
             self._advance_provability(
                 runtime, pull_time + result.latency_seconds, ca.name
             )
@@ -327,6 +398,10 @@ class ScenarioRunner:
         self._batches.append(list(issuance.serials))
         self._numbered.extend(issuance.numbered_serials())
         self._revocations_issued += len(issuance.serials)
+        if self._oracle is not None and not self.config.sharded:
+            # Crash-recovery study: mirror every revocation into the
+            # in-memory oracle the recovered replicas are checked against.
+            self._oracle.insert(list(issuance.serials), int(event_time))
         self._pending.append(
             _PendingProvability(
                 event_time=event_time,
@@ -431,15 +506,59 @@ class ScenarioRunner:
                 return fault
         return None
 
-    def _agent_restarting(
+    def _restart_fault_for(
         self, runtime: _AgentRuntime, period: int, runtimes: List[_AgentRuntime]
-    ) -> bool:
-        """Whether ``runtime`` is down for a ``ra-restart`` fault this period."""
-        fault = self._active_fault("ra-restart", period)
-        if fault is None:
-            return False
-        target = fault.agent or runtimes[-1].spec_name
-        return runtime.spec_name == target
+    ) -> Optional[FaultSpec]:
+        """The ``ra-restart`` fault keeping ``runtime`` down this period.
+
+        Unlike :meth:`_active_fault` this considers *every* restart fault,
+        so several agents can restart in the same window (the crash-recovery
+        scenario runs a durable and a cold restart side by side).
+        """
+        for fault in self.config.faults:
+            if fault.kind != "ra-restart" or not fault.covers(period):
+                continue
+            target = fault.agent or runtimes[-1].spec_name
+            if runtime.spec_name == target:
+                return fault
+        return None
+
+    def _crash_agent(
+        self,
+        runtime: _AgentRuntime,
+        fault: FaultSpec,
+        ca: RITMCertificationAuthority,
+        cdn: CDNNetwork,
+        period: int,
+    ) -> None:
+        """Kill and re-create an agent's process state for a crash restart.
+
+        In durable mode the dissemination client checkpoints first —
+        modelling an RA that persists its state once per applied epoch — so
+        recovery can warm-start from disk.  Either way the old agent and
+        client are discarded (their pull history is archived for the run's
+        dissemination totals) and replaced with a fresh attach, exactly what
+        a restarted process would do.
+        """
+        if fault.durable:
+            runtime.checkpoint_dir = tempfile.mkdtemp(
+                prefix=f"ritm-ckpt-{runtime.spec_name}-"
+            )
+            self._checkpoint_dirs.append(runtime.checkpoint_dir)
+            runtime.client.checkpoint(runtime.checkpoint_dir)
+        runtime.archived_pulls.extend(runtime.client.pull_history)
+        runtime.agent.close()
+        agent = RevocationAgent(runtime.spec_name, self._ritm_config)
+        runtime.agent = agent
+        runtime.client = attach_agent_to_cas(agent, [ca], cdn, runtime.location)
+        runtime.pending_restore = fault.durable
+        runtime.crashed_mode = "durable" if fault.durable else "cold"
+        self._event(
+            period,
+            "ra-crash",
+            f"{runtime.spec_name} crashed "
+            f"({'durable checkpoint on disk' if fault.durable else 'memory lost'})",
+        )
 
     # -- victim lifecycle ----------------------------------------------------------
 
@@ -601,18 +720,18 @@ class ScenarioRunner:
         comparison: Dict[str, object] = {}
         roots = set()
         for engine in self.config.compare_engines:
-            store = create_store(engine)
-            number = 0
-            started = _time.perf_counter()
-            for batch in self._batches:
-                items = []
-                for serial in batch:
-                    number += 1
-                    items.append((serial.to_bytes(), number.to_bytes(4, "big")))
-                store.insert_batch(items)
-                store.root()
-            elapsed = _time.perf_counter() - started
-            root_hex = store.root().hex()
+            with create_store(engine) as store:
+                number = 0
+                started = _time.perf_counter()
+                for batch in self._batches:
+                    items = []
+                    for serial in batch:
+                        number += 1
+                        items.append((serial.to_bytes(), number.to_bytes(4, "big")))
+                    store.insert_batch(items)
+                    store.root()
+                elapsed = _time.perf_counter() - started
+                root_hex = store.root().hex()
             roots.add(root_hex)
             comparison[engine] = {
                 "seconds": round(elapsed, 6),
@@ -648,6 +767,114 @@ class ScenarioRunner:
             "worst_case_exposure_seconds": stapling.responder.response_lifetime,
             "ritm_bound_seconds": self.config.attack_window_seconds(),
         }
+
+    # -- crash-recovery study phase --------------------------------------------------
+
+    def _crash_recovery_extras(
+        self, ca: RITMCertificationAuthority, runtimes: List[_AgentRuntime]
+    ) -> Dict[str, object]:
+        """The warm-vs-cold restart study results (docs/STORAGE.md).
+
+        Per crashed agent: its recovery-pull metrics.  Differentially: every
+        revoked serial's verdict from each crashed agent's recovered replica
+        against the in-memory oracle, plus a handful of absent probes.  When
+        both a durable and a cold crash ran, the head-to-head comparison.
+        """
+        agents: Dict[str, object] = {}
+        mismatches = checked = 0
+        probe_values = [serial.value for _, serial in self._numbered]
+        absent_base = (max(probe_values, default=0) or DECOY_SERIAL) + 1
+        for runtime in runtimes:
+            if runtime.crashed_mode is None:
+                continue
+            agents[runtime.spec_name] = dict(runtime.recovery or {"mode": runtime.crashed_mode})
+            replica = runtime.agent.replica_for(ca.name)
+            if replica is None or replica.signed_root is None:
+                mismatches += 1
+                continue
+            for value in probe_values:
+                serial = SerialNumber(value)
+                checked += 1
+                if replica.prove(serial).is_revoked != self._oracle.contains(serial):
+                    mismatches += 1
+            for offset in range(5):
+                probe = SerialNumber(absent_base + offset)
+                checked += 1
+                if replica.prove(probe).is_revoked or self._oracle.contains(probe):
+                    mismatches += 1
+        study: Dict[str, object] = {
+            "agents": agents,
+            "verdicts_checked": checked,
+            "verdict_mismatches": mismatches,
+        }
+        durable = [a for a in agents.values() if a.get("mode") == "durable"]
+        cold = [a for a in agents.values() if a.get("mode") == "cold"]
+        if durable and cold and durable[0].get("completed_at") and cold[0].get("completed_at"):
+            warm, coldstart = durable[0], cold[0]
+            study["comparison"] = {
+                "warm_bytes": warm["bytes_downloaded"],
+                "cold_bytes": coldstart["bytes_downloaded"],
+                "warm_recovery_seconds": warm["latency_seconds"],
+                "cold_recovery_seconds": coldstart["latency_seconds"],
+                "warm_back_in_bound_at": warm["completed_at"],
+                "cold_back_in_bound_at": coldstart["completed_at"],
+                "bytes_saved": coldstart["bytes_downloaded"] - warm["bytes_downloaded"],
+            }
+        return study
+
+    def _crash_checks(self, study: Dict[str, object]) -> List[ScenarioCheck]:
+        """Pass/fail assertions derived from the crash-recovery study."""
+        checks = [
+            ScenarioCheck(
+                "crash-verdicts-match-inmemory-oracle",
+                study["verdict_mismatches"] == 0 and study["verdicts_checked"] > 0,
+                f"{study['verdicts_checked']} verdict(s), "
+                f"{study['verdict_mismatches']} mismatch(es)",
+            )
+        ]
+        durable_agents = [
+            a for a in study["agents"].values() if a.get("mode") == "durable"
+        ]
+        if durable_agents:
+            checks.append(
+                ScenarioCheck(
+                    "durable-restart-used-checkpoint",
+                    all(a.get("restored_replicas", 0) >= 1 for a in durable_agents),
+                    f"{len(durable_agents)} durable agent(s) warm-started",
+                )
+            )
+        comparison = study.get("comparison")
+        if comparison is not None:
+            checks.append(
+                ScenarioCheck(
+                    "warm-restart-beats-cold-resync",
+                    comparison["warm_bytes"] < comparison["cold_bytes"]
+                    and comparison["warm_back_in_bound_at"]
+                    < comparison["cold_back_in_bound_at"],
+                    f"warm {comparison['warm_bytes']} B back in bound at "
+                    f"{comparison['warm_back_in_bound_at']:.3f}s vs cold "
+                    f"{comparison['cold_bytes']} B at "
+                    f"{comparison['cold_back_in_bound_at']:.3f}s",
+                )
+            )
+        return checks
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def _cleanup(self, ca: RITMCertificationAuthority, runtimes: List[_AgentRuntime]) -> None:
+        """Close every store and drop checkpoint scratch directories.
+
+        The durable engine holds open WAL handles (and temp directories when
+        no explicit path was configured); a scenario run must not leak them
+        even when a study phase raises.
+        """
+        for runtime in runtimes:
+            runtime.agent.close()
+        ca.close()
+        if self._oracle is not None:
+            self._oracle.close()
+        for directory in self._checkpoint_dirs:
+            shutil.rmtree(directory, ignore_errors=True)
 
     # -- sharded study phase -------------------------------------------------------
 
@@ -801,9 +1028,9 @@ class ScenarioRunner:
         latencies: List[float] = []
         per_agent: Dict[str, Dict[str, object]] = {}
         for runtime in runtimes:
-            history = runtime.client.pull_history
+            history = runtime.pull_results()
             pulls += len(history)
-            bytes_downloaded += runtime.client.total_bytes_downloaded()
+            bytes_downloaded += runtime.total_bytes_downloaded()
             latencies.extend(pull.latency_seconds for pull in history)
             freshness += sum(pull.freshness_applied for pull in history)
             issuances += sum(pull.issuances_applied for pull in history)
@@ -923,8 +1150,8 @@ class ScenarioRunner:
         """The generic and fault/study-specific pass/fail assertions."""
         cfg = self.config
         checks: List[ScenarioCheck] = []
-        pulls = sum(len(r.client.pull_history) for r in runtimes)
-        bytes_downloaded = sum(r.client.total_bytes_downloaded() for r in runtimes)
+        pulls = sum(len(r.pull_results()) for r in runtimes)
+        bytes_downloaded = sum(r.total_bytes_downloaded() for r in runtimes)
         checks.append(
             ScenarioCheck(
                 "dissemination-active",
@@ -985,7 +1212,7 @@ class ScenarioRunner:
             )
         if any(fault.kind == "tampered-batch" for fault in cfg.faults):
             resyncs = sum(
-                sum(pull.resyncs for pull in r.client.pull_history) for r in runtimes
+                sum(pull.resyncs for pull in r.pull_results()) for r in runtimes
             )
             checks.append(
                 ScenarioCheck(
@@ -996,16 +1223,21 @@ class ScenarioRunner:
             )
         restart_faults = [f for f in cfg.faults if f.kind == "ra-restart"]
         if restart_faults:
-            target = restart_faults[0].agent or runtimes[-1].spec_name
-            degraded = next(r for r in runtimes if r.spec_name == target)
-            healthy = [r for r in runtimes if r.spec_name != target]
+            targets = sorted(
+                {f.agent or runtimes[-1].spec_name for f in restart_faults}
+            )
+            degraded = [r for r in runtimes if r.spec_name in targets]
+            healthy = [r for r in runtimes if r.spec_name not in targets]
             bound = cfg.attack_window_seconds()
             checks.append(
                 ScenarioCheck(
                     "missed-pulls-extend-attack-window",
-                    degraded.max_lag_seconds > bound,
-                    f"{target} worst lag {degraded.max_lag_seconds:.0f}s "
-                    f"vs bound {bound}s",
+                    all(r.max_lag_seconds > bound for r in degraded),
+                    ", ".join(
+                        f"{r.spec_name} worst lag {r.max_lag_seconds:.0f}s"
+                        for r in degraded
+                    )
+                    + f" vs bound {bound}s",
                 )
             )
             if healthy:
@@ -1017,6 +1249,8 @@ class ScenarioRunner:
                         f"worst healthy lag {worst_healthy:.1f}s",
                     )
                 )
+        if "crash_recovery" in extras:
+            checks.extend(self._crash_checks(extras["crash_recovery"]))
         if cfg.gossip_audit and "gossip_audit" in extras:
             audit = extras["gossip_audit"]
             checks.append(

@@ -7,7 +7,7 @@ shape — pair adjacent nodes, promote the odd node unchanged — so all
 engines produce byte-identical roots and proofs for the same leaf set and
 can be differentially tested against each other.
 
-Two engines ship today:
+Three engines ship today (see ``docs/STORAGE.md`` for the full guide):
 
 * :class:`NaiveMerkleStore` — the original full-rebuild tree.  Every
   mutation invalidates the hash levels; the next root or proof request
@@ -17,19 +17,27 @@ Two engines ship today:
   ``O(log N)`` right-edge path; mid-tree inserts rehash only the dirty
   suffix of each level; batches are applied with one sort-merge pass and a
   single suffix recomputation.
+* :class:`DurableMerkleStore` — the incremental engine plus crash-safe
+  persistence: every mutation is appended to a checksummed write-ahead log
+  before it is applied, periodic snapshots bound the log, and reopening the
+  store's directory recovers byte-identical roots and proofs after a crash
+  at any record boundary.
 
-Future engines (persistent/mmap-backed, multi-process sharded, C-accelerated)
-plug in by subclassing :class:`AuthenticatedStore` and registering in
-:data:`ENGINES`.
+Engines with real I/O participate in an explicit lifecycle: call
+:meth:`AuthenticatedStore.close` (or use the store as a context manager)
+when done; in-memory engines treat it as a no-op.  Future engines
+(mmap-backed, multi-process sharded, C-accelerated) plug in by subclassing
+:class:`AuthenticatedStore` and registering in :data:`ENGINES`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Type
+from typing import Dict, Type
 
 from repro.crypto.hashing import DEFAULT_DIGEST_SIZE
 from repro.errors import ConfigurationError
 from repro.store.base import AuthenticatedStore
+from repro.store.durable import DurableMerkleStore
 from repro.store.incremental import IncrementalMerkleStore
 from repro.store.naive import NaiveMerkleStore
 
@@ -40,13 +48,23 @@ DEFAULT_ENGINE = "incremental"
 ENGINES: Dict[str, Type[AuthenticatedStore]] = {
     NaiveMerkleStore.engine_name: NaiveMerkleStore,
     IncrementalMerkleStore.engine_name: IncrementalMerkleStore,
+    DurableMerkleStore.engine_name: DurableMerkleStore,
 }
 
 
 def create_store(
-    engine: Optional[str] = None, digest_size: int = DEFAULT_DIGEST_SIZE
+    engine: str | None = None,
+    digest_size: int = DEFAULT_DIGEST_SIZE,
+    **engine_options: object,
 ) -> AuthenticatedStore:
-    """Instantiate the engine named ``engine`` (default :data:`DEFAULT_ENGINE`)."""
+    """Instantiate the engine named ``engine`` (default :data:`DEFAULT_ENGINE`).
+
+    ``engine_options`` are forwarded to the engine's constructor for
+    engine-specific knobs — e.g. ``create_store("durable",
+    directory="state/ca")`` pins the durable engine's persistence directory
+    instead of using a per-instance temporary one.  Passing an option the
+    chosen engine does not understand raises :class:`ConfigurationError`.
+    """
     name = engine if engine is not None else DEFAULT_ENGINE
     try:
         engine_class = ENGINES[name]
@@ -54,13 +72,20 @@ def create_store(
         raise ConfigurationError(
             f"unknown store engine {name!r}; available engines: {sorted(ENGINES)}"
         ) from None
-    return engine_class(digest_size=digest_size)
+    try:
+        return engine_class(digest_size=digest_size, **engine_options)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"store engine {name!r} rejected options "
+            f"{sorted(engine_options)}: {exc}"
+        ) from None
 
 
 __all__ = [
     "AuthenticatedStore",
     "NaiveMerkleStore",
     "IncrementalMerkleStore",
+    "DurableMerkleStore",
     "ENGINES",
     "DEFAULT_ENGINE",
     "create_store",

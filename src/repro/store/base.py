@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import bisect
 from abc import ABC, abstractmethod
-from typing import ClassVar, Iterable, List, Optional, Sequence, Tuple
+from typing import ClassVar, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.crypto.hashing import DEFAULT_DIGEST_SIZE, hash_leaf
 from repro.crypto.merkle import (
@@ -86,6 +86,37 @@ class AuthenticatedStore(ABC):
     def keys(self) -> Sequence[bytes]:
         """All keys in sorted order."""
 
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """All ``(key, value)`` leaves in sorted key order.
+
+        The default derives the pairs from :meth:`keys` and :meth:`get`;
+        engines with direct access to their leaf arrays override it.  Used
+        by snapshots and checkpoints, which must capture the exact leaf set.
+        """
+        for key in self.keys():
+            value = self.get(key)
+            assert value is not None  # keys() only returns stored keys
+            yield key, value
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release any persistent resources held by the engine.
+
+        Purely in-memory engines have nothing to release, so the default is
+        a no-op.  Engines with real I/O (WAL file handles, mmap regions)
+        override this; after ``close()`` the store must not be mutated.
+        Closing twice is always safe.
+        """
+
+    def __enter__(self) -> "AuthenticatedStore":
+        """Context-manager support: ``with create_store("durable") as s:``."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the engine when the ``with`` block exits."""
+        self.close()
+
     @abstractmethod
     def __len__(self) -> int: ...
 
@@ -128,6 +159,10 @@ class SortedLeafStore(AuthenticatedStore):
         """The value stored under ``key``, or ``None`` when absent."""
         index = self._find(key)
         return None if index is None else self._values[index]
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        """All ``(key, value)`` leaves straight from the sorted arrays."""
+        return zip(tuple(self._keys), tuple(self._values))
 
     def root(self) -> bytes:
         """The current root digest (empty-tree sentinel with no leaves)."""

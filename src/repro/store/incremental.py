@@ -60,6 +60,15 @@ class IncrementalMerkleStore(SortedLeafStore):
         batch = self._prepare_batch(items)
         if not batch:
             return 0
+        return self._apply_prepared_batch(batch)
+
+    def _apply_prepared_batch(self, batch: List[Tuple[bytes, bytes]]) -> int:
+        """Merge an already-validated, sorted batch and repair the levels.
+
+        Split out of :meth:`insert_batch` so engines that interpose between
+        validation and application (the durable engine logs the prepared
+        batch to its WAL first) can reuse the merge without re-validating.
+        """
         if not self._levels:
             self._levels = [[]]
         first_dirty = self._merge_into(batch, leaf_hashes=self._levels[0])

@@ -267,7 +267,7 @@ class TestUpdateRollbackAndBatches:
         assert replica.update_many([]) == 0
         assert replica.size == 0
 
-    @pytest.mark.parametrize("engine", ["naive", "incremental"])
+    @pytest.mark.parametrize("engine", ["naive", "incremental", "durable"])
     def test_engines_produce_identical_signed_roots(self, keys, engine):
         master = CADictionary("CA-X", keys, delta=10, chain_length=16, engine=engine)
         replica = ReplicaDictionary("CA-X", keys.public, engine=engine)

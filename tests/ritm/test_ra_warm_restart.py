@@ -1,0 +1,241 @@
+"""RA crash recovery: checkpoint/restore through the dissemination stack.
+
+A restarted RA that warm-starts from a checkpoint must (a) serve exactly
+the verified state it checkpointed, (b) fetch only the delta since its last
+applied epoch on the next pull, and (c) end byte-identical to a cold-synced
+agent.  Tampered checkpoints must be rejected and degrade to a cold sync,
+never into serving unsigned state.
+"""
+
+import json
+
+import pytest
+
+from repro.cdn import CDNNetwork, GeoLocation
+from repro.cdn.geography import Region
+from repro.errors import StorageError
+from repro.pki import CertificationAuthority, SerialNumber
+from repro.ritm import (
+    RITMCertificationAuthority,
+    RITMConfig,
+    RevocationAgent,
+    attach_agent_to_cas,
+)
+from repro.ritm.persistence import MANIFEST_FILENAME, load_checkpoint
+
+
+def build_stack(engine="incremental", sharded=False, tmp=None):
+    """A bootstrapped CA + CDN + one attached, synced agent."""
+    kwargs = {"sharded": True, "shard_width_seconds": 600} if sharded else {}
+    config = RITMConfig(
+        delta_seconds=10, chain_length=64, store_engine=engine, **kwargs
+    )
+    authority = CertificationAuthority("Warm CA", key_seed=b"warm-restart")
+    cdn = CDNNetwork()
+    ca = RITMCertificationAuthority(authority, config, cdn)
+    ca.bootstrap(now=100)
+    agent = RevocationAgent("ra-under-test", config)
+    client = attach_agent_to_cas(agent, [ca], cdn, GeoLocation(Region.EUROPE))
+    client.pull(now=101)
+    return config, ca, cdn, agent, client
+
+
+def issue_and_pull(ca, client, start, periods, per_period=4, base=1000):
+    """Revoke ``per_period`` serials per period and pull after each."""
+    for period in range(periods):
+        now = start + period * 10
+        serials = [
+            SerialNumber(base + period * per_period + offset)
+            for offset in range(per_period)
+        ]
+        ca.revoke(serials, now=now)
+        client.pull(now=now + 5)
+
+
+class TestCheckpointRoundTrip:
+    @pytest.mark.parametrize("engine", ["incremental", "durable"])
+    def test_restore_reproduces_checkpointed_state(self, engine, tmp_path):
+        config, ca, cdn, agent, client = build_stack(engine)
+        issue_and_pull(ca, client, 120, periods=5)
+        replica = agent.replica_for(ca.name)
+        persisted = client.checkpoint(tmp_path)
+        assert persisted == 1
+
+        restored_agent = RevocationAgent("ra-under-test", config)
+        restored_client = attach_agent_to_cas(
+            restored_agent, [ca], cdn, GeoLocation(Region.EUROPE)
+        )
+        assert restored_client.restore(tmp_path) == 1
+        restored = restored_agent.replica_for(ca.name)
+        assert restored.root() == replica.root()
+        assert restored.size == replica.size
+        assert restored.signed_root == replica.signed_root
+        assert restored.latest_freshness == replica.latest_freshness
+        # proofs and revocation numbers are byte-identical
+        serial = SerialNumber(1000)
+        assert restored.prove(serial) == replica.prove(serial)
+        assert restored.revocation_number(serial) == replica.revocation_number(serial)
+        for a in (agent, restored_agent):
+            a.close()
+        ca.close()
+
+    def test_skips_replicas_without_verified_state(self, tmp_path):
+        config, ca, cdn, agent, client = build_stack()
+        issue_and_pull(ca, client, 120, periods=2)
+        from repro.crypto.signing import KeyPair
+
+        agent.register_ca("Never Synced CA", KeyPair.generate(b"x").public)
+        assert client.checkpoint(tmp_path) == 1  # only the synced replica
+
+    def test_load_checkpoint_requires_manifest(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_checkpoint(tmp_path)
+
+
+class TestWarmRestartDelta:
+    def test_warm_pull_fetches_only_the_delta(self, tmp_path):
+        config, ca, cdn, agent, client = build_stack("durable")
+        issue_and_pull(ca, client, 120, periods=6)
+        client.checkpoint(tmp_path)
+        batches_before = ca.issuance_count()
+
+        # the CA keeps revoking while the RA is down
+        for period in range(3):
+            ca.revoke([SerialNumber(5000 + period)], now=300 + period * 10)
+
+        cold_agent = RevocationAgent("ra-cold", config)
+        cold_client = attach_agent_to_cas(
+            cold_agent, [ca], cdn, GeoLocation(Region.EUROPE)
+        )
+        cold_result = cold_client.pull(now=400)
+
+        warm_agent = RevocationAgent("ra-under-test", config)
+        warm_client = attach_agent_to_cas(
+            warm_agent, [ca], cdn, GeoLocation(Region.EUROPE)
+        )
+        warm_client.restore(tmp_path)
+        warm_result = warm_client.pull(now=400)
+
+        # the warm agent applied exactly the outage delta; the cold one
+        # re-applied the whole history
+        assert warm_result.serials_applied == 3
+        assert warm_result.issuances_applied == ca.issuance_count() - batches_before
+        assert cold_result.serials_applied == 6 * 4 + 3
+        assert warm_result.bytes_downloaded < cold_result.bytes_downloaded
+        assert warm_result.resyncs == 0
+
+        # both converge to byte-identical replicas
+        warm_replica = warm_agent.replica_for(ca.name)
+        cold_replica = cold_agent.replica_for(ca.name)
+        assert warm_replica.root() == cold_replica.root()
+        assert warm_replica.size == cold_replica.size
+        status_warm = warm_agent.build_status(ca.name, SerialNumber(5000))
+        status_cold = cold_agent.build_status(ca.name, SerialNumber(5000))
+        assert status_warm.proof == status_cold.proof
+        assert status_warm.signed_root == status_cold.signed_root
+        for a in (agent, cold_agent, warm_agent):
+            a.close()
+        ca.close()
+
+
+class TestTamperedCheckpoints:
+    def _checkpointed_stack(self, tmp_path):
+        config, ca, cdn, agent, client = build_stack()
+        issue_and_pull(ca, client, 120, periods=3)
+        client.checkpoint(tmp_path)
+        return config, ca, cdn
+
+    def _restore_into_fresh_agent(self, config, ca, cdn, tmp_path):
+        agent = RevocationAgent("ra-under-test", config)
+        client = attach_agent_to_cas(agent, [ca], cdn, GeoLocation(Region.EUROPE))
+        return agent, client.restore(tmp_path)
+
+    def test_flipped_leaf_is_rejected_and_degrades_to_cold_sync(self, tmp_path):
+        config, ca, cdn = self._checkpointed_stack(tmp_path)
+        manifest = json.loads((tmp_path / MANIFEST_FILENAME).read_text())
+        replica_file = tmp_path / manifest["replicas"][0]["file"]
+        data = bytearray(replica_file.read_bytes())
+        # flip a byte in the leaf region, then fix the CRC so the structural
+        # check passes and rejection happens at Merkle-root verification
+        import struct
+        import zlib
+
+        data[-20] ^= 0xFF
+        struct.pack_into(">I", data, len(data) - 4, zlib.crc32(bytes(data[:-4])))
+        replica_file.write_bytes(bytes(data))
+        agent, restored = self._restore_into_fresh_agent(config, ca, cdn, tmp_path)
+        assert restored == 0
+        replica = agent.replica_for(ca.name)
+        assert replica is not None and replica.size == 0  # empty → cold sync
+
+    def test_corrupt_replica_file_fails_structurally(self, tmp_path):
+        config, ca, cdn = self._checkpointed_stack(tmp_path)
+        manifest = json.loads((tmp_path / MANIFEST_FILENAME).read_text())
+        replica_file = tmp_path / manifest["replicas"][0]["file"]
+        data = bytearray(replica_file.read_bytes())
+        data[10] ^= 0xFF  # CRC now fails
+        replica_file.write_bytes(bytes(data))
+        with pytest.raises(StorageError):
+            self._restore_into_fresh_agent(config, ca, cdn, tmp_path)
+
+
+class TestShardedCheckpoint:
+    def test_shard_registry_and_replicas_survive_restart(self, tmp_path):
+        config, ca, cdn, agent, client = build_stack("incremental", sharded=True)
+        pairs = [(SerialNumber(7000 + n), 150 + 300 * n) for n in range(4)]
+        ca.revoke_with_expiry(pairs, now=110)
+        client.pull(now=120)
+        assert agent.shard_replicas(ca.name)
+        client.checkpoint(tmp_path)
+
+        restored_agent = RevocationAgent("ra-under-test", config)
+        restored_client = attach_agent_to_cas(
+            restored_agent, [ca], cdn, GeoLocation(Region.EUROPE)
+        )
+        restored = restored_client.restore(tmp_path)
+        assert restored == len(agent.shard_replicas(ca.name))
+        assert restored_agent.shard_widths == agent.shard_widths
+        originals = agent.shard_replicas(ca.name)
+        recovered = restored_agent.shard_replicas(ca.name)
+        assert recovered.keys() == originals.keys()
+        for index, original in originals.items():
+            assert recovered[index].root() == original.root()
+        # the TLS path maps expiries to shard replicas immediately
+        serial, expiry = pairs[0]
+        replica = restored_agent.replica_for_certificate(ca.name, expiry)
+        assert replica is not None and replica.contains(serial)
+
+    def test_corrupt_shard_replica_is_dropped_not_registered_empty(self, tmp_path):
+        """A shard checkpoint that fails verification must vanish entirely:
+        no registry entry mapping its expiry window, no stray base-CA
+        replica for the pull loop — rediscovery via the shard index
+        cold-syncs it instead."""
+        import struct
+        import zlib
+
+        config, ca, cdn, agent, client = build_stack("incremental", sharded=True)
+        pairs = [(SerialNumber(7100 + n), 150 + 300 * n) for n in range(3)]
+        ca.revoke_with_expiry(pairs, now=110)
+        client.pull(now=120)
+        client.checkpoint(tmp_path)
+        manifest = json.loads((tmp_path / MANIFEST_FILENAME).read_text())
+        target = manifest["replicas"][0]
+        replica_file = tmp_path / target["file"]
+        data = bytearray(replica_file.read_bytes())
+        data[-20] ^= 0xFF  # flip a leaf byte, keep the CRC valid
+        struct.pack_into(">I", data, len(data) - 4, zlib.crc32(bytes(data[:-4])))
+        replica_file.write_bytes(bytes(data))
+
+        restored_agent = RevocationAgent("ra-under-test", config)
+        restored_client = attach_agent_to_cas(
+            restored_agent, [ca], cdn, GeoLocation(Region.EUROPE)
+        )
+        restored_client.restore(tmp_path)
+        assert target["ca_name"] not in restored_agent.replicas
+        member_names = restored_agent.shard_replica_names()
+        assert target["ca_name"] not in member_names
+        # the next pull rediscovers the dropped shard and cold-syncs it
+        restored_client.pull(now=130)
+        serial, expiry = pairs[0]
+        replica = restored_agent.replica_for_certificate(ca.name, expiry)
+        assert replica is not None and replica.contains(serial)

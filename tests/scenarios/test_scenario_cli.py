@@ -41,9 +41,21 @@ def test_run_with_engine_override(capsys):
     assert "[PASS]" in capsys.readouterr().out
 
 
-def test_run_rejects_unknown_engine(capsys):
-    assert main(["run", "quickstart", "--engine", "imaginary"]) == 2
-    assert "unknown store engine" in capsys.readouterr().err
+def test_run_rejects_unknown_engine_at_parse_time(capsys):
+    """--engine validates against the registry before any scenario runs."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "quickstart", "--engine", "imaginary"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "invalid choice: 'imaginary'" in err
+    # the error names every registered engine, durable included
+    for engine in ("naive", "incremental", "durable"):
+        assert engine in err
+
+
+def test_run_with_durable_engine(capsys):
+    assert main(["run", "quickstart", "--smoke", "--engine", "durable"]) == 0
+    assert "[PASS]" in capsys.readouterr().out
 
 
 def test_module_entry_point_exists():

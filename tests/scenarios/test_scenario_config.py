@@ -169,6 +169,30 @@ def test_fault_covers():
     assert not fault.covers(5)
 
 
+class TestCrashRestartValidation:
+    """The crash/durable restart-mode fields on FaultSpec."""
+
+    def test_crash_and_durable_restart_builds(self):
+        fault = FaultSpec(
+            kind="ra-restart", at_period=1, crash=True, durable=True
+        )
+        config = make_config(faults=(fault,))
+        assert config.faults[0].durable is True
+
+    def test_cold_crash_builds(self):
+        fault = FaultSpec(kind="ra-restart", at_period=1, crash=True)
+        assert make_config(faults=(fault,)).faults[0].crash is True
+
+    def test_durable_requires_crash(self):
+        with pytest.raises(ConfigurationError, match="crash=True"):
+            FaultSpec(kind="ra-restart", at_period=1, durable=True)
+
+    @pytest.mark.parametrize("kind", ["ca-outage", "tampered-batch"])
+    def test_crash_fields_only_for_ra_restart(self, kind):
+        with pytest.raises(ConfigurationError, match="ra-restart"):
+            FaultSpec(kind=kind, at_period=1, crash=True)
+
+
 class TestShardedValidation:
     """Sharded mode (§VIII) needs a width, a lifetime, and no study phases."""
 

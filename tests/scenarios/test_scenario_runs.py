@@ -107,7 +107,7 @@ def test_flash_crowd_engines_agree():
     report = report_for("flash-crowd")
     comparison = report.extras["engine_comparison"]
     assert comparison["roots_agree"] is True
-    for engine in ("naive", "incremental"):
+    for engine in ("naive", "incremental", "durable"):
         assert comparison[engine]["serials"] > 0
         assert comparison[engine]["seconds"] >= 0
 

@@ -1,0 +1,330 @@
+"""The durable engine: WAL/snapshot persistence and crash recovery.
+
+Three families of guarantees:
+
+* **differential** — ``durable`` produces byte-identical roots and proofs
+  to ``incremental`` (and the naive oracle) under random batch histories;
+* **crash-point** — truncating the WAL at *every* record boundary (and at
+  arbitrary byte offsets inside the torn tail) recovers exactly the state
+  after the last complete record;
+* **format** — corrupt snapshots and WALs are rejected loudly, the
+  lifecycle contract (close, context manager) holds, and snapshots compose
+  with WAL suffixes across restarts.
+"""
+
+import struct
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, ProofError, StorageError
+from repro.store import ENGINES, create_store
+from repro.store.durable import (
+    DurableMerkleStore,
+    SNAPSHOT_FILENAME,
+    WAL_FILENAME,
+    _RECORD_CRC,
+    _RECORD_HEADER,
+)
+
+serial_values = st.integers(min_value=1, max_value=2**24 - 1)
+
+
+def to_key(value: int) -> bytes:
+    return value.to_bytes(3, "big")
+
+
+def to_value(value: int) -> bytes:
+    return (value % 251).to_bytes(4, "big")
+
+
+def record_boundaries(wal_path: Path):
+    """Byte offsets after each complete record in a WAL file."""
+    data = wal_path.read_bytes()
+    offsets = [0]
+    offset = 0
+    while offset + _RECORD_HEADER.size <= len(data):
+        _, _, payload_length = _RECORD_HEADER.unpack_from(data, offset)
+        end = offset + _RECORD_HEADER.size + payload_length + _RECORD_CRC.size
+        if end > len(data):
+            break
+        offsets.append(end)
+        offset = end
+    return offsets
+
+
+class TestRegistryAndLifecycle:
+    def test_registered(self):
+        assert ENGINES["durable"] is DurableMerkleStore
+        assert create_store("durable").engine_name == "durable"
+
+    def test_temp_directory_removed_on_close(self):
+        store = create_store("durable")
+        directory = store.directory
+        store.insert(to_key(1), b"v")
+        assert directory.exists()
+        store.close()
+        assert not directory.exists()
+        store.close()  # closing twice is safe
+
+    def test_temp_directory_reclaimed_at_gc(self):
+        import gc
+
+        store = create_store("durable")
+        directory = store.directory
+        store.insert(to_key(1), b"v")
+        del store
+        gc.collect()
+        assert not directory.exists()
+
+    def test_explicit_directory_survives_close(self, tmp_path):
+        with create_store("durable", directory=tmp_path / "s") as store:
+            store.insert(to_key(1), b"v")
+        assert (tmp_path / "s" / WAL_FILENAME).exists()
+
+    def test_mutation_after_close_raises(self, tmp_path):
+        store = create_store("durable", directory=tmp_path / "s")
+        store.insert(to_key(1), b"v")
+        store.close()
+        with pytest.raises(StorageError):
+            store.insert(to_key(2), b"v")
+        with pytest.raises(StorageError):
+            store.insert_batch([(to_key(3), b"v")])
+        with pytest.raises(StorageError):
+            store.remove_batch([to_key(1)])
+        # reads still work from memory
+        assert to_key(1) in store
+
+    def test_unknown_engine_option_rejected(self):
+        with pytest.raises(ConfigurationError):
+            create_store("incremental", directory="/nope")
+
+    def test_in_memory_engines_close_is_noop(self):
+        for engine in ("naive", "incremental"):
+            with create_store(engine) as store:
+                store.insert(to_key(1), b"v")
+            assert to_key(1) in store
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.lists(serial_values, unique=True, min_size=1, max_size=30),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_durable_matches_incremental_on_random_batch_histories(batches):
+    """Differential: identical roots/proofs under arbitrary batch histories."""
+    durable = create_store("durable")
+    incremental = create_store("incremental")
+    inserted = set()
+    try:
+        for batch in batches:
+            items = [
+                (to_key(v), to_value(v)) for v in batch if v not in inserted
+            ]
+            if not items:
+                continue
+            assert durable.insert_batch(list(items)) == incremental.insert_batch(items)
+            inserted.update(batch)
+            assert durable.root() == incremental.root()
+        for value in sorted(inserted)[:10]:
+            key = to_key(value)
+            assert durable.prove_presence(key) == incremental.prove_presence(key)
+        probe = to_key(2**24 - 1)
+        if 2**24 - 1 not in inserted:
+            assert durable.prove_absence(probe) == incremental.prove_absence(probe)
+    finally:
+        durable.close()
+
+
+def test_reopen_recovers_identical_state(tmp_path):
+    directory = tmp_path / "store"
+    with create_store("durable", directory=directory) as store:
+        store.insert_batch([(to_key(v), to_value(v)) for v in (5, 9, 2, 40)])
+        store.insert(to_key(7), to_value(7))
+        store.remove_batch([to_key(9)])
+        root = store.root()
+        proof = store.prove_presence(to_key(7))
+        keys = store.keys()
+    recovered = create_store("durable", directory=directory)
+    assert recovered.root() == root
+    assert recovered.keys() == keys
+    assert recovered.prove_presence(to_key(7)) == proof
+    assert recovered.records_replayed == 3
+    recovered.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.lists(serial_values, unique=True, min_size=1, max_size=20),
+        min_size=1,
+        max_size=6,
+    ),
+    st.data(),
+)
+def test_crash_at_every_record_boundary_recovers_prefix_state(tmp_path_factory, batches, data):
+    """The tentpole guarantee: a WAL truncated at any record boundary
+    recovers to the exact root the store had after that many records."""
+    directory = Path(tmp_path_factory.mktemp("crash")) / "store"
+    store = DurableMerkleStore(directory=directory, snapshot_every=0)
+    shadow = create_store("incremental")
+    roots = [store.root()]  # roots[i] = root after i records
+    inserted = set()
+    for batch in batches:
+        items = [(to_key(v), to_value(v)) for v in batch if v not in inserted]
+        if not items:
+            continue
+        store.insert_batch(list(items))
+        shadow.insert_batch(items)
+        inserted.update(batch)
+        roots.append(shadow.root())
+    store.close()
+
+    wal_path = directory / WAL_FILENAME
+    full_wal = wal_path.read_bytes()
+    boundaries = record_boundaries(wal_path)
+    assert len(boundaries) == len(roots)
+    for count, boundary in enumerate(boundaries):
+        wal_path.write_bytes(full_wal[:boundary])
+        recovered = DurableMerkleStore(directory=directory, snapshot_every=0)
+        assert recovered.root() == roots[count], f"crash after {count} record(s)"
+        recovered.close()  # explicit directory: files survive close
+    # a torn tail (crash inside a record) recovers the preceding boundary
+    if len(full_wal) > boundaries[-2] + 1:
+        torn = data.draw(
+            st.integers(min_value=boundaries[-2] + 1, max_value=len(full_wal) - 1),
+            label="torn-offset",
+        )
+        wal_path.write_bytes(full_wal[:torn])
+        recovered = DurableMerkleStore(directory=directory, snapshot_every=0)
+        assert recovered.root() == roots[-2]
+        recovered.close()
+
+
+def test_snapshot_plus_wal_suffix_compose(tmp_path):
+    """Records already covered by the snapshot are skipped on replay."""
+    directory = tmp_path / "store"
+    store = DurableMerkleStore(directory=directory, snapshot_every=0)
+    store.insert_batch([(to_key(v), b"a") for v in (1, 2, 3)])
+    store.snapshot()
+    assert store.wal_size_bytes() == 0
+    store.insert_batch([(to_key(v), b"b") for v in (10, 11)])
+    root = store.root()
+    store.close()
+
+    recovered = DurableMerkleStore(directory=directory, snapshot_every=0)
+    assert recovered.recovered_from_snapshot
+    assert recovered.records_replayed == 1  # only the post-snapshot batch
+    assert recovered.root() == root
+    recovered.close()
+
+
+def test_crash_between_snapshot_and_wal_reset_is_harmless(tmp_path):
+    """A WAL whose records the snapshot already covers must replay to the
+    same state (sequence numbers make replay idempotent)."""
+    directory = tmp_path / "store"
+    store = DurableMerkleStore(directory=directory, snapshot_every=0)
+    store.insert_batch([(to_key(v), b"a") for v in (1, 2, 3)])
+    wal_before = (directory / WAL_FILENAME).read_bytes()
+    store.snapshot()
+    root = store.root()
+    store.close()
+    # simulate the crash: snapshot on disk, WAL never truncated
+    (directory / WAL_FILENAME).write_bytes(wal_before)
+    recovered = DurableMerkleStore(directory=directory, snapshot_every=0)
+    assert recovered.root() == root
+    assert recovered.records_replayed == 0
+    recovered.close()
+
+
+def test_automatic_snapshots_bound_the_wal(tmp_path):
+    directory = tmp_path / "store"
+    store = DurableMerkleStore(directory=directory, snapshot_every=4)
+    for value in range(1, 20):
+        store.insert(to_key(value), b"v")
+    assert store.snapshots_written >= 4
+    root = store.root()
+    store.close()
+    recovered = create_store("durable", directory=directory)
+    assert recovered.root() == root
+    recovered.close()
+
+
+def test_remove_batch_is_logged_and_recovered(tmp_path):
+    """The rollback path (remove_batch) survives a restart too."""
+    directory = tmp_path / "store"
+    with create_store("durable", directory=directory) as store:
+        store.insert_batch([(to_key(v), b"v") for v in (2, 4, 6, 8)])
+        staged = [(to_key(v), b"v") for v in (3, 5)]
+        store.insert_batch(staged)
+        store.remove_batch(key for key, _ in staged)
+        root = store.root()
+    recovered = create_store("durable", directory=directory)
+    assert recovered.root() == root
+    assert len(recovered) == 4
+    recovered.close()
+
+
+def test_failed_mutations_never_reach_the_wal(tmp_path):
+    """Validation errors must leave the log untouched (no phantom records)."""
+    directory = tmp_path / "store"
+    store = create_store("durable", directory=directory)
+    store.insert(to_key(5), b"v")
+    logged = store.records_logged
+    with pytest.raises(ProofError):
+        store.insert(to_key(5), b"w")
+    with pytest.raises(ProofError):
+        store.insert_batch([(to_key(6), b"a"), (to_key(6), b"b")])
+    with pytest.raises(ProofError):
+        store.remove_batch([to_key(99)])
+    assert store.records_logged == logged
+    store.close()
+    recovered = create_store("durable", directory=directory)
+    assert len(recovered) == 1
+    recovered.close()
+
+
+def test_corrupt_snapshot_rejected(tmp_path):
+    directory = tmp_path / "store"
+    store = DurableMerkleStore(directory=directory)
+    store.insert_batch([(to_key(v), b"v") for v in (1, 2, 3)])
+    store.snapshot()
+    store.close()
+    snapshot_path = directory / SNAPSHOT_FILENAME
+    data = bytearray(snapshot_path.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    snapshot_path.write_bytes(bytes(data))
+    with pytest.raises(StorageError):
+        DurableMerkleStore(directory=directory)
+
+
+def test_snapshot_digest_size_mismatch_rejected(tmp_path):
+    directory = tmp_path / "store"
+    store = DurableMerkleStore(directory=directory, digest_size=20)
+    store.insert(to_key(1), b"v")
+    store.snapshot()
+    store.close()
+    with pytest.raises(StorageError):
+        DurableMerkleStore(directory=directory, digest_size=32)
+
+
+def test_snapshot_version_pinned(tmp_path):
+    directory = tmp_path / "store"
+    store = DurableMerkleStore(directory=directory)
+    store.insert(to_key(1), b"v")
+    store.snapshot()
+    store.close()
+    snapshot_path = directory / SNAPSHOT_FILENAME
+    data = bytearray(snapshot_path.read_bytes())
+    # bump the version field (directly after the 8-byte magic), re-checksum
+    struct.pack_into(">H", data, 8, 99)
+    import zlib
+
+    struct.pack_into(">I", data, len(data) - 4, zlib.crc32(bytes(data[:-4])))
+    snapshot_path.write_bytes(bytes(data))
+    with pytest.raises(StorageError):
+        DurableMerkleStore(directory=directory)
