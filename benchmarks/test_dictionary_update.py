@@ -1,4 +1,4 @@
-"""§VII-D dictionary-update timing, parameterized over both store engines.
+"""§VII-D dictionary-update timing, parameterized over every store engine.
 
 The paper reports ~3 ms (CA insert) and ~3 ms (RA update+verify) for a batch
 of 1,000 new revocations.  Beyond reproducing that batch path, this module
@@ -11,10 +11,21 @@ is the performance artifact for the `repro.store` engine seam:
   full rebuild pays Θ(N) hashes per serial.  Asserts the incremental engine
   is ≥ 10× faster, both at the store level and end-to-end (tree + hash
   chain + Ed25519-signed root);
-* ``test_dictionary_update_scaling_sweep`` — a size sweep over both engines
+* ``test_dictionary_update_scaling_sweep`` — a size sweep over every engine
   emitting ``benchmarks/results/dictionary_update_scaling.json`` so the
-  perf trajectory is tracked across PRs.  Set ``RITM_BENCH_FULL=1`` to
-  extend the sweep to 1M serials.
+  perf trajectory is tracked across PRs.  Always includes store-level
+  10⁶-entry points for the ``incremental`` and ``compact`` engines (the
+  flat-buffer engine's acceptance comparison); set ``RITM_BENCH_FULL=1``
+  to extend the dictionary-level sweep to 1M serials and add a store-level
+  10⁷-leaf ``compact`` point.
+
+The compact-engine thresholds are calibrated to what byte-identical tree
+semantics permit: an append-ordered batch avoids the incremental engine's
+O(N) Python-list merge entirely (order-of-magnitude win), while a
+random-position single update must rehash the Θ(N − i) positional suffix
+in *every* engine, so its ceiling is the SHA-256 call count itself — the
+compact engine sits within ~35 % of that hashing floor, which lands near
+1.4× over incremental rather than an object-overhead-sized multiple.
 """
 
 import os
@@ -39,6 +50,17 @@ ENGINES = tuple(sorted(STORE_ENGINES))
 SINGLE_UPDATE_DICTIONARY_SIZE = 100_000
 #: Required incremental-over-naive advantage for single-serial updates.
 REQUIRED_SINGLE_UPDATE_SPEEDUP = 10.0
+#: Store-level scaling point for the compact-vs-incremental comparison.
+STORE_POINT_ENTRIES = 1_000_000
+#: Required compact-over-incremental advantage for an append-ordered batch
+#: at 10⁶ leaves.  Measured ~4–7× on the reference box (best-of-3 batch
+#: sampling); 3× leaves margin for noise while still catching an
+#: O(N)-merge regression (losing the append fast path drops below 1×).
+REQUIRED_COMPACT_BATCH_SPEEDUP = 3.0
+#: Required compact-over-incremental advantage for random-position single
+#: updates at 10⁶ leaves.  Both engines pay the same Θ(N − i) SHA-256
+#: suffix, so the ceiling is the hashing floor itself; measured 1.3–2×.
+REQUIRED_COMPACT_RANDOM_SPEEDUP = 1.1
 
 
 @pytest.mark.parametrize("engine", ENGINES)
@@ -137,13 +159,27 @@ def test_single_serial_update_speedup(benchmark):
 
 
 def test_dictionary_update_scaling_sweep(benchmark):
-    """100k–1M scaling sweep over both engines, emitted as a JSON artifact."""
+    """10k–1M scaling sweep over every engine, emitted as a JSON artifact.
+
+    Dictionary-level points cover all engines at 10k/100k; store-level 10⁶
+    points compare the ``incremental`` and ``compact`` engines head to head
+    (batch append, single append, random-position singles, bytes/leaf).
+    ``RITM_BENCH_FULL=1`` adds the 1M dictionary points and a 10⁷-leaf
+    store point for ``compact``.
+    """
     sizes = [10_000, 100_000]
+    store_points = [
+        (STORE_POINT_ENTRIES, "incremental"),
+        (STORE_POINT_ENTRIES, "compact"),
+    ]
     if os.environ.get("RITM_BENCH_FULL"):
         sizes.append(1_000_000)
+        store_points.append((10_000_000, "compact"))
 
     sweep = benchmark.pedantic(
-        lambda: sweep_dictionary_update(sizes, engines=ENGINES, single_updates=4),
+        lambda: sweep_dictionary_update(
+            sizes, engines=ENGINES, single_updates=4, store_points=store_points
+        ),
         rounds=1,
         iterations=1,
     )
@@ -164,7 +200,36 @@ def test_dictionary_update_scaling_sweep(benchmark):
         ],
         title="Dictionary-update scaling sweep (store engines)",
     )
-    write_result("dictionary_update_scaling", table)
+    store_table = format_table(
+        ["leaves", "engine", "build s", "batch app /s", "1-append /s", "1-random /s", "B/leaf"],
+        [
+            [
+                f"{point['existing_entries']:,}",
+                point["engine"],
+                f"{point['build_s']:.2f}",
+                f"{point['batch_append_per_s']:,.0f}",
+                f"{point['single_append_per_s']:,.0f}",
+                f"{point['single_random_per_s']:.2f}",
+                f"{point['bytes_per_leaf']:.1f}" if "bytes_per_leaf" in point else "-",
+            ]
+            for point in sweep["store_points"]
+        ],
+        title="Store-level scaling points (raw Merkle store, no chain/signing)",
+    )
+    speedup_lines = [
+        (
+            f"{entry['existing_entries']:,} leaves: compact vs incremental — "
+            f"build {entry['compact_build_speedup']:.2f}x, "
+            f"batch append {entry['compact_batch_append_speedup']:.2f}x, "
+            f"single append {entry['compact_single_append_speedup']:.2f}x, "
+            f"single random {entry['compact_single_random_speedup']:.2f}x"
+        )
+        for entry in sweep["store_speedups"]
+    ]
+    write_result(
+        "dictionary_update_scaling",
+        "\n\n".join([table, store_table] + speedup_lines),
+    )
 
     by_size = {entry["existing_entries"]: entry for entry in sweep["speedups"]}
     assert by_size[100_000]["single_append_speedup"] >= REQUIRED_SINGLE_UPDATE_SPEEDUP
@@ -174,3 +239,19 @@ def test_dictionary_update_scaling_sweep(benchmark):
         by_size[100_000]["single_append_speedup"]
         > by_size[10_000]["single_append_speedup"]
     )
+
+    by_leaves = {
+        entry["existing_entries"]: entry for entry in sweep["store_speedups"]
+    }
+    store_speedups = by_leaves[STORE_POINT_ENTRIES]
+    assert store_speedups["compact_batch_append_speedup"] >= REQUIRED_COMPACT_BATCH_SPEEDUP
+    assert store_speedups["compact_single_random_speedup"] >= REQUIRED_COMPACT_RANDOM_SPEEDUP
+    compact_point = next(
+        point
+        for point in sweep["store_points"]
+        if point["engine"] == "compact"
+        and point["existing_entries"] == STORE_POINT_ENTRIES
+    )
+    # The flat layout's advertised footprint: ~47 B/leaf measured (3 B key +
+    # 4 B value + ~40 B of hash planes), versus hundreds for object lists.
+    assert compact_point["bytes_per_leaf"] < 60

@@ -8,11 +8,12 @@ so the assertions check the *ordering* of costs and the derived claims
 (an RA handles many packets/handshakes per second; the client-side overhead
 is a negligible fraction of a 30 ms handshake) rather than absolute values.
 
-The benchmark is parameterized over both `repro.store` engines: proof
-construction is the dictionary-backed row, and the incremental engine
-serves proofs straight from its cached hash levels while the naive engine
-may first owe a full rebuild.  Both engines must reproduce the paper's
-orderings; the printed artifact records the per-engine numbers side by side.
+The benchmark is parameterized over every `repro.store` engine: proof
+construction is the dictionary-backed row, and the incremental/compact
+engines serve proofs straight from their cached hash levels while the
+naive engine may first owe a full rebuild.  Every engine must reproduce
+the paper's orderings; the printed artifact records the per-engine numbers
+side by side.
 """
 
 import pytest

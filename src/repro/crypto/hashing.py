@@ -25,9 +25,16 @@ DEFAULT_DIGEST_SIZE = 20
 #: Full SHA-256 output size, used by the ablation benchmarks.
 FULL_DIGEST_SIZE = 32
 
-_LEAF_PREFIX = b"\x00"
-_NODE_PREFIX = b"\x01"
-_CHAIN_PREFIX = b"\x02"
+#: Domain-separation prefixes (public so flat-buffer engines can inline the
+#: hashing loop without re-declaring them; the values are pinned by the proof
+#: format and must never change).
+LEAF_PREFIX = b"\x00"
+NODE_PREFIX = b"\x01"
+CHAIN_PREFIX = b"\x02"
+
+_LEAF_PREFIX = LEAF_PREFIX
+_NODE_PREFIX = NODE_PREFIX
+_CHAIN_PREFIX = CHAIN_PREFIX
 
 
 def sha256(data: bytes) -> bytes:

@@ -30,6 +30,108 @@ from repro.crypto.merkle import (
 from repro.errors import ProofError
 
 
+class LeafKeysView(Sequence):
+    """Lazy, read-only view of a store's sorted keys.
+
+    Returned by :meth:`SortedLeafStore.keys` instead of a full tuple copy —
+    dissemination sync and checkpoint paths call ``keys()`` per pull, which
+    at web scale turned every pull into an O(N) allocation spike.  The view
+    indexes straight into the engine's live key column, so it reflects
+    later mutations; callers needing snapshot semantics wrap it in
+    ``tuple()``/``list()`` (every in-repo caller either does so or consumes
+    the view immediately).  Compares element-wise against any sized
+    iterable, so differential assertions like ``a.keys() == b.keys()`` keep
+    working across engines and against plain tuples.
+    """
+
+    __slots__ = ("_source",)
+
+    def __init__(self, source: Sequence[bytes]) -> None:
+        """Wrap the engine's live sorted-key column."""
+        self._source = source
+
+    def __len__(self) -> int:
+        """Number of keys currently stored."""
+        return len(self._source)
+
+    def __getitem__(self, index):
+        """Key at ``index`` (slices return tuples)."""
+        if isinstance(index, slice):
+            return tuple(
+                self._source[i] for i in range(*index.indices(len(self._source)))
+            )
+        return self._source[index]
+
+    def __iter__(self) -> Iterator[bytes]:
+        """Iterate keys in sorted order straight off the column."""
+        return iter(self._source)
+
+    def __eq__(self, other: object) -> bool:
+        """Element-wise comparison against any sized iterable of keys."""
+        try:
+            length = len(other)  # type: ignore[arg-type]
+        except TypeError:
+            return NotImplemented
+        if length != len(self):
+            return False
+        return all(mine == theirs for mine, theirs in zip(self, other))
+
+    __hash__ = None  # type: ignore[assignment]  # mutable view
+
+    def __repr__(self) -> str:
+        """Debugging representation showing the view length."""
+        return f"<LeafKeysView of {len(self)} keys>"
+
+
+class LeafItemsView(Sequence):
+    """Lazy, read-only view of a store's sorted ``(key, value)`` leaves.
+
+    Same contract as :class:`LeafKeysView`: indexes the engine's live
+    columns without copying them, so snapshots must be taken explicitly
+    with ``list()`` (as the dictionary checkpoint path already does).
+    """
+
+    __slots__ = ("_keys", "_values")
+
+    def __init__(self, keys: Sequence[bytes], values: Sequence[bytes]) -> None:
+        """Wrap the engine's live key and value columns."""
+        self._keys = keys
+        self._values = values
+
+    def __len__(self) -> int:
+        """Number of leaves currently stored."""
+        return len(self._keys)
+
+    def __getitem__(self, index):
+        """Leaf pair at ``index`` (slices return tuples of pairs)."""
+        if isinstance(index, slice):
+            return tuple(
+                (self._keys[i], self._values[i])
+                for i in range(*index.indices(len(self._keys)))
+            )
+        return (self._keys[index], self._values[index])
+
+    def __iter__(self) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate leaf pairs in sorted key order."""
+        return zip(self._keys, self._values)
+
+    def __eq__(self, other: object) -> bool:
+        """Element-wise comparison against any sized iterable of pairs."""
+        try:
+            length = len(other)  # type: ignore[arg-type]
+        except TypeError:
+            return NotImplemented
+        if length != len(self):
+            return False
+        return all(mine == theirs for mine, theirs in zip(self, other))
+
+    __hash__ = None  # type: ignore[assignment]  # mutable view
+
+    def __repr__(self) -> str:
+        """Debugging representation showing the view length."""
+        return f"<LeafItemsView of {len(self)} leaves>"
+
+
 class AuthenticatedStore(ABC):
     """Interface every Merkle-store engine implements.
 
@@ -86,12 +188,13 @@ class AuthenticatedStore(ABC):
     def keys(self) -> Sequence[bytes]:
         """All keys in sorted order."""
 
-    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+    def items(self) -> Iterable[Tuple[bytes, bytes]]:
         """All ``(key, value)`` leaves in sorted key order.
 
         The default derives the pairs from :meth:`keys` and :meth:`get`;
-        engines with direct access to their leaf arrays override it.  Used
-        by snapshots and checkpoints, which must capture the exact leaf set.
+        engines with direct access to their leaf arrays override it (and may
+        return a lazy view).  Snapshot/checkpoint callers that need the leaf
+        set frozen at call time materialise with ``list()``.
         """
         for key in self.keys():
             value = self.get(key)
@@ -152,17 +255,25 @@ class SortedLeafStore(AuthenticatedStore):
         return self._digest_size
 
     def keys(self) -> Sequence[bytes]:
-        """All stored keys in lexicographic order, as an immutable tuple."""
-        return tuple(self._keys)
+        """All stored keys in lexicographic order, as a lazy read-only view.
+
+        The view tracks the live store (O(1) to obtain, no copy); take an
+        explicit ``tuple()`` for snapshot semantics across mutations.
+        """
+        return LeafKeysView(self._keys)
 
     def get(self, key: bytes) -> Optional[bytes]:
         """The value stored under ``key``, or ``None`` when absent."""
         index = self._find(key)
         return None if index is None else self._values[index]
 
-    def items(self) -> Iterator[Tuple[bytes, bytes]]:
-        """All ``(key, value)`` leaves straight from the sorted arrays."""
-        return zip(tuple(self._keys), tuple(self._values))
+    def items(self) -> Sequence[Tuple[bytes, bytes]]:
+        """All ``(key, value)`` leaves as a lazy read-only view.
+
+        Like :meth:`keys`, the view tracks the live store; snapshot and
+        checkpoint callers materialise it with ``list()``.
+        """
+        return LeafItemsView(self._keys, self._values)
 
     def root(self) -> bytes:
         """The current root digest (empty-tree sentinel with no leaves)."""
@@ -180,13 +291,16 @@ class SortedLeafStore(AuthenticatedStore):
         return self._presence_proof_at(index)
 
     def prove_absence(self, key: bytes) -> AbsenceProof:
-        """Adjacency proof that ``key`` is not stored; raises if it is."""
-        if self._find(key) is not None:
-            raise ProofError(f"key {key.hex()} is present; cannot prove absence")
+        """Adjacency proof that ``key`` is not stored; raises if it is.
+
+        One bisect serves both the presence check and the neighbour lookup.
+        """
         size = len(self._keys)
+        index = bisect.bisect_left(self._keys, key)
+        if index < size and self._keys[index] == key:
+            raise ProofError(f"key {key.hex()} is present; cannot prove absence")
         if size == 0:
             return AbsenceProof(key=key, tree_size=0)
-        index = bisect.bisect_left(self._keys, key)
         left = self._presence_proof_at(index - 1) if index > 0 else None
         right = self._presence_proof_at(index) if index < size else None
         return AbsenceProof(key=key, tree_size=size, left=left, right=right)

@@ -18,10 +18,16 @@ proofs** without re-downloading anything:
 * opening a :class:`DurableMerkleStore` on an existing directory **recovers**
   by loading the snapshot (if any) and replaying the WAL suffix.
 
-The hashing strategy is inherited unchanged from
-:class:`~repro.store.incremental.IncrementalMerkleStore`, so the durable
-engine stays byte-identical to every other engine for the same leaf set —
-the differential suite in ``tests/store/`` proves it.  File formats, the
+The persistence machinery lives in :class:`WALOverlay`, a mixin layered
+over any in-memory :class:`~repro.store.base.SortedLeafStore` engine: the
+overlay validates, logs, and then delegates the actual mutation to the
+wrapped engine via ``super()``.  Two compositions are registered —
+``durable`` (over :class:`~repro.store.incremental.IncrementalMerkleStore`)
+and ``durable-compact`` (over
+:class:`~repro.store.compact.CompactMerkleStore`, the flat-buffer core).
+The hashing strategy is inherited unchanged from the wrapped engine, so
+both stay byte-identical to every other engine for the same leaf set — the
+differential suite in ``tests/store/`` proves it.  File formats, the
 recovery algorithm, and tuning knobs are documented in ``docs/STORAGE.md``.
 
 When no directory is given the engine persists into a private temporary
@@ -45,6 +51,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.crypto.hashing import DEFAULT_DIGEST_SIZE
 from repro.errors import ProofError, StorageError
+from repro.store.compact import CompactMerkleStore
 from repro.store.incremental import IncrementalMerkleStore
 
 #: Snapshot file magic; the trailing version byte pair pins the format.
@@ -196,10 +203,18 @@ def _decode_remove_payload(payload: bytes) -> List[bytes]:
         raise StorageError(f"malformed WAL remove payload: {exc}") from None
 
 
-class DurableMerkleStore(IncrementalMerkleStore):
-    """An incremental Merkle store persisted through a WAL plus snapshots."""
+class WALOverlay:
+    """Write-ahead-log persistence layered over an in-memory store engine.
 
-    engine_name = "durable"
+    A cooperative mixin: subclass as ``class Engine(WALOverlay, Core)``
+    where ``Core`` is any :class:`~repro.store.base.SortedLeafStore` engine
+    exposing the ``_prepare_batch`` / ``_apply_prepared_batch`` seam (both
+    the incremental and compact engines do).  Every mutator validates its
+    input against the current state, appends a checksummed WAL record, and
+    only then delegates the in-memory mutation to ``Core`` via ``super()``;
+    recovery replays snapshot + WAL through the same seam, so the overlay
+    never re-implements tree semantics and cannot drift from its core.
+    """
 
     def __init__(
         self,
@@ -504,3 +519,20 @@ class DurableMerkleStore(IncrementalMerkleStore):
             return
         if (self._next_seq - 1) - self._snapshot_seq >= self._snapshot_every:
             self.snapshot()
+
+
+class DurableMerkleStore(WALOverlay, IncrementalMerkleStore):
+    """An incremental Merkle store persisted through a WAL plus snapshots."""
+
+    engine_name = "durable"
+
+
+class DurableCompactMerkleStore(WALOverlay, CompactMerkleStore):
+    """The flat-buffer compact core persisted through a WAL plus snapshots.
+
+    Same on-disk formats and recovery contract as :class:`DurableMerkleStore`
+    (the two are interchangeable over one directory); the in-memory side uses
+    the compact engine's byte arenas and level-vectorized hashing.
+    """
+
+    engine_name = "durable-compact"

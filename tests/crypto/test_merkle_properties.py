@@ -81,7 +81,7 @@ def test_roots_differ_when_any_element_is_removed(values):
 @settings(max_examples=60, deadline=None)
 @given(st.lists(serial_values, unique=True, min_size=1, max_size=140), st.randoms(use_true_random=False))
 def test_incremental_engine_matches_naive_oracle(values, rng):
-    """Both store engines stay byte-identical under random interleavings."""
+    """The list-backed engines stay byte-identical under random interleavings."""
     naive = NaiveMerkleStore()
     incremental = IncrementalMerkleStore()
     remaining = list(values)

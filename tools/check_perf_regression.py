@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Fail CI when the compact engine's measured advantage regresses.
+
+Compares a freshly generated ``dictionary_update_scaling.json`` (from
+``benchmarks/test_dictionary_update.py::test_dictionary_update_scaling_sweep``)
+against the committed copy in ``benchmarks/baselines/``.
+
+Absolute throughput is machine-dependent — a CI runner and the box that
+produced the baseline share no clock — so the gate is built on
+**machine-relative ratios**: the compact engine's speedups over the
+incremental engine at the store-level points both files share.  Those
+ratios cancel the hardware out.  Each gated metric must satisfy *both*:
+
+* ``fresh >= (1 - tolerance) * min(baseline, noise_cap)`` — no >30 %
+  regression against the committed expectation (the headline rule from
+  the CI job).  The cap matters: the batch-append ratio swings ~4–7×
+  between healthy runs (allocator/GC state moves both engines' batch
+  timings even with best-of-3 sampling), so a lucky baseline must not
+  ratchet the bar above the healthy envelope's floor; and
+* ``fresh >= floor``                        — an absolute sanity floor
+  mirroring the thresholds the benchmark itself asserts, so this check
+  can never fail a run the benchmark accepted for a different reason.
+
+``bytes_per_leaf`` for the compact engine is additionally gated as an
+absolute (it is machine-independent: pure layout arithmetic).
+
+Usage::
+
+    python tools/check_perf_regression.py \
+        [--fresh benchmarks/results/dictionary_update_scaling.json] \
+        [--baseline benchmarks/baselines/dictionary_update_scaling.json] \
+        [--tolerance 0.30]
+
+Exits 0 when every gate holds, 1 with a per-metric report otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Gated ratio metrics from ``store_speedups`` and their absolute floors.
+#: Floors match the benchmark's own in-test assertions (batch append
+#: measured ~4–7x, random ~1.3–2x on the reference box), so single-shot
+#: noise cannot trip them without also failing the benchmark step.
+RATIO_FLOORS = {
+    "compact_batch_append_speedup": 3.0,
+    "compact_single_random_speedup": 1.1,
+}
+
+#: Per-metric clamp applied to the *baseline* value before the relative
+#: (>30 %) comparison.  The denominators of these ratios (the incremental
+#: engine's timings) swing widely between healthy runs; clamping keeps a
+#: lucky committed baseline from demanding more than the healthy envelope
+#: can reliably deliver.
+NOISE_CAPS = {
+    "compact_batch_append_speedup": 4.3,
+    "compact_single_random_speedup": 1.6,
+}
+
+#: Hard ceiling for the compact engine's per-leaf footprint (bytes).  The
+#: measured value is 47.0 for 3-byte keys / 4-byte values; 60 allows for
+#: plane-level slack without admitting an object-per-node layout.
+BYTES_PER_LEAF_CEILING = 60.0
+
+
+def _load(path: Path) -> dict:
+    """Parse one scaling-sweep JSON artifact, with a actionable error."""
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(
+            f"error: {path} not found — run the scaling sweep first:\n"
+            "  PYTHONPATH=src:benchmarks python -m pytest "
+            "benchmarks/test_dictionary_update.py::"
+            "test_dictionary_update_scaling_sweep -q"
+        )
+
+
+def _speedups_by_size(sweep: dict) -> dict:
+    """Index a sweep's ``store_speedups`` rows by leaf count."""
+    return {row["existing_entries"]: row for row in sweep.get("store_speedups", [])}
+
+
+def _compact_points_by_size(sweep: dict) -> dict:
+    """Index a sweep's compact-engine ``store_points`` rows by leaf count."""
+    return {
+        row["existing_entries"]: row
+        for row in sweep.get("store_points", [])
+        if row.get("engine") == "compact"
+    }
+
+
+def check(fresh: dict, baseline: dict, tolerance: float) -> list:
+    """Return a list of ``(metric, size, fresh, required, reason)`` failures."""
+    failures = []
+    fresh_ratios = _speedups_by_size(fresh)
+    base_ratios = _speedups_by_size(baseline)
+    shared_sizes = sorted(set(fresh_ratios) & set(base_ratios))
+    if not shared_sizes:
+        failures.append(
+            ("store_speedups", None, 0.0, 1.0,
+             "no shared store-point sizes between fresh run and baseline")
+        )
+        return failures
+
+    for size in shared_sizes:
+        for metric, floor in RATIO_FLOORS.items():
+            fresh_value = fresh_ratios[size].get(metric)
+            base_value = base_ratios[size].get(metric)
+            if fresh_value is None or base_value is None:
+                failures.append((metric, size, 0.0, floor, "metric missing"))
+                continue
+            clamped = min(base_value, NOISE_CAPS.get(metric, base_value))
+            relative_bar = (1.0 - tolerance) * clamped
+            if fresh_value < relative_bar:
+                failures.append(
+                    (metric, size, fresh_value, relative_bar,
+                     f">{tolerance:.0%} regression vs baseline {clamped:.2f}x")
+                )
+            if fresh_value < floor:
+                failures.append(
+                    (metric, size, fresh_value, floor, "below absolute floor")
+                )
+
+    for size, point in _compact_points_by_size(fresh).items():
+        per_leaf = point.get("bytes_per_leaf")
+        if per_leaf is not None and per_leaf > BYTES_PER_LEAF_CEILING:
+            failures.append(
+                ("bytes_per_leaf", size, per_leaf, BYTES_PER_LEAF_CEILING,
+                 "compact per-leaf footprint above ceiling")
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "results" / "dictionary_update_scaling.json",
+        help="freshly generated sweep JSON (default: benchmarks/results/...)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "baselines" / "dictionary_update_scaling.json",
+        help="committed baseline JSON (default: benchmarks/baselines/...)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional regression vs baseline ratios (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = _load(args.fresh)
+    baseline = _load(args.baseline)
+    failures = check(fresh, baseline, args.tolerance)
+
+    fresh_ratios = _speedups_by_size(fresh)
+    for size in sorted(fresh_ratios):
+        row = fresh_ratios[size]
+        print(
+            f"{size:,} leaves: "
+            f"batch append {row.get('compact_batch_append_speedup', float('nan')):.2f}x, "
+            f"single random {row.get('compact_single_random_speedup', float('nan')):.2f}x "
+            f"(compact vs incremental)"
+        )
+    for size, point in sorted(_compact_points_by_size(fresh).items()):
+        if "bytes_per_leaf" in point:
+            print(f"{size:,} leaves: compact {point['bytes_per_leaf']:.1f} B/leaf")
+
+    if failures:
+        print("\nPERF REGRESSION GATE FAILED:", file=sys.stderr)
+        for metric, size, fresh_value, required, reason in failures:
+            where = f" @ {size:,} leaves" if size else ""
+            print(
+                f"  {metric}{where}: {fresh_value:.2f} < required {required:.2f} "
+                f"({reason})",
+                file=sys.stderr,
+            )
+        print(
+            "\nIf the change is an intentional perf trade-off, refresh the "
+            "baseline (see benchmarks/baselines/README.md).",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nperf gate OK (tolerance {:.0%})".format(args.tolerance))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
