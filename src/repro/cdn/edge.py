@@ -125,6 +125,28 @@ class EdgeServer:
             served_bytes=stored.size,
         )
 
+    def plant_object(
+        self, path: str, content: bytes, now: float, ttl_seconds: float
+    ) -> None:
+        """Inject a forged object into this edge's cache (attack modelling).
+
+        Models a compromised point of presence (or a CA colluding with one
+        region's edges, §V "Misbehaving CA"): clients resolving to this edge
+        are served ``content`` for ``ttl_seconds`` while every other edge and
+        the origin keep the honest copy.  The planted copy advertises a
+        version past anything the origin has issued so it masquerades as the
+        newest publication.  Used by the adversarial scenario injectors in
+        :mod:`repro.scenarios.faults`; the origin is never touched.
+        """
+        stored = StoredObject(
+            path=path,
+            content=content,
+            version=self.origin.latest_version() + 1_000_000,
+            published_at=now,
+            ttl_seconds=ttl_seconds,
+        )
+        self._cache.put(path, CachedObject(stored=stored, fetched_at=now))
+
     def peek_version(self, path: str, now: float) -> Optional[int]:
         """Version of the cached copy if fresh, else ``None`` (forces a pull).
 

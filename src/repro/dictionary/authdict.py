@@ -25,12 +25,17 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.crypto.hashchain import HashChain
 from repro.crypto.hashing import DEFAULT_DIGEST_SIZE
-from repro.crypto.signing import KeyPair, PublicKey, verify_batch
+from repro.crypto.signing import KeyPair, PublicKey, acceptable_verifiers, verify_batch
 from repro.store import create_store
 from repro.dictionary.freshness import FreshnessStatement, periods_elapsed
 from repro.dictionary.proofs import RevocationStatus
 from repro.dictionary.signed_root import SignedRoot
-from repro.errors import DesynchronizedError, DictionaryError, SignatureError
+from repro.errors import (
+    DesynchronizedError,
+    DictionaryError,
+    ReplayError,
+    SignatureError,
+)
 from repro.pki.serial import SerialNumber
 
 #: Default hash-chain length: enough freshness statements for one day of
@@ -244,6 +249,17 @@ class CADictionary(_DictionaryCore):
         self._latest_freshness = statement
         return statement
 
+    def rotate_keys(self, keys: KeyPair, now: int) -> SignedRoot:
+        """Swap the signing key pair and re-sign the current content under it.
+
+        Used by CA key rotation: the dictionary content is unchanged, but a
+        fresh root (with a fresh hash chain) is signed by the incoming key so
+        replicas can verify it without the outgoing key once its overlap
+        window closes.
+        """
+        self._keys = keys
+        return self._sign_new_root(now)
+
     # -- Fig. 2: prove -------------------------------------------------------
 
     def prove(self, serial: SerialNumber, now: Optional[int] = None) -> RevocationStatus:
@@ -302,9 +318,14 @@ class ReplicaDictionary(_DictionaryCore):
         engine: Optional[str] = None,
     ) -> None:
         super().__init__(ca_name, digest_size, engine=engine)
+        #: The CA verifier: a bare :class:`PublicKey` or a time-scoped
+        #: :class:`~repro.crypto.signing.CAKeyring` (key-rotation deployments).
         self._ca_public_key = ca_public_key
         self._signed_root: Optional[SignedRoot] = None
         self._latest_freshness: Optional[FreshnessStatement] = None
+        #: Hash-chain period of the current freshness statement under the
+        #: current root; freshness never moves backwards (replay defense).
+        self._freshness_age = 0
         #: Optional :class:`~repro.perf.root_cache.VerifiedRootCache` (duck
         #: typed: anything with ``verify_many``).  Wired by the owning
         #: :class:`~repro.ritm.agent.RevocationAgent` so every replica of
@@ -383,6 +404,7 @@ class ReplicaDictionary(_DictionaryCore):
         self._latest_freshness = FreshnessStatement(
             ca_name=self.ca_name, value=signed_root.anchor, dictionary_size=self.size
         )
+        self._freshness_age = 0
         return len(serials)
 
     def _verify_root_signatures(self, signed_roots: Sequence[SignedRoot]) -> None:
@@ -390,12 +412,23 @@ class ReplicaDictionary(_DictionaryCore):
         if self.root_cache is not None:
             verdicts = self.root_cache.verify_many(signed_roots, self._ca_public_key)
         else:
+            keys = acceptable_verifiers(self._ca_public_key)
             verdicts = verify_batch(
                 [
-                    (self._ca_public_key, signed_root.payload(), signed_root.signature)
+                    (keys[0], signed_root.payload(), signed_root.signature)
                     for signed_root in signed_roots
                 ]
-            )
+            ) if keys else [False] * len(signed_roots)
+            # Overlap fallback for keyrings: retry failures under the older
+            # still-acceptable keys (mid-rotation issuance batches).
+            for index, valid in enumerate(verdicts):
+                if not valid:
+                    verdicts[index] = any(
+                        key.verify(
+                            signed_roots[index].payload(), signed_roots[index].signature
+                        )
+                        for key in keys[1:]
+                    )
         if not all(verdicts):
             raise SignatureError(
                 f"revocation issuance for {self.ca_name!r} carries an invalid root signature"
@@ -414,6 +447,7 @@ class ReplicaDictionary(_DictionaryCore):
         self._latest_freshness = FreshnessStatement(
             ca_name=self.ca_name, value=signed_root.anchor, dictionary_size=self.size
         )
+        self._freshness_age = 0
 
     def restore_snapshot(
         self,
@@ -458,6 +492,7 @@ class ReplicaDictionary(_DictionaryCore):
             serial = SerialNumber.from_bytes(key)
             self._numbers[serial.value] = _value_to_number(value)
         self._signed_root = signed_root
+        self._freshness_age = 0
         try:
             self.apply_freshness(freshness)
         except DictionaryError:
@@ -469,6 +504,7 @@ class ReplicaDictionary(_DictionaryCore):
                 value=signed_root.anchor,
                 dictionary_size=self.size,
             )
+            self._freshness_age = 0
 
     def _root_signature_valid(self, signed_root: SignedRoot) -> bool:
         """One root's signature check, memoized through :attr:`root_cache`."""
@@ -477,7 +513,15 @@ class ReplicaDictionary(_DictionaryCore):
         return signed_root.verify(self._ca_public_key)
 
     def apply_freshness(self, statement: FreshnessStatement) -> None:
-        """Replace the stored freshness statement after linking it to the anchor."""
+        """Replace the stored freshness statement after linking it to the anchor.
+
+        Freshness is monotonic under one root: a statement for an *older*
+        hash-chain period than the one currently held is a replay (a
+        recorded pre-image re-presented to roll the replica's notion of
+        "fresh" backwards) and raises :class:`ReplayError`.  Re-presenting
+        the current period is idempotent and accepted, so CDN re-serves of
+        the live object are harmless.
+        """
         if statement.ca_name != self.ca_name:
             raise DictionaryError("freshness statement for a different CA")
         if self._signed_root is None:
@@ -496,7 +540,13 @@ class ReplicaDictionary(_DictionaryCore):
         )
         if age is None:
             raise DictionaryError("freshness statement does not link to the current anchor")
+        if age < self._freshness_age:
+            raise ReplayError(
+                f"freshness statement for {self.ca_name!r} replays period {age} but the "
+                f"replica already holds period {self._freshness_age}"
+            )
         self._latest_freshness = statement
+        self._freshness_age = age
 
     # -- Fig. 2: prove --------------------------------------------------------
 

@@ -44,6 +44,14 @@ class DesynchronizedError(DictionaryError):
     """A replica detected that it is behind (or ahead of) the CA's dictionary."""
 
 
+class ReplayError(DictionaryError):
+    """A control-plane message re-presented state older than the replay window.
+
+    Raised by the dissemination layer when a signed head, shard index, or
+    freshness statement would roll a replica back past its bounded replay
+    window — the signature may be valid, but the content is a recording."""
+
+
 class StaleStatusError(ReproError):
     """A revocation status is older than the client's acceptance window (2*delta)."""
 

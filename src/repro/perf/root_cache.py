@@ -22,7 +22,12 @@ import hashlib
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, List, Sequence, Set
 
-from repro.crypto.signing import DEFAULT_BATCH_WIDTH, PublicKey, verify_batch
+from repro.crypto.signing import (
+    DEFAULT_BATCH_WIDTH,
+    PublicKey,
+    acceptable_verifiers,
+    verify_batch,
+)
 from repro.errors import SignatureError
 from repro.perf.cache import CacheStats
 
@@ -67,11 +72,11 @@ class VerifiedRootCache:
 
     # -- verification --------------------------------------------------------
 
-    def verify(self, signed_root: "SignedRoot", public_key: PublicKey) -> bool:
+    def verify(self, signed_root: "SignedRoot", public_key) -> bool:
         """Like :meth:`SignedRoot.verify`, but each success is checked once."""
         return self.verify_many([signed_root], public_key)[0]
 
-    def verify_or_raise(self, signed_root: "SignedRoot", public_key: PublicKey) -> None:
+    def verify_or_raise(self, signed_root: "SignedRoot", public_key) -> None:
         """Raise :class:`SignatureError` unless the root verifies (memoized)."""
         if not self.verify(signed_root, public_key):
             raise SignatureError(
@@ -79,7 +84,7 @@ class VerifiedRootCache:
             )
 
     def verify_many(
-        self, signed_roots: Sequence["SignedRoot"], public_key: PublicKey
+        self, signed_roots: Sequence["SignedRoot"], public_key
     ) -> List[bool]:
         """Per-root validity; cache misses are batch-verified and memoized.
 
@@ -87,13 +92,30 @@ class VerifiedRootCache:
         queued since the last pull share one batched verification
         (:func:`repro.crypto.signing.verify_batch`) instead of one full
         scalar-multiplication pair each.
+
+        ``public_key`` may be a bare :class:`PublicKey` or a
+        :class:`~repro.crypto.signing.CAKeyring`.  With a keyring, a verdict
+        is memoized under the *specific* key that verified it and a cached
+        hit counts only while that key is still acceptable — so a root
+        signed by a retired key stops verifying the moment its overlap
+        window closes, cached or not.
         """
+        verifier_keys = acceptable_verifiers(public_key)
+        if not verifier_keys:
+            self.stats.misses += len(signed_roots)
+            return [False] * len(signed_roots)
+        primary = verifier_keys[0]
         results: List[bool] = [False] * len(signed_roots)
         missed: List[int] = []
         for index, signed_root in enumerate(signed_roots):
-            key = self._key(signed_root, public_key)
-            if key in self._entries:
-                self._entries.move_to_end(key)
+            hit = False
+            for verifier in verifier_keys:
+                key = self._key(signed_root, verifier)
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    hit = True
+                    break
+            if hit:
                 self.stats.hits += 1
                 results[index] = True
             else:
@@ -102,15 +124,25 @@ class VerifiedRootCache:
         if missed:
             verdicts = verify_batch(
                 [
-                    (public_key, signed_roots[i].payload(), signed_roots[i].signature)
+                    (primary, signed_roots[i].payload(), signed_roots[i].signature)
                     for i in missed
                 ],
                 batch_width=self.batch_width,
             )
             for index, valid in zip(missed, verdicts):
-                results[index] = valid
-                if valid:
-                    self._remember(signed_roots[index], public_key)
+                verified_under = primary if valid else None
+                if not valid:
+                    # Overlap fallback: an older-but-still-acceptable key may
+                    # have signed this root (mid-rotation pulls, restores).
+                    for verifier in verifier_keys[1:]:
+                        if verifier.verify(
+                            signed_roots[index].payload(), signed_roots[index].signature
+                        ):
+                            verified_under = verifier
+                            break
+                results[index] = verified_under is not None
+                if verified_under is not None:
+                    self._remember(signed_roots[index], verified_under)
         return results
 
     # -- maintenance ---------------------------------------------------------

@@ -24,12 +24,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.crypto.signing import PublicKey
+from repro.crypto.signing import CAKeyring, KeyPair, PublicKey
 from repro.dictionary.authdict import ReplicaDictionary, RevocationIssuance
 from repro.dictionary.freshness import FreshnessStatement
 from repro.dictionary.proofs import RevocationStatus
 from repro.dictionary.sharding import ShardKey, shard_name
-from repro.errors import DesynchronizedError, DictionaryError, ReproError, TLSError
+from repro.errors import (
+    DesynchronizedError,
+    DictionaryError,
+    ReproError,
+    SignatureError,
+    TLSError,
+)
 from repro.net.node import Middlebox
 from repro.net.packet import Direction, Packet
 from repro.perf import ProofCache, VerifiedRootCache
@@ -44,7 +50,13 @@ from repro.ritm.persistence import (
     write_checkpoint,
 )
 from repro.ritm.dpi import DPIEngine, InspectionResult
-from repro.ritm.messages import decode_status_bundle, encode_status_bundle
+from repro.ritm.messages import (
+    KeyAnnouncement,
+    decode_key_announcements,
+    decode_status_bundle,
+    encode_key_announcements,
+    encode_status_bundle,
+)
 from repro.ritm.state import ConnectionState, ConnectionTable
 from repro.tls.connection import HandshakeStage
 from repro.tls.records import ContentType, TLSRecord, parse_records, serialize_records
@@ -79,7 +91,14 @@ class RevocationAgent(Middlebox):
         self.replicas: Dict[str, ReplicaDictionary] = {}
         self.connections = ConnectionTable()
         self.dpi = DPIEngine()
-        self.consistency = ConsistencyChecker(owner=name)
+        #: Deterministic per-RA reporter key: every MisbehaviorReport this
+        #: agent emits is countersigned so the evidence is attributable.
+        self.reporter_keys = KeyPair.generate(
+            rng_seed=f"ra-reporter:{name}".encode("utf-8")
+        )
+        self.consistency = ConsistencyChecker(
+            owner=name, reporter_keys=self.reporter_keys
+        )
         self.stats = AgentStatistics()
         #: Server identity → (CA name, serial, expiry) cache used to recover
         #: the certificate identity on abbreviated (resumed) handshakes.
@@ -105,13 +124,20 @@ class RevocationAgent(Middlebox):
             maxsize=self.config.root_cache_size,
             batch_width=self.config.signature_batch_width,
         )
+        #: Validated key-announcement chains per CA (rotating keyrings
+        #: only), kept so checkpoints can persist and rebuild the keyring.
+        self._key_announcements: Dict[str, Tuple[KeyAnnouncement, ...]] = {}
 
     # -- dictionary management -------------------------------------------------
 
-    def register_ca(self, ca_name: str, public_key: PublicKey) -> ReplicaDictionary:
+    def register_ca(self, ca_name: str, public_key) -> ReplicaDictionary:
         """Create (or return) the replica dictionary for one CA.
 
-        The replica uses the store engine the RA was configured with
+        ``public_key`` may be a bare :class:`PublicKey` (immortal-key
+        baseline) or a :class:`~repro.crypto.signing.CAKeyring` anchored at
+        the CA's genesis key — the latter lets the replica follow CA key
+        rotations learned via :meth:`learn_key_announcements`.  The replica
+        uses the store engine the RA was configured with
         (``config.store_engine``), so a whole deployment can be switched
         between engines from one knob.
         """
@@ -127,7 +153,83 @@ class RevocationAgent(Middlebox):
         return self.replicas[ca_name]
 
     def replica_for(self, ca_name: str) -> Optional[ReplicaDictionary]:
+        """The replica registered under ``ca_name`` (None when unknown)."""
         return self.replicas.get(ca_name)
+
+    def keyring_for(self, ca_name: str) -> Optional[CAKeyring]:
+        """The replica's rotating keyring (None for bare-key or unknown CAs)."""
+        replica = self.replicas.get(ca_name)
+        if replica is None or not isinstance(replica.ca_public_key, CAKeyring):
+            return None
+        return replica.ca_public_key
+
+    def learn_key_announcements(
+        self, ca_name: str, announcements: Sequence[KeyAnnouncement]
+    ) -> int:
+        """Validate a CA's key-announcement chain and enroll any new keys.
+
+        The chain is trusted only through the genesis anchor: announcement 0
+        must carry the exact key bytes the replica's keyring was registered
+        with, epochs must be contiguous from 0, activation times must be
+        non-decreasing, and every later announcement must be signed by its
+        *predecessor's* key.  Enrollment is strictly additive (idempotent on
+        replays), so a forged chain can never displace already-trusted keys
+        — at worst it is rejected wholesale with :class:`SignatureError`.
+        Returns the number of keys newly enrolled.
+        """
+        replica = self.replicas.get(ca_name)
+        if replica is None:
+            raise DictionaryError(
+                f"RA {self.name!r} has no replica for CA {ca_name!r}"
+            )
+        keyring = replica.ca_public_key
+        if not isinstance(keyring, CAKeyring):
+            raise DictionaryError(
+                f"replica of {ca_name!r} is pinned to a single key; "
+                f"it cannot learn rotations"
+            )
+        if not announcements:
+            raise SignatureError(f"empty key-announcement chain for {ca_name!r}")
+        genesis = announcements[0]
+        if (
+            genesis.ca_name != ca_name
+            or genesis.key_epoch != 0
+            or genesis.public_key_bytes != keyring.genesis.key_bytes
+        ):
+            raise SignatureError(
+                f"key-announcement chain for {ca_name!r} is not anchored at "
+                f"the trusted genesis key"
+            )
+        validated = [genesis]
+        previous = PublicKey(genesis.public_key_bytes)
+        for index, announcement in enumerate(announcements[1:], start=1):
+            if announcement.ca_name != ca_name or announcement.key_epoch != index:
+                raise SignatureError(
+                    f"key-announcement chain for {ca_name!r} has "
+                    f"non-contiguous or misattributed epochs"
+                )
+            if announcement.activated_at < validated[-1].activated_at:
+                raise SignatureError(
+                    f"key announcement {index} for {ca_name!r} activates a "
+                    f"key before its predecessor"
+                )
+            if not previous.verify(announcement.payload(), announcement.signature):
+                raise SignatureError(
+                    f"key announcement {index} for {ca_name!r} is not signed "
+                    f"by the epoch-{index - 1} key"
+                )
+            validated.append(announcement)
+            previous = PublicKey(announcement.public_key_bytes)
+        learned = 0
+        for announcement in validated[len(keyring):]:
+            keyring.add_key(
+                PublicKey(announcement.public_key_bytes),
+                activated_at=announcement.activated_at,
+                overlap_seconds=announcement.overlap_seconds,
+            )
+            learned += 1
+        self._key_announcements[ca_name] = tuple(validated)
+        return learned
 
     # -- sharded CAs (§VIII "Ever-growing dictionaries") -----------------------
 
@@ -236,17 +338,32 @@ class RevocationAgent(Middlebox):
         explicit shard registry through :mod:`repro.ritm.persistence`.
         Replicas that have not completed a first sync are skipped — there is
         nothing verified to persist, and a restored RA simply cold-syncs
-        them.  Returns the number of replicas persisted.
+        them.  Rotating keyrings are persisted as their validated
+        key-announcement chain plus the keyring clock (the per-replica key
+        in the manifest stays the *genesis* key, the trust anchor the chain
+        must re-validate against on restore).  Returns the number of
+        replicas persisted.
         """
         replicas = []
+        keyrings: Dict[str, Dict[str, object]] = {}
         for ca_name in sorted(self.replicas):
             replica = self.replicas[ca_name]
             if replica.signed_root is None or replica.latest_freshness is None:
                 continue
+            verifier = replica.ca_public_key
+            key_bytes = verifier.key_bytes
+            if isinstance(verifier, CAKeyring):
+                key_bytes = verifier.genesis.key_bytes
+                chain = self._key_announcements.get(ca_name)
+                if chain:
+                    keyrings[ca_name] = {
+                        "announcements": encode_key_announcements(chain).hex(),
+                        "clock": verifier.clock,
+                    }
             replicas.append(
                 ReplicaCheckpoint(
                     ca_name=ca_name,
-                    public_key_bytes=replica.ca_public_key.key_bytes,
+                    public_key_bytes=key_bytes,
                     signed_root=replica.signed_root,
                     freshness=replica.latest_freshness,
                     items=replica.leaf_items(),
@@ -260,6 +377,7 @@ class RevocationAgent(Middlebox):
                     ca: dict(members) for ca, members in self._shard_members.items()
                 },
                 replicas=replicas,
+                keyrings=keyrings,
             ),
             directory,
         )
@@ -283,7 +401,29 @@ class RevocationAgent(Middlebox):
         restored_names = set()
         failed_names = set()
         for entry in checkpoint.replicas:
-            replica = self.register_ca(entry.ca_name, entry.public_key)
+            keyring_state = checkpoint.keyrings.get(entry.ca_name)
+            if keyring_state is not None:
+                # Rebuild the rotating keyring from the persisted chain,
+                # re-validated against the genesis anchor.  A tampered or
+                # undecodable chain leaves the keyring genesis-only, so the
+                # root re-verification below rejects any state signed by a
+                # rotated key and the replica degrades to cold sync — a
+                # doctored checkpoint never smuggles in an untrusted key.
+                replica = self.register_ca(
+                    entry.ca_name, CAKeyring.single(entry.public_key)
+                )
+                try:
+                    chain = decode_key_announcements(
+                        bytes.fromhex(str(keyring_state["announcements"]))
+                    )
+                    self.learn_key_announcements(entry.ca_name, chain)
+                    keyring = self.keyring_for(entry.ca_name)
+                    if keyring is not None:
+                        keyring.advance(int(keyring_state["clock"]))
+                except (ReproError, ValueError, KeyError, TypeError):
+                    pass
+            else:
+                replica = self.register_ca(entry.ca_name, entry.public_key)
             try:
                 replica.restore_snapshot(entry.items, entry.signed_root, entry.freshness)
             except ReproError:

@@ -28,10 +28,11 @@ delete replicas of retired ones.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cdn.network import CDNNetwork
+from repro.crypto.signing import CAKeyring, KeyPair
 from repro.dictionary.authdict import CADictionary, RevocationIssuance
 from repro.dictionary.freshness import FreshnessStatement
 from repro.dictionary.proofs import RevocationStatus
@@ -44,9 +45,11 @@ from repro.pki.serial import SerialNumber
 from repro.ritm.config import RITMConfig
 from repro.ritm.messages import (
     DictionaryHead,
+    KeyAnnouncement,
     ShardIndex,
     encode_head,
     encode_issuance,
+    encode_key_announcements,
     encode_shard_index,
 )
 
@@ -66,6 +69,11 @@ def manifest_path(ca_name: str) -> str:
 def shard_index_path(ca_name: str) -> str:
     """CDN path of the shard discovery object (sharded mode only)."""
     return f"/ritm/{ca_name}/shards"
+
+
+def keys_path(ca_name: str) -> str:
+    """CDN path of the CA's key-rotation announcement chain."""
+    return f"/ritm/{ca_name}/keys"
 
 
 @dataclass
@@ -91,6 +99,27 @@ class RITMCertificationAuthority:
         self.cdn = cdn
         self.publication_stats = PublicationStats()
         self._batch_counter = 0
+        # Dictionary-signing keys start as the authority's long-term keys
+        # (epoch 0, the out-of-band trust anchor) and rotate on the
+        # configured schedule; retired pairs are retained so the attack
+        # scenarios can forge with them.
+        self._signing_keys: KeyPair = self._keys_of(authority)
+        self._retired_signing_keys: List[KeyPair] = []
+        self._keyring = CAKeyring.single(self._signing_keys.public)
+        genesis = KeyAnnouncement(
+            ca_name=authority.name,
+            key_epoch=0,
+            public_key_bytes=self._signing_keys.public.key_bytes,
+            activated_at=0,
+            overlap_seconds=0,
+        )
+        self._announcements: List[KeyAnnouncement] = [
+            replace(genesis, signature=self._signing_keys.sign(genesis.payload()))
+        ]
+        #: Per-dictionary-name publication counters stamped into heads.
+        self._sequences: Dict[str, int] = {}
+        self._index_sequence = 0
+        self._refresh_count = 0
         if self.config.sharded:
             self.dictionary = None
             self.sync_server = None
@@ -105,7 +134,6 @@ class RITMCertificationAuthority:
             )
             self._shard_sync: Dict[int, SyncServer] = {}
             self._shard_batches: Dict[int, int] = {}
-            self._refresh_count = 0
         else:
             self.shards = None
             self.dictionary = CADictionary(
@@ -132,7 +160,33 @@ class RITMCertificationAuthority:
 
     @property
     def public_key(self):
+        """The *genesis* verification key — RAs' out-of-band trust anchor.
+
+        This is deliberately the epoch-0 key even after rotations: RAs are
+        configured with it once and extend trust to later keys through the
+        signed announcement chain, never through reconfiguration.
+        """
         return self.authority.public_key
+
+    @property
+    def signing_public_key(self):
+        """The currently-active dictionary-signing key (rotates)."""
+        return self._signing_keys.public
+
+    @property
+    def keyring(self) -> CAKeyring:
+        """The CA's own time-scoped keyring across every rotation so far."""
+        return self._keyring
+
+    @property
+    def key_announcements(self) -> Tuple[KeyAnnouncement, ...]:
+        """The signed rotation chain, genesis first."""
+        return tuple(self._announcements)
+
+    @property
+    def key_epoch(self) -> int:
+        """How many rotations have happened (0 = still on the genesis key)."""
+        return len(self._announcements) - 1
 
     @property
     def sharded(self) -> bool:
@@ -279,8 +333,53 @@ class RITMCertificationAuthority:
                 if retired:
                     self._publish_shard_index(now)
             return results
-        result = self.dictionary.refresh(int(now))
+        self._refresh_count += 1
+        rotation = self.config.key_rotation_periods
+        if rotation and self._refresh_count % rotation == 0:
+            result = self.rotate_keys(now)
+        else:
+            result = self.dictionary.refresh(int(now))
         self._publish_head(now)
+        return result
+
+    def rotate_keys(self, now: float) -> SignedRoot:
+        """Retire the active dictionary-signing key and enroll a fresh one.
+
+        The new key is announced in a :class:`KeyAnnouncement` signed by the
+        *outgoing* key (extending the chain RAs validate from the genesis
+        anchor), the current dictionary content is immediately re-signed
+        under the new key, and both the announcement chain and the head are
+        republished.  The outgoing key keeps verifying for
+        :attr:`RITMConfig.key_overlap_seconds`.
+        """
+        if self.sharded:
+            raise DictionaryError(
+                f"sharded CA {self.name!r} does not support key rotation yet"
+            )
+        epoch = len(self._announcements)
+        new_keys = KeyPair.generate(
+            rng_seed=f"{self.name}:key-epoch-{epoch}".encode("utf-8")
+        )
+        announcement = KeyAnnouncement(
+            ca_name=self.name,
+            key_epoch=epoch,
+            public_key_bytes=new_keys.public.key_bytes,
+            activated_at=int(now),
+            overlap_seconds=self.config.key_overlap_seconds,
+        )
+        announcement = replace(
+            announcement, signature=self._signing_keys.sign(announcement.payload())
+        )
+        self._announcements.append(announcement)
+        self._retired_signing_keys.append(self._signing_keys)
+        self._signing_keys = new_keys
+        self._keyring.add_key(
+            new_keys.public,
+            activated_at=int(now),
+            overlap_seconds=self.config.key_overlap_seconds,
+        )
+        result = self.dictionary.rotate_keys(new_keys, int(now))
+        self._publish_key_announcements(now)
         return result
 
     def retire_expired(self, now: float) -> List[ShardKey]:
@@ -308,6 +407,7 @@ class RITMCertificationAuthority:
             size=self.dictionary.size,
             signed_root=signed_root,
             freshness=freshness,
+            sequence=self._sequences.get(self.name, 0),
         )
 
     def shard_head(self, shard_index: int) -> DictionaryHead:
@@ -324,6 +424,7 @@ class RITMCertificationAuthority:
             size=shard.size,
             signed_root=shard.signed_root,
             freshness=shard.latest_freshness,
+            sequence=self._sequences.get(shard.ca_name, 0),
         )
 
     #: Most recent retired shard indices carried in the published index; the
@@ -341,6 +442,7 @@ class RITMCertificationAuthority:
             retired=tuple(
                 self.shards.retired_indices()[-self.RETIRED_INDICES_PUBLISHED:]
             ),
+            sequence=self._index_sequence,
         )
 
     def sync_server_for(self, shard_index: int) -> Optional[SyncServer]:
@@ -404,11 +506,27 @@ class RITMCertificationAuthority:
     def _publish_head(self, now: float) -> None:
         if self.cdn is None:
             return
+        # The publication sequence advances exactly once per publish, so a
+        # replayed copy of an earlier object is detectably behind.
+        self._sequences[self.name] = self._sequences.get(self.name, 0) + 1
         content = encode_head(self.head())
         self.cdn.publish(
             head_path(self.name), content, now, ttl_seconds=self.config.cdn_ttl_seconds
         )
         self.publication_stats.heads_published += 1
+        self.publication_stats.bytes_uploaded += len(content)
+
+    def _publish_key_announcements(self, now: float) -> None:
+        """Publish the full signed rotation chain at :func:`keys_path`."""
+        if self.cdn is None:
+            return
+        content = encode_key_announcements(tuple(self._announcements))
+        self.cdn.publish(
+            keys_path(self.name),
+            content,
+            now,
+            ttl_seconds=self.config.cdn_ttl_seconds,
+        )
         self.publication_stats.bytes_uploaded += len(content)
 
     def _publish_manifest(self, now: float) -> None:
@@ -433,6 +551,8 @@ class RITMCertificationAuthority:
         """Publish one shard's head object under its shard name."""
         if self.cdn is None:
             return
+        name = shard_name(self.name, shard_index)
+        self._sequences[name] = self._sequences.get(name, 0) + 1
         content = encode_head(self.shard_head(shard_index))
         self.cdn.publish(
             head_path(shard_name(self.name, shard_index)),
@@ -447,6 +567,7 @@ class RITMCertificationAuthority:
         """Publish the shard discovery object."""
         if self.cdn is None:
             return
+        self._index_sequence += 1
         content = encode_shard_index(self.shard_index(now))
         self.cdn.publish(
             shard_index_path(self.name),

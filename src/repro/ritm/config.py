@@ -83,6 +83,17 @@ class RITMConfig:
     #: How many signatures share one batched verification equation in
     #: dissemination pulls and resyncs.
     signature_batch_width: int = DEFAULT_BATCH_WIDTH
+    #: CA key-rotation schedule in Δ periods (0 = keys never rotate).  Each
+    #: rotation publishes a :class:`~repro.ritm.messages.KeyAnnouncement`
+    #: signed by the outgoing key and re-signs the current root.
+    key_rotation_periods: int = 0
+    #: Grace window, in Δ periods, during which roots signed by a
+    #: just-retired key still verify (so RAs one pull behind the rotation
+    #: announcement do not hard-fail).
+    key_overlap_periods: int = 1
+    #: How far behind the newest observed publication sequence a head may be
+    #: before the RA treats it as a replay attack rather than CDN staleness.
+    replay_window: int = 2
 
     def __post_init__(self) -> None:
         if self.delta_seconds <= 0:
@@ -108,11 +119,30 @@ class RITMConfig:
             raise ConfigurationError("root_cache_size cannot be negative")
         if self.signature_batch_width < 1:
             raise ConfigurationError("signature_batch_width must be at least 1")
+        if self.key_rotation_periods < 0:
+            raise ConfigurationError("key_rotation_periods cannot be negative")
+        if self.key_overlap_periods < 0:
+            raise ConfigurationError("key_overlap_periods cannot be negative")
+        if self.key_rotation_periods and self.sharded:
+            raise ConfigurationError(
+                "key rotation is not supported for sharded deployments yet"
+            )
+        if self.key_rotation_periods and self.key_overlap_periods >= self.key_rotation_periods:
+            raise ConfigurationError(
+                "key_overlap_periods must be smaller than key_rotation_periods"
+            )
+        if self.replay_window < 1:
+            raise ConfigurationError("replay_window must be at least 1")
 
     @property
     def attack_window_seconds(self) -> int:
         """The effective attack window: (1 + tolerance) * Δ — 2Δ by default (§V)."""
         return (1 + self.freshness_tolerance_periods) * self.delta_seconds
+
+    @property
+    def key_overlap_seconds(self) -> int:
+        """The retired-key grace window in seconds."""
+        return self.key_overlap_periods * self.delta_seconds
 
     @property
     def status_refresh_seconds(self) -> int:

@@ -23,27 +23,40 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.cdn.geography import GeoLocation
 from repro.cdn.network import CDNNetwork
-from repro.crypto.signing import PublicKey
+from repro.crypto.signing import CAKeyring, PublicKey
 from repro.dictionary.sharding import (
     MAX_CERTIFICATE_LIFETIME_SECONDS,
     ShardKey,
     shard_name,
 )
 from repro.dictionary.sync import SyncRequest, SyncServer
-from repro.errors import CDNError, DictionaryError, SignatureError, TLSError
+from repro.errors import (
+    CDNError,
+    DictionaryError,
+    ReplayError,
+    SignatureError,
+    TLSError,
+)
 from repro.ritm.agent import RevocationAgent
 from repro.ritm.ca_service import (
     RITMCertificationAuthority,
     head_path,
     issuance_path,
+    keys_path,
     shard_index_path,
 )
-from repro.ritm.messages import decode_head, decode_issuance, decode_shard_index
+from repro.ritm.messages import (
+    decode_head,
+    decode_issuance,
+    decode_key_announcements,
+    decode_shard_index,
+)
 from repro.store.durable import atomic_write
 
 
@@ -73,6 +86,28 @@ class PullResult:
     root_cache_hits: int = 0
     root_signatures_verified: int = 0
     proofs_invalidated: int = 0
+    #: Adversarial control-plane accounting (docs/THREATS.md): heads/indexes
+    #: skipped as benign CDN staleness (within the replay window), heads or
+    #: freshness statements rejected as replays (beyond the window or older
+    #: than already-applied authenticated state), and CA key rotations the
+    #: RA learned and validated this cycle.
+    stale_heads_ignored: int = 0
+    replays_rejected: int = 0
+    key_rotations_applied: int = 0
+
+
+def _cursor_checksum(cursor_state: Dict[str, Dict[str, int]]) -> int:
+    """CRC32 over the canonical JSON of the replay-cursor block.
+
+    Not a MAC — it distinguishes honest old checkpoints (no cursor block)
+    and corruption from a usable block; a deliberately doctored block that
+    also fixes the CRC only costs the restarted RA a cold replay window,
+    because restore never *trusts* cursors for anything but staleness
+    filtering.
+    """
+    return zlib.crc32(
+        json.dumps(cursor_state, sort_keys=True).encode("utf-8")
+    )
 
 
 class RADisseminationClient:
@@ -98,6 +133,14 @@ class RADisseminationClient:
         self._sharded_cas: Dict[str, tuple] = {}
         #: Pull cycles completed per sharded CA (drives the pruning cadence).
         self._shard_pulls: Dict[str, int] = {}
+        #: Replay windows: highest publication sequence observed per head
+        #: (and per shard index), plus consecutive-rejection counters that
+        #: let a forged-high cursor self-heal instead of bricking the pull
+        #: loop forever (docs/THREATS.md).
+        self._head_cursors: Dict[str, int] = {}
+        self._head_stale_counts: Dict[str, int] = {}
+        self._index_cursors: Dict[str, int] = {}
+        self._index_stale_counts: Dict[str, int] = {}
 
     def register_sync_server(self, ca_name: str, server: SyncServer) -> None:
         """Register the CA's direct sync endpoint for desync recovery."""
@@ -114,12 +157,20 @@ class RADisseminationClient:
         The cursors are what turn a warm restart into a *delta* fetch: the
         restored client resumes from the last issuance batch it committed
         instead of re-walking (or re-downloading) the CA's whole batch
-        history.  Returns the number of replicas persisted.
+        history.  Replay cursors are persisted under their own CRC32 so a
+        restore can tell tampering from an honest pre-replay-window
+        checkpoint.  Returns the number of replicas persisted.
         """
+        cursor_state = {
+            "head_cursors": dict(self._head_cursors),
+            "index_cursors": dict(self._index_cursors),
+        }
         state = {
             "format": 1,
             "applied_batches": dict(self._applied_batches),
             "shard_pulls": dict(self._shard_pulls),
+            "cursor_checksum": _cursor_checksum(cursor_state),
+            **cursor_state,
         }
         # Cursors are written first (atomically), the agent manifest last:
         # the manifest is the checkpoint's commit point, so a crash at any
@@ -140,7 +191,11 @@ class RADisseminationClient:
         Applied-batch cursors are restored only for dictionaries whose
         replica actually warm-started (holds a verified root): a cursor
         without its replica state would make the next pull skip batches the
-        replica never applied.  Returns the number of replicas restored.
+        replica never applied.  Replay cursors are restored only when their
+        checksum validates — a tampered (or truncated) cursor block degrades
+        the restart to cold replay state, which re-learns sequences from the
+        next pull; it never silently accepts a forged cursor.  Returns the
+        number of replicas restored.
         """
         restored = self.agent.restore(directory)
         path = os.path.join(str(directory), self.STATE_FILENAME)
@@ -162,6 +217,22 @@ class RADisseminationClient:
             if replica is not None and replica.signed_root is not None:
                 self._applied_batches[name] = batch
         self._shard_pulls.update(shard_pulls)
+        try:
+            cursor_state = {
+                "head_cursors": {
+                    str(name): int(seq)
+                    for name, seq in state.get("head_cursors", {}).items()
+                },
+                "index_cursors": {
+                    str(name): int(seq)
+                    for name, seq in state.get("index_cursors", {}).items()
+                },
+            }
+            if state.get("cursor_checksum") == _cursor_checksum(cursor_state):
+                self._head_cursors.update(cursor_state["head_cursors"])
+                self._index_cursors.update(cursor_state["index_cursors"])
+        except (ValueError, TypeError, AttributeError):
+            pass  # malformed cursor block: cold replay state, never trust it
         return restored
 
     def register_sharded_ca(
@@ -233,7 +304,8 @@ class RADisseminationClient:
         # authoritative: the index is unauthenticated, so a forged width
         # must not re-map (or mass-expire) the agent's shard replicas.  A
         # mismatch is treated as a malformed object, like any other
-        # undecodable index.
+        # undecodable index — checked before the replay window so a forged
+        # index can never hide behind "benign staleness".
         width = self.agent.shard_widths[ca_name]
         if index.width_seconds != width:
             raise TLSError(
@@ -241,6 +313,12 @@ class RADisseminationClient:
                 f"{index.width_seconds}s but the agent is configured with "
                 f"{width}s"
             )
+        if self._replay_window_check(
+            ca_name, index.sequence, self._index_cursors, self._index_stale_counts,
+            "shard index", result,
+        ):
+            return index
+        self._index_cursors[ca_name] = index.sequence
         plausible_end = now + MAX_CERTIFICATE_LIFETIME_SECONDS + width
         # Dedup before iterating: a forged index repeating one live entry a
         # million times must cost one head fetch, not a million.  Distinct
@@ -307,15 +385,86 @@ class RADisseminationClient:
             result.entries_pruned += entries
             result.bytes_reclaimed += bytes_freed
 
+    def _replay_window_check(
+        self,
+        name: str,
+        sequence: int,
+        cursors: Dict[str, int],
+        stale_counts: Dict[str, int],
+        kind: str,
+        result: PullResult,
+    ) -> bool:
+        """Classify a publication sequence against its replay cursor.
+
+        Returns ``True`` when the object should be *skipped* as benign CDN
+        staleness (at most ``replay_window`` publications behind the newest
+        sequence this RA has seen).  Raises :class:`ReplayError` when it is
+        further behind — a re-presented old object, the §V replay attack.
+        Returns ``False`` when the object is current.
+
+        Sequences are unauthenticated (a CDN cannot sign), so the cursor
+        self-heals: after more than ``replay_window`` *consecutive*
+        rejections for one name the cursor resets, bounding how long a
+        forged-high sequence can starve an RA of honest updates.  Safety
+        never rests on this counter — replayed signed content is still
+        rejected by hash-chain linkage and monotonic freshness age.
+        """
+        cursor = cursors.get(name, 0)
+        behind = cursor - sequence
+        if behind <= 0:
+            stale_counts.pop(name, None)
+            return False
+        window = self.agent.config.replay_window
+        if behind <= window:
+            result.stale_heads_ignored += 1
+            return True
+        stale = stale_counts.get(name, 0) + 1
+        if stale > window:
+            stale_counts.pop(name, None)
+            cursors.pop(name, None)
+        else:
+            stale_counts[name] = stale
+        result.replays_rejected += 1
+        raise ReplayError(
+            f"{kind} for {name!r} re-presents publication sequence "
+            f"{sequence}, {behind} behind the newest observed ({cursor}) — "
+            f"outside the replay window of {window}"
+        )
+
     def _pull_one(self, ca_name: str, replica, now: float, result: PullResult) -> None:
+        verifier = replica.ca_public_key
+        if hasattr(verifier, "advance"):
+            # Keyring verifiers are time-scoped: move the acceptance clock
+            # forward so retired keys expire out of their overlap windows.
+            verifier.advance(int(now))
         download = self.cdn.download(head_path(ca_name), self.location, now)
         result.bytes_downloaded += download.bytes_on_wire
         result.latency_seconds += download.latency_seconds
         result.heads_checked += 1
         head = decode_head(download.content)
 
-        self.agent.consistency.observe_root(head.signed_root)
+        if self._replay_window_check(
+            ca_name, head.sequence, self._head_cursors, self._head_stale_counts,
+            "head", result,
+        ):
+            return
 
+        self.agent.consistency.observe_root(head.signed_root)
+        try:
+            self._apply_head(ca_name, replica, head, now, result)
+        except SignatureError:
+            # A head the current keyring cannot verify may simply be signed
+            # by a key the CA rotated in since our last pull: learn the
+            # announcement chain (authenticated back to the genesis key) and
+            # retry once.  A genuinely forged head fails again and the error
+            # propagates like any other signature failure.
+            if not self._learn_rotation(ca_name, replica, now, result):
+                raise
+            self._apply_head(ca_name, replica, head, now, result)
+        self._head_cursors[ca_name] = head.sequence
+
+    def _apply_head(self, ca_name: str, replica, head, now: float, result: PullResult) -> None:
+        """Apply one decoded, replay-checked head to its replica."""
         if replica.signed_root is None or replica.is_desynchronized(head.size):
             applied = self._catch_up(ca_name, replica, head, now, result)
             result.serials_applied += applied
@@ -337,8 +486,40 @@ class RADisseminationClient:
                 self.agent.root_cache.invalidate_ca(ca_name)
                 replica.install_root(head.signed_root)
 
-        replica.apply_freshness(head.freshness)
+        try:
+            replica.apply_freshness(head.freshness)
+        except ReplayError:
+            # The authenticated backstop fired: this statement is older than
+            # freshness already applied to the replica, so something (a
+            # malicious edge, a §V attacker) re-presented signed past state.
+            result.replays_rejected += 1
+            raise
         result.freshness_applied += 1
+
+    def _learn_rotation(self, ca_name: str, replica, now: float, result: PullResult) -> bool:
+        """Fetch and validate the CA's key-announcement chain from the CDN.
+
+        Returns ``True`` when at least one new key was enrolled into the
+        replica's keyring (so the caller should retry verification), and
+        ``False`` when the chain is unavailable, invalid, or adds nothing —
+        rotation learning is strictly additive and anchored at the genesis
+        key, so a forged chain can never displace trusted keys.
+        """
+        if not isinstance(replica.ca_public_key, CAKeyring):
+            return False
+        try:
+            download = self.cdn.download(keys_path(ca_name), self.location, now)
+            result.bytes_downloaded += download.bytes_on_wire
+            result.latency_seconds += download.latency_seconds
+            announcements = decode_key_announcements(download.content)
+            learned = self.agent.learn_key_announcements(ca_name, announcements)
+        except (CDNError, TLSError, SignatureError) as exc:
+            result.errors.append(f"{ca_name}: key-announcement fetch failed: {exc}")
+            return False
+        if learned:
+            result.key_rotations_applied += learned
+            return True
+        return False
 
     def _catch_up(self, ca_name, replica, head, now, result: PullResult) -> int:
         """Fetch the missing issuance batches and apply them in one store
@@ -450,7 +631,10 @@ def attach_agent_to_cas(
 
     Sharded CAs are registered for shard discovery instead of getting a
     single base-name replica; their per-shard replicas appear as the pull
-    cycle reads the CA's shard index.
+    cycle reads the CA's shard index.  Unsharded CAs are registered under a
+    fresh per-agent :class:`~repro.crypto.signing.CAKeyring` anchored at the
+    CA's genesis key, so each RA independently learns (and time-scopes) any
+    later key rotations from the announcement chain.
     """
     client = RADisseminationClient(agent, cdn, location)
     for ca in cas:
@@ -462,6 +646,6 @@ def attach_agent_to_cas(
                 ca.sync_server_for,
             )
         else:
-            agent.register_ca(ca.name, ca.public_key)
+            agent.register_ca(ca.name, CAKeyring.single(ca.public_key))
             client.register_sync_server(ca.name, ca.sync_server)
     return client

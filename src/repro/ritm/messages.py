@@ -263,13 +263,18 @@ class DictionaryHead:
 
     Contains everything needed to decide whether the replica is current: the
     dictionary size, the latest signed root, and the latest freshness
-    statement.
+    statement.  ``sequence`` is the CA's per-dictionary publication counter;
+    it is *not* covered by the root signature (a CDN could not update it
+    anyway) but lets RAs detect that an attacker is re-presenting a
+    recorded head from many publications ago (see
+    :class:`repro.ritm.dissemination.RADisseminationClient`).
     """
 
     ca_name: str
     size: int
     signed_root: SignedRoot
     freshness: FreshnessStatement
+    sequence: int = 0
 
     def encoded_size(self) -> int:
         return len(encode_head(self))
@@ -282,6 +287,7 @@ def encode_head(head: DictionaryHead) -> bytes:
             struct.pack(">Q", head.size),
             _pack_bytes(encode_signed_root(head.signed_root)),
             _pack_bytes(encode_freshness(head.freshness)),
+            struct.pack(">Q", head.sequence),
         ]
     )
 
@@ -297,11 +303,15 @@ def decode_head(data: bytes) -> DictionaryHead:
     freshness_bytes, offset = _unpack_bytes(data, offset)
     signed_root, _ = decode_signed_root(root_bytes)
     freshness, _ = decode_freshness(freshness_bytes)
+    sequence = 0
+    if offset + 8 <= len(data):
+        (sequence,) = struct.unpack_from(">Q", data, offset)
     return DictionaryHead(
         ca_name=ca_name.decode("utf-8"),
         size=size,
         signed_root=signed_root,
         freshness=freshness,
+        sequence=sequence,
     )
 
 
@@ -331,6 +341,8 @@ class ShardIndex:
     width_seconds: int
     live: Tuple[int, ...]
     retired: Tuple[int, ...] = ()
+    #: Per-CA publication counter (unauthenticated, replay detection only).
+    sequence: int = 0
 
     def encoded_size(self) -> int:
         """Wire size in bytes."""
@@ -345,6 +357,7 @@ def encode_shard_index(index: ShardIndex) -> bytes:
             "width_seconds": index.width_seconds,
             "live": list(index.live),
             "retired": list(index.retired),
+            "sequence": index.sequence,
         },
         sort_keys=True,
     ).encode("utf-8")
@@ -359,14 +372,104 @@ def decode_shard_index(data: bytes) -> ShardIndex:
             # The index is unauthenticated; a forged zero width must not
             # reach ShardKey arithmetic (or overwrite the agent's width).
             raise ValueError(f"shard width must be positive, got {width_seconds}")
+        sequence = int(payload.get("sequence", 0))
+        if sequence < 0:
+            raise ValueError(f"shard index sequence must be non-negative, got {sequence}")
         return ShardIndex(
             ca_name=payload["ca"],
             width_seconds=width_seconds,
             live=tuple(int(i) for i in payload["live"]),
             retired=tuple(int(i) for i in payload.get("retired", ())),
+            sequence=sequence,
         )
     except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
         raise TLSError(f"malformed shard index object: {exc}") from None
+
+
+# -- key-rotation announcements ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KeyAnnouncement:
+    """One link of a CA's key-rotation chain, published on the CDN.
+
+    Epoch 0 announces the CA's genesis key and is validated against the
+    out-of-band trust anchor RAs are configured with; every later epoch is
+    signed by the key of the *previous* epoch, so the full chain extends
+    trust from the anchor to the current key without any further
+    out-of-band channel.  ``overlap_seconds`` is the grace window granted to
+    the key this announcement retires.
+    """
+
+    ca_name: str
+    key_epoch: int
+    public_key_bytes: bytes
+    activated_at: int
+    overlap_seconds: int
+    signature: bytes = b""
+
+    def payload(self) -> bytes:
+        """The byte string covered by the previous key's signature."""
+        name = self.ca_name.encode("utf-8")
+        return b"".join(
+            [
+                b"ritm-key-announcement:",
+                struct.pack(">H", len(name)),
+                name,
+                struct.pack(">Q", self.key_epoch),
+                _pack_bytes(self.public_key_bytes),
+                struct.pack(">QQ", self.activated_at, self.overlap_seconds),
+            ]
+        )
+
+    def encoded_size(self) -> int:
+        """Wire size in bytes (for the communication-overhead analysis)."""
+        return len(encode_key_announcements((self,)))
+
+
+def encode_key_announcements(announcements: Tuple[KeyAnnouncement, ...]) -> bytes:
+    """Serialize a CA's full announcement chain for CDN publication."""
+    return json.dumps(
+        [
+            {
+                "ca": announcement.ca_name,
+                "epoch": announcement.key_epoch,
+                "public_key": announcement.public_key_bytes.hex(),
+                "activated_at": announcement.activated_at,
+                "overlap_seconds": announcement.overlap_seconds,
+                "signature": announcement.signature.hex(),
+            }
+            for announcement in announcements
+        ],
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def decode_key_announcements(data: bytes) -> Tuple[KeyAnnouncement, ...]:
+    """Parse an announcement chain, rejecting malformed payloads."""
+    try:
+        payload = json.loads(data.decode("utf-8"))
+        if not isinstance(payload, list):
+            raise ValueError("announcement chain must be a list")
+        announcements = []
+        for entry in payload:
+            overlap_seconds = int(entry["overlap_seconds"])
+            activated_at = int(entry["activated_at"])
+            if overlap_seconds < 0 or activated_at < 0:
+                raise ValueError("announcement timestamps must be non-negative")
+            announcements.append(
+                KeyAnnouncement(
+                    ca_name=entry["ca"],
+                    key_epoch=int(entry["epoch"]),
+                    public_key_bytes=bytes.fromhex(entry["public_key"]),
+                    activated_at=activated_at,
+                    overlap_seconds=overlap_seconds,
+                    signature=bytes.fromhex(entry["signature"]),
+                )
+            )
+        return tuple(announcements)
+    except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        raise TLSError(f"malformed key announcement chain: {exc}") from None
 
 
 def decode_issuance(data: bytes) -> RevocationIssuance:

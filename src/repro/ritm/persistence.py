@@ -75,6 +75,10 @@ class AgentCheckpoint:
     #: CA name → shard index → replica name (the explicit shard registry).
     shard_members: Dict[str, Dict[int, str]] = field(default_factory=dict)
     replicas: List[ReplicaCheckpoint] = field(default_factory=list)
+    #: CA name → rotating-keyring state: the hex-encoded validated
+    #: key-announcement chain plus the keyring clock.  Optional — absent for
+    #: replicas pinned to a single key and in pre-rotation checkpoints.
+    keyrings: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
 
 def _encode_replica(checkpoint: ReplicaCheckpoint) -> bytes:
@@ -176,6 +180,13 @@ def write_checkpoint(
             for ca, members in checkpoint.shard_members.items()
         },
         "replicas": manifest_replicas,
+        "keyrings": {
+            ca: {
+                "announcements": str(state["announcements"]),
+                "clock": int(state["clock"]),
+            }
+            for ca, state in checkpoint.keyrings.items()
+        },
     }
     atomic_write(
         directory / MANIFEST_FILENAME,
@@ -210,6 +221,16 @@ def load_checkpoint(directory: Union[str, Path]) -> AgentCheckpoint:
             for ca, members in manifest["shard_members"].items()
         }
         entries = manifest["replicas"]
+        # Optional (absent in pre-rotation checkpoints): rotating-keyring
+        # state, opaque here — the chain is cryptographically re-validated
+        # by RevocationAgent.learn_key_announcements on restore.
+        keyrings = {
+            str(ca): {
+                "announcements": str(state["announcements"]),
+                "clock": int(state["clock"]),
+            }
+            for ca, state in manifest.get("keyrings", {}).items()
+        }
     except (ValueError, KeyError, TypeError) as exc:
         raise StorageError(f"malformed checkpoint manifest: {exc}") from None
     replicas = []
@@ -232,4 +253,5 @@ def load_checkpoint(directory: Union[str, Path]) -> AgentCheckpoint:
         shard_widths=shard_widths,
         shard_members=shard_members,
         replicas=replicas,
+        keyrings=keyrings,
     )

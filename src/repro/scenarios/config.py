@@ -24,7 +24,14 @@ from repro.errors import ConfigurationError
 from repro.store import DEFAULT_ENGINE, ENGINES
 
 #: Fault kinds the runner knows how to inject (see :mod:`repro.scenarios.faults`).
-FAULT_KINDS = ("tampered-batch", "ca-outage", "ra-restart")
+FAULT_KINDS = (
+    "tampered-batch",
+    "ca-outage",
+    "ra-restart",
+    "replayed-head",
+    "retired-key-forgery",
+    "equivocating-ca",
+)
 
 #: Optional baseline schemes a scenario can compare itself against.
 BASELINES = ("", "ocsp-stapling")
@@ -60,13 +67,27 @@ class FaultSpec:
       process dies: its in-memory replicas are lost and it resumes with a
       cold full resync from the CA — unless ``durable=True``, in which case
       it warm-starts from its last on-disk checkpoint and fetches only the
-      delta since its last applied epoch (docs/STORAGE.md).
+      delta since its last applied epoch (docs/STORAGE.md);
+    * ``replayed-head`` — a compromised CDN re-presents the *oldest* head
+      object of the run in place of the current one for ``duration_periods``
+      periods; RAs must reject it via the replay window with zero replica
+      mutation (docs/THREATS.md);
+    * ``retired-key-forgery`` — an attacker holding a rotated-out CA signing
+      key republishes the current head re-signed under that retired key after
+      its overlap window has expired; RAs must refuse the signature
+      (requires :attr:`ScenarioConfig.key_rotation_periods`);
+    * ``equivocating-ca`` — the CA plants a fully self-consistent forged
+      universe (shadow dictionary, parallel signed root of the same size, its
+      own freshness chain) at the CDN edges of one region, targeting the RA
+      named by ``agent`` (default: the last agent).  The Δ gossip ring must
+      produce signed misbehavior evidence within one round.
     """
 
     kind: str
     at_period: int
     duration_periods: int = 1
-    #: RA name targeted by ``ra-restart``; empty selects the last agent.
+    #: RA name targeted by ``ra-restart``/``equivocating-ca``; empty selects
+    #: the last agent.
     agent: str = ""
     #: ``ra-restart`` only: the restart loses the process's memory.
     crash: bool = False
@@ -242,6 +263,13 @@ class ScenarioConfig:
     cert_lifetime_periods: int = 0
     #: How often (in Δ periods) the CA retires and RAs prune expired shards.
     prune_every_periods: int = 1
+    #: CA key-rotation schedule in Δ refresh periods (0 = keys never
+    #: rotate); threaded into :class:`~repro.ritm.config.RITMConfig`.
+    key_rotation_periods: int = 0
+    #: Grace window (in Δ periods) during which roots signed by a
+    #: just-retired key still verify.  Must stay below
+    #: ``key_rotation_periods`` when rotation is enabled.
+    key_overlap_periods: int = 1
     #: Simulated Unix time the scenario starts at (scripted workloads).
     epoch: int = 1_400_000_000
     #: Field overrides applied by :meth:`smoke` for fast CI runs.
@@ -292,10 +320,51 @@ class ScenarioConfig:
                         f"starts after the scenario ends"
                     )
         for fault in self.faults:
-            if fault.kind == "ra-restart" and fault.agent and fault.agent not in names:
+            if (
+                fault.kind in ("ra-restart", "equivocating-ca")
+                and fault.agent
+                and fault.agent not in names
+            ):
                 raise ConfigurationError(
-                    f"ra-restart targets unknown agent {fault.agent!r}"
+                    f"{fault.kind} targets unknown agent {fault.agent!r}"
                 )
+            if fault.kind == "retired-key-forgery":
+                if not self.key_rotation_periods:
+                    raise ConfigurationError(
+                        "a retired-key-forgery fault needs key_rotation_periods "
+                        "(there is no retired key to forge with otherwise)"
+                    )
+                if fault.at_period <= self.key_rotation_periods + self.key_overlap_periods:
+                    raise ConfigurationError(
+                        "a retired-key-forgery fault must fire after the first "
+                        "rotation's overlap window has expired "
+                        f"(period > {self.key_rotation_periods + self.key_overlap_periods})"
+                    )
+            if fault.kind == "equivocating-ca":
+                if len(self.agents) < 2:
+                    raise ConfigurationError(
+                        "an equivocating-ca fault needs at least two agents "
+                        "(one honest view to gossip against)"
+                    )
+                if self.gossip_audit:
+                    raise ConfigurationError(
+                        "equivocating-ca faults and gossip_audit stage "
+                        "conflicting forgeries; use one or the other"
+                    )
+                target = fault.agent or self.agents[-1].name
+                target_region = next(
+                    a.geo_region() for a in self.agents if a.name == target
+                )
+                if all(
+                    a.geo_region() == target_region
+                    for a in self.agents
+                    if a.name != target
+                ):
+                    raise ConfigurationError(
+                        "equivocating-ca plants forged objects at the targeted "
+                        "agent's CDN region; at least one honest agent must sit "
+                        "in a different region"
+                    )
         if self.long_lived_session and not self.victim_host:
             raise ConfigurationError("long_lived_session requires victim_host")
         if self.gossip_audit:
@@ -312,6 +381,19 @@ class ScenarioConfig:
             raise ConfigurationError("a baseline comparison requires victim_host")
         if self.prune_every_periods < 1:
             raise ConfigurationError("prune_every_periods must be at least 1")
+        if self.key_rotation_periods < 0:
+            raise ConfigurationError("key_rotation_periods cannot be negative")
+        if self.key_rotation_periods:
+            if self.key_overlap_periods < 1:
+                raise ConfigurationError("key_overlap_periods must be at least 1")
+            if self.key_overlap_periods >= self.key_rotation_periods:
+                raise ConfigurationError(
+                    "key_overlap_periods must be smaller than key_rotation_periods"
+                )
+            if self.sharded:
+                raise ConfigurationError(
+                    "key rotation is not supported for sharded scenarios yet"
+                )
         if self.sharded:
             if self.workload.kind != "scripted":
                 raise ConfigurationError(

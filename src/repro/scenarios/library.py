@@ -1,6 +1,6 @@
 """The built-in scenario library.
 
-Nine scenarios ship with the engine.  Four re-express the original
+Twelve scenarios ship with the engine.  Four re-express the original
 ``examples/`` scripts (``quickstart``, ``heartbleed``, ``iot-long-lived``,
 ``ca-audit-gossip``); five are new workloads the declarative engine makes
 cheap (``flash-crowd`` with a store-engine comparison, ``degraded-ra``
@@ -8,7 +8,11 @@ probing the attack window under missed pulls, ``tampered-cdn`` combining
 a forged batch with a CA outage, ``sharded-longrun`` driving the §VIII
 expiry-split deployment mode through a multi-quarter clock advance, and
 ``ra-crash-recovery`` comparing a durable RA's warm restart against a cold
-full resync on the write-ahead-logged store engine).
+full resync on the write-ahead-logged store engine); three form the
+adversarial control-plane matrix of docs/THREATS.md (``replayed-head``
+re-presenting captured signed state, ``rotated-ca-key`` driving scheduled
+key rotation plus a retired-key forgery, and ``equivocating-ca`` planting a
+split-world view at one region's CDN edges for the gossip ring to catch).
 
 Each scenario is a plain :class:`~repro.scenarios.config.ScenarioConfig`;
 adding a new one is a ~30-line :func:`~repro.scenarios.registry.register`
@@ -446,5 +450,146 @@ SHARDED_LONGRUN = register(
             },
         },
         tags=("sharding", "storage", "longrun"),
+    )
+)
+
+REPLAYED_HEAD = register(
+    ScenarioConfig(
+        name="replayed-head",
+        title="Replay attack: a stale signed head re-presented on the CDN",
+        summary=(
+            "A compromised distribution point re-serves a head object "
+            "captured periods earlier; the RA's replay window rejects the "
+            "stale publication sequence outright and its replica is "
+            "bit-for-bit untouched, then converges again on the next honest "
+            "publication."
+        ),
+        description=(
+            "The paper's §V replay attack: everything the CA publishes is "
+            "signed, so the only thing a hostile CDN can do without forging "
+            "signatures is re-present *old* signed state and freeze clients "
+            "in the past. Every head carries a monotonic publication "
+            "sequence; the RA keeps a per-CA cursor and treats anything more "
+            "than replay_window publications behind it as an attack "
+            "(ReplayError), not benign staleness. The injector captures the "
+            "run's first head publication and republishes those exact bytes "
+            "over the current head at period 5. The report pins three "
+            "verdicts: the replay was rejected, the replica's size and root "
+            "were not mutated by the rejected pull, and the fleet converged "
+            "on the honest dictionary by the end of the run."
+        ),
+        delta_seconds=10,
+        duration_periods=8,
+        agents=(AgentSpec("border-ra", "EUROPE"),),
+        workload=WorkloadSpec(
+            kind="scripted",
+            events=(
+                RevocationEvent(at_period=0, count=10, reason="routine"),
+                RevocationEvent(at_period=1, count=10, reason="routine"),
+                RevocationEvent(at_period=2, count=10, reason="routine"),
+                RevocationEvent(at_period=3, count=10, reason="routine"),
+                RevocationEvent(at_period=6, count=10, reason="routine"),
+            ),
+        ),
+        faults=(FaultSpec(kind="replayed-head", at_period=5),),
+        tags=("fault", "adversarial", "replay"),
+    )
+)
+
+ROTATED_CA_KEY = register(
+    ScenarioConfig(
+        name="rotated-ca-key",
+        title="CA key rotation: scheduled epochs, overlap windows, and a "
+        "retired-key forgery",
+        summary=(
+            "The CA rotates its dictionary-signing key every three periods; "
+            "RAs learn each rotation from the signed announcement chain "
+            "without missing a pull, a retired epoch's root verifies only "
+            "inside its overlap window (cached and uncached alike), and a "
+            "head forged with an extracted retired key is rejected."
+        ),
+        description=(
+            "A single immortal signing key makes one key compromise fatal "
+            "forever, so the CA rotates on a schedule: each rotation "
+            "re-signs the dictionary under a fresh key and extends a "
+            "key-announcement chain anchored at the genesis key, and the "
+            "outgoing key stays acceptable for one overlap period so "
+            "in-flight pulls and checkpoint restores keep verifying. RAs "
+            "that hit an unverifiable head fetch the chain, validate it "
+            "link by link, and retry once. The runner probes each retired "
+            "epoch's root through the verified-root cache and against the "
+            "raw keyring both inside and after the overlap window, and at "
+            "period 5 an attacker who extracted the retired epoch-0 key "
+            "republishes the current head re-signed under it — the "
+            "time-scoped keyring refuses the signature and the fleet "
+            "recovers on the next honest publication. The victim handshake "
+            "closes the loop: revocation proofs still verify end-to-end "
+            "three key epochs away from the genesis key."
+        ),
+        delta_seconds=10,
+        duration_periods=12,
+        agents=(AgentSpec("metro-ra", "EUROPE"),),
+        workload=WorkloadSpec(
+            kind="scripted",
+            events=(
+                RevocationEvent(at_period=1, count=8, reason="routine"),
+                RevocationEvent(at_period=5, count=8, reason="routine"),
+                RevocationEvent(
+                    at_period=9, revoke_victim=True, reason="key compromise"
+                ),
+            ),
+        ),
+        victim_host="rotating.example",
+        key_rotation_periods=3,
+        key_overlap_periods=1,
+        faults=(FaultSpec(kind="retired-key-forgery", at_period=5),),
+        tags=("fault", "adversarial", "rotation"),
+    )
+)
+
+EQUIVOCATING_CA = register(
+    ScenarioConfig(
+        name="equivocating-ca",
+        title="Split-world equivocation caught by the always-on gossip ring",
+        summary=(
+            "A CA plants a fully self-consistent forged dictionary — same "
+            "size, genuine signature, one revocation silently replaced — at "
+            "one region's CDN edges; the targeted RA adopts it without a "
+            "single verification error, and the same period's cross-RA "
+            "gossip round produces signed, portable misbehavior evidence."
+        ),
+        description=(
+            "The §V misbehaving-CA attack the local checks cannot stop: the "
+            "forged universe is internally consistent (a shadow dictionary "
+            "rebuilt from the honest batches with the victim serial swapped "
+            "for a decoy, signed by the CA's real key, with its own valid "
+            "freshness chain), so the targeted RA applies it cleanly and is "
+            "blind to the hidden revocation. Unlike the staged ca-audit-"
+            "gossip example, the forgery here travels through the real "
+            "dissemination path — planted at the targeted region's edge "
+            "caches while the origin and every other region stay honest — "
+            "and detection is the always-on consistency layer, not a "
+            "post-run audit: every period each adjacent pair of RAs "
+            "exchanges observed roots, and two same-size roots with "
+            "different hashes are cryptographic proof of equivocation. The "
+            "report pins that detection lands in the same period the "
+            "forgery was planted and that the evidence verifies under the "
+            "CA's own keyring."
+        ),
+        delta_seconds=10,
+        duration_periods=2,
+        agents=(
+            AgentSpec("honest-ra", "EUROPE"),
+            AgentSpec("branch-ra", "JAPAN"),
+        ),
+        workload=WorkloadSpec(
+            kind="scripted",
+            events=(
+                RevocationEvent(at_period=0, count=4, reason="routine"),
+                RevocationEvent(at_period=1, count=1, reason="ca key abuse"),
+            ),
+        ),
+        faults=(FaultSpec(kind="equivocating-ca", at_period=1, agent="branch-ra"),),
+        tags=("fault", "adversarial", "accountability", "gossip"),
     )
 )

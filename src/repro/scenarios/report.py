@@ -40,6 +40,9 @@ DISSEMINATION_METRIC_KEYS = (
     "errors",
     "root_cache_hits",
     "root_signatures_verified",
+    "stale_heads_ignored",
+    "replays_rejected",
+    "key_rotations_applied",
 )
 
 #: The pinned keys of each cache section under ``metrics["hot_path"]``

@@ -38,10 +38,17 @@ from repro.ritm import (
     attach_agent_to_cas,
     build_close_to_client_deployment,
 )
+from repro.ritm.ca_service import head_path
 from repro.ritm.client import RejectionReason
 from repro.ritm.dissemination import PullResult, RADisseminationClient
 from repro.scenarios.config import FaultSpec, ScenarioConfig
-from repro.scenarios.faults import DECOY_SERIAL, tamper_latest_batch
+from repro.scenarios.faults import (
+    DECOY_SERIAL,
+    equivocate_at_edges,
+    forge_head_with_retired_key,
+    replay_captured_head,
+    tamper_latest_batch,
+)
 from repro.scenarios.report import ScenarioCheck, ScenarioReport
 from repro.store import create_store
 from repro.workloads import generate_trace, serials_for_count
@@ -108,6 +115,9 @@ class ScenarioRunner:
                 "shard_width_seconds": cfg.shard_width_periods * cfg.delta_seconds,
                 "prune_every_periods": cfg.prune_every_periods,
             }
+        if cfg.key_rotation_periods:
+            ritm_kwargs["key_rotation_periods"] = cfg.key_rotation_periods
+            ritm_kwargs["key_overlap_periods"] = cfg.key_overlap_periods
         ritm_config = RITMConfig(
             delta_seconds=cfg.delta_seconds,
             chain_length=cfg.effective_chain_length(duration),
@@ -129,6 +139,22 @@ class ScenarioRunner:
         self._expiry_cycle = 0
         self._oracle: Optional[CADictionary] = None
         self._storage_timeline: List[Dict[str, object]] = []
+        #: Adversarial control-plane state: every head publication's raw
+        #: bytes (ammunition for the replay injector), the CA's rotation
+        #: history with the retired epochs' signed roots, the rotation cache
+        #: probes, replay-fault replica-integrity counters, the planted
+        #: equivocation summary, and the gossip ring's detections.
+        self._head_archive: List[bytes] = []
+        self._rotations: List[Dict[str, object]] = []
+        self._rotation_probes: List[Dict[str, object]] = []
+        self._replay_probes = 0
+        self._replay_mutations = 0
+        self._forgery_attempts = 0
+        self._forgery_errors = 0
+        self._equivocation: Optional[Dict[str, object]] = None
+        self._hidden_serial: Optional[SerialNumber] = None
+        self._misbehavior_reports: List[object] = []
+        self._first_detection_period: Optional[int] = None
         if cfg.sharded:
             self._oracle = CADictionary(
                 ca_name=f"{cfg.ca_name} (unsharded oracle)",
@@ -199,6 +225,10 @@ class ScenarioRunner:
                 extras["sharded_storage"] = self._sharded_extras(ca, runtimes, end_time)
             if any(fault.crash for fault in cfg.faults):
                 extras["crash_recovery"] = self._crash_recovery_extras(ca, runtimes)
+            if any(fault.kind == "equivocating-ca" for fault in cfg.faults):
+                extras["equivocation"] = self._equivocation_extras(ca, runtimes)
+            if cfg.key_rotation_periods:
+                extras["key_rotation"] = self._key_rotation_extras(ca, runtimes)
 
             metrics = self._collect_metrics(ca, runtimes, cdn)
             checks = self._build_checks(ca, runtimes, victim, extras)
@@ -283,6 +313,9 @@ class ScenarioRunner:
         if revoke_victim and victim is not None:
             serials.append(victim.serial)
 
+        prev_epoch = ca.key_epoch
+        prev_root = ca.dictionary.signed_root if not cfg.sharded else None
+
         if outage is not None:
             if serials:
                 self._backlog.append(
@@ -296,12 +329,56 @@ class ScenarioRunner:
                 period, bin_start, serials, reason, revoke_victim, ca, victim
             )
 
+        if ca.key_epoch > prev_epoch:
+            self._record_rotation(period, bin_start, prev_root, ca)
+        if any(fault.kind == "replayed-head" for fault in cfg.faults):
+            self._archive_head(ca, cdn)
+
         tamper = self._active_fault("tampered-batch", period)
         if tamper is not None and period == tamper.at_period:
             detail = tamper_latest_batch(ca, cdn, bin_start)
             self._event(
                 period, "tampered-batch", detail or "no published batch to tamper with"
             )
+
+        replay = self._active_fault("replayed-head", period)
+        replay_active = (
+            replay is not None and period == replay.at_period and self._head_archive
+        )
+        if replay is not None and period == replay.at_period:
+            if self._head_archive:
+                detail = replay_captured_head(
+                    ca.name, cdn, self._head_archive[0], bin_start
+                )
+                self._event(period, "replayed-head", detail)
+            else:
+                self._event(period, "replayed-head", "no archived head to replay")
+
+        forgery = self._active_fault("retired-key-forgery", period)
+        if forgery is not None and period == forgery.at_period:
+            detail = forge_head_with_retired_key(ca, cdn, bin_start)
+            if detail is not None:
+                self._forgery_attempts += 1
+            self._event(
+                period, "retired-key-forgery", detail or "no retired key available yet"
+            )
+
+        equivocation = self._active_fault("equivocating-ca", period)
+        if equivocation is not None and period == equivocation.at_period:
+            self._plant_equivocation(period, bin_start, equivocation, ca, cdn, runtimes)
+
+        # Replay integrity probe: snapshot every replica before the pulls so
+        # the zero-mutation property (a rejected replay leaves size and root
+        # untouched) is checked directly, not inferred from error counts.
+        snapshots: Dict[str, Tuple[int, bytes]] = {}
+        if replay_active and not cfg.sharded:
+            for runtime in runtimes:
+                replica = runtime.agent.replica_for(ca.name)
+                if replica is not None and replica.signed_root is not None:
+                    snapshots[runtime.spec_name] = (
+                        replica.size,
+                        replica.signed_root.root,
+                    )
 
         pull_time = bin_start + cfg.delta_seconds
         for runtime in runtimes:
@@ -346,8 +423,25 @@ class ScenarioRunner:
             self._advance_provability(
                 runtime, pull_time + result.latency_seconds, ca.name
             )
+            if forgery is not None and period == forgery.at_period:
+                self._forgery_errors += len(result.errors)
             for error in result.errors:
                 self._event(period, "pull-error", error)
+
+        if replay_active and not cfg.sharded:
+            for runtime in runtimes:
+                before = snapshots.get(runtime.spec_name)
+                replica = runtime.agent.replica_for(ca.name)
+                if before is None or replica is None or replica.signed_root is None:
+                    continue
+                self._replay_probes += 1
+                if (replica.size, replica.signed_root.root) != before:
+                    self._replay_mutations += 1
+
+        if len(runtimes) >= 2 and not cfg.sharded:
+            self._gossip_ring(period, runtimes)
+        if cfg.key_rotation_periods and not cfg.sharded:
+            self._probe_rotation(period, pull_time, ca, runtimes[0])
 
         if cfg.sharded:
             self._record_sharded_storage(period, pull_time, ca, runtimes[0])
@@ -560,6 +654,151 @@ class ScenarioRunner:
             f"({'durable checkpoint on disk' if fault.durable else 'memory lost'})",
         )
 
+    def _archive_head(self, ca: RITMCertificationAuthority, cdn: CDNNetwork) -> None:
+        """Keep the raw bytes of every head publication for the replay fault."""
+        path = head_path(ca.name)
+        if cdn.origin.exists(path):
+            self._head_archive.append(cdn.origin.fetch(path).content)
+
+    def _record_rotation(
+        self,
+        period: int,
+        bin_start: float,
+        prev_root: Optional[SignedRoot],
+        ca: RITMCertificationAuthority,
+    ) -> None:
+        """Log a CA key rotation and remember the retired epoch's root.
+
+        The pre-rotation signed root — the last statement the outgoing key
+        ever signed — is what the overlap probes re-verify later: it must
+        stay acceptable until the overlap window closes and not a second
+        longer (:meth:`_probe_rotation`).
+        """
+        overlap = self._ritm_config.key_overlap_seconds
+        self._rotations.append(
+            {
+                "period": period,
+                "epoch": ca.key_epoch,
+                "rotated_at": bin_start,
+                "overlap_until": bin_start + overlap,
+                "retired_root": prev_root,
+                "probed_inside": False,
+                "probed_after": False,
+            }
+        )
+        self._event(
+            period,
+            "key-rotation",
+            f"CA advanced to signing-key epoch {ca.key_epoch} "
+            f"(outgoing key acceptable for {overlap:.0f}s more)",
+        )
+
+    def _plant_equivocation(
+        self,
+        period: int,
+        bin_start: float,
+        fault: FaultSpec,
+        ca: RITMCertificationAuthority,
+        cdn: CDNNetwork,
+        runtimes: List[_AgentRuntime],
+    ) -> None:
+        """Stage the equivocating-CA fault against the targeted agent's region."""
+        target_name = fault.agent or runtimes[-1].spec_name
+        target = next(r for r in runtimes if r.spec_name == target_name)
+        planted = equivocate_at_edges(
+            ca,
+            cdn,
+            target.location.region,
+            self._batches,
+            bin_start,
+            ttl_seconds=2 * self.config.delta_seconds,
+        )
+        if planted is None:
+            self._event(
+                period, "equivocating-ca", "nothing revoked yet — no forgery planted"
+            )
+            return
+        self._hidden_serial = planted["hidden_serial"]
+        self._equivocation = {
+            "period": period,
+            "targeted_agent": target_name,
+            "hidden_serial": str(planted["hidden_serial"]),
+            "conflicting_size": planted["conflicting_size"],
+            "forged_root": planted["forged_root"][:16],
+        }
+        self._event(period, "equivocating-ca", planted["detail"])
+
+    def _gossip_ring(self, period: int, runtimes: List[_AgentRuntime]) -> None:
+        """One round of the always-on cross-RA gossip ring (§V detection).
+
+        Every period each adjacent pair of agents (closed into a ring when
+        the fleet has more than two) exchanges observed roots; any conflict
+        — same CA, same size, different root — yields signed misbehavior
+        reports within the same period it was planted.
+        """
+        pairs = list(zip(runtimes, runtimes[1:]))
+        if len(runtimes) > 2:
+            pairs.append((runtimes[-1], runtimes[0]))
+        exchange = GossipExchange()
+        new_reports = []
+        for left, right in pairs:
+            new_reports.extend(
+                exchange.exchange(left.agent.consistency, right.agent.consistency)
+            )
+        if not new_reports:
+            return
+        if self._first_detection_period is None:
+            self._first_detection_period = period
+        self._misbehavior_reports.extend(new_reports)
+        self._event(
+            period,
+            "misbehavior-detected",
+            f"gossip round produced {len(new_reports)} misbehavior report(s)",
+        )
+
+    def _probe_rotation(
+        self,
+        period: int,
+        pull_time: float,
+        ca: RITMCertificationAuthority,
+        runtime: _AgentRuntime,
+    ) -> None:
+        """Differentially re-verify retired epochs' roots, cached vs uncached.
+
+        For each recorded rotation the retired root is verified twice — once
+        through the agent's :class:`~repro.perf.root_cache.VerifiedRootCache`
+        and once directly against the keyring's currently-acceptable keys —
+        at most once inside the overlap window and once after it closes.
+        The derived checks assert accept-inside / reject-after and that the
+        cached verdict never diverges from the uncached one.
+        """
+        keyring = runtime.agent.keyring_for(ca.name)
+        if keyring is None:
+            return
+        for record in self._rotations:
+            root = record["retired_root"]
+            if root is None:
+                continue
+            inside = pull_time <= record["overlap_until"]
+            probed_key = "probed_inside" if inside else "probed_after"
+            if record[probed_key]:
+                continue
+            record[probed_key] = True
+            cached = runtime.agent.root_cache.verify(root, keyring)
+            uncached = any(
+                key.verify(root.payload(), root.signature)
+                for key in keyring.acceptable_keys()
+            )
+            self._rotation_probes.append(
+                {
+                    "period": period,
+                    "epoch": record["epoch"],
+                    "inside_overlap": inside,
+                    "cached_verdict": cached,
+                    "uncached_verdict": uncached,
+                }
+            )
+
     # -- victim lifecycle ----------------------------------------------------------
 
     def _setup_victim(
@@ -580,7 +819,12 @@ class ScenarioRunner:
         victim = _VictimRuntime(
             chain=chain,
             trust_store=trust_store,
-            ca_public_keys={ca.name: ca.public_key},
+            # Under rotation the TLS clients must verify against the CA's
+            # live keyring — the closing handshake may land epochs after the
+            # genesis key was retired.
+            ca_public_keys={
+                ca.name: ca.keyring if cfg.key_rotation_periods else ca.public_key
+            },
             serial=chain.leaf.serial,
         )
         clock = SimulatedClock(now + 1)
@@ -859,6 +1103,132 @@ class ScenarioRunner:
             )
         return checks
 
+    # -- adversarial study phases ----------------------------------------------------
+
+    def _key_rotation_extras(
+        self, ca: RITMCertificationAuthority, runtimes: List[_AgentRuntime]
+    ) -> Dict[str, object]:
+        """The key-rotation study results (docs/THREATS.md).
+
+        The rotation timeline, how many announcement-chain entries the fleet
+        learned, each agent's final keyring epoch, and the overlap probes
+        from :meth:`_probe_rotation`.
+        """
+        learned = sum(
+            sum(pull.key_rotations_applied for pull in r.pull_results())
+            for r in runtimes
+        )
+        agent_epochs: Dict[str, int] = {}
+        for runtime in runtimes:
+            keyring = runtime.agent.keyring_for(ca.name)
+            agent_epochs[runtime.spec_name] = keyring.key_epoch if keyring else 0
+        return {
+            "ca_key_epoch": ca.key_epoch,
+            "rotations": [
+                {
+                    "period": record["period"],
+                    "epoch": record["epoch"],
+                    "rotated_at": record["rotated_at"],
+                    "overlap_until": record["overlap_until"],
+                }
+                for record in self._rotations
+            ],
+            "announcements_learned": learned,
+            "agent_key_epochs": agent_epochs,
+            "probes": list(self._rotation_probes),
+        }
+
+    def _rotation_checks(self, study: Dict[str, object]) -> List[ScenarioCheck]:
+        """Pass/fail assertions derived from the key-rotation study."""
+        probes = study["probes"]
+        inside = [p for p in probes if p["inside_overlap"]]
+        after = [p for p in probes if not p["inside_overlap"]]
+        epochs = study["agent_key_epochs"].values()
+        return [
+            ScenarioCheck(
+                "key-rotation-learned",
+                study["ca_key_epoch"] >= 1
+                and study["announcements_learned"] >= 1
+                and all(epoch == study["ca_key_epoch"] for epoch in epochs),
+                f"CA at epoch {study['ca_key_epoch']}, "
+                f"{study['announcements_learned']} announcement(s) learned, "
+                f"agent epochs {sorted(epochs)}",
+            ),
+            ScenarioCheck(
+                "retired-key-valid-inside-overlap",
+                bool(inside)
+                and all(p["cached_verdict"] and p["uncached_verdict"] for p in inside),
+                f"{len(inside)} in-overlap probe(s) accepted",
+            ),
+            ScenarioCheck(
+                "retired-key-rejected-after-overlap",
+                bool(after)
+                and all(
+                    not p["cached_verdict"] and not p["uncached_verdict"] for p in after
+                ),
+                f"{len(after)} post-overlap probe(s) rejected",
+            ),
+            ScenarioCheck(
+                "cached-matches-uncached-across-rotation",
+                bool(probes)
+                and all(p["cached_verdict"] == p["uncached_verdict"] for p in probes),
+                f"{len(probes)} probe(s), cache and direct verification agree",
+            ),
+        ]
+
+    def _equivocation_extras(
+        self, ca: RITMCertificationAuthority, runtimes: List[_AgentRuntime]
+    ) -> Dict[str, object]:
+        """The equivocation study results: planted forgery, detection, evidence."""
+        planted = dict(self._equivocation or {})
+        target_name = planted.get("targeted_agent")
+        target = next(
+            (r for r in runtimes if r.spec_name == target_name), None
+        )
+        targeted_blind = False
+        if target is not None and self._hidden_serial is not None:
+            replica = target.agent.replica_for(ca.name)
+            targeted_blind = replica is not None and not replica.contains(
+                self._hidden_serial
+            )
+        reports = self._misbehavior_reports
+        return {
+            **planted,
+            "detected_period": self._first_detection_period,
+            "misbehavior_reports": len(reports),
+            "evidence_valid_under_ca_keyring": bool(reports)
+            and all(report.is_valid_evidence(ca.keyring) for report in reports),
+            "reporter_signatures_valid": bool(reports)
+            and all(report.verify_reporter() for report in reports),
+            "targeted_blind": targeted_blind,
+        }
+
+    def _equivocation_checks(
+        self, study: Dict[str, object], fault: FaultSpec
+    ) -> List[ScenarioCheck]:
+        """Pass/fail assertions derived from the equivocation study."""
+        return [
+            ScenarioCheck(
+                "equivocation-detected-within-one-round",
+                study["detected_period"] == fault.at_period,
+                f"planted at period {fault.at_period}, gossip detected it at "
+                f"period {study['detected_period']}",
+            ),
+            ScenarioCheck(
+                "equivocation-evidence-valid",
+                study["misbehavior_reports"] >= 1
+                and bool(study["evidence_valid_under_ca_keyring"])
+                and bool(study["reporter_signatures_valid"]),
+                f"{study['misbehavior_reports']} signed report(s)",
+            ),
+            ScenarioCheck(
+                "targeted-ra-blind-before-gossip",
+                bool(study["targeted_blind"]),
+                f"targeted agent {study.get('targeted_agent')} missing serial "
+                f"{study.get('hidden_serial')}",
+            ),
+        ]
+
     # -- lifecycle -------------------------------------------------------------------
 
     def _cleanup(self, ca: RITMCertificationAuthority, runtimes: List[_AgentRuntime]) -> None:
@@ -1025,6 +1395,7 @@ class ScenarioRunner:
         metrics."""
         pulls = bytes_downloaded = freshness = issuances = serials = resyncs = errors = 0
         root_cache_hits = root_signatures_verified = 0
+        stale_heads = replays = rotations_learned = 0
         latencies: List[float] = []
         per_agent: Dict[str, Dict[str, object]] = {}
         for runtime in runtimes:
@@ -1041,6 +1412,9 @@ class ScenarioRunner:
             root_signatures_verified += sum(
                 pull.root_signatures_verified for pull in history
             )
+            stale_heads += sum(pull.stale_heads_ignored for pull in history)
+            replays += sum(pull.replays_rejected for pull in history)
+            rotations_learned += sum(pull.key_rotations_applied for pull in history)
             if self.config.sharded:
                 replicas = runtime.agent.shard_replicas(ca.name)
                 per_agent[runtime.spec_name] = {
@@ -1074,6 +1448,9 @@ class ScenarioRunner:
                 "errors": errors,
                 "root_cache_hits": root_cache_hits,
                 "root_signatures_verified": root_signatures_verified,
+                "stale_heads_ignored": stale_heads,
+                "replays_rejected": replays,
+                "key_rotations_applied": rotations_learned,
             },
             "hot_path": self._hot_path_metrics(runtimes, cdn),
             "dictionary": {
@@ -1159,8 +1536,16 @@ class ScenarioRunner:
                 f"{pulls} pulls, {bytes_downloaded} bytes",
             )
         )
+        equivocation_targets = {
+            fault.agent or runtimes[-1].spec_name
+            for fault in cfg.faults
+            if fault.kind == "equivocating-ca"
+        }
         converged_agents = [
-            r for r in runtimes if not (cfg.gossip_audit and r is runtimes[-1])
+            r
+            for r in runtimes
+            if not (cfg.gossip_audit and r is runtimes[-1])
+            and r.spec_name not in equivocation_targets
         ]
         if cfg.sharded:
             converged = all(
@@ -1221,6 +1606,42 @@ class ScenarioRunner:
                     f"{resyncs} resync(s)",
                 )
             )
+        if any(fault.kind == "replayed-head" for fault in cfg.faults):
+            replays = sum(
+                sum(pull.replays_rejected for pull in r.pull_results())
+                for r in runtimes
+            )
+            checks.append(
+                ScenarioCheck(
+                    "replayed-head-rejected",
+                    replays >= 1,
+                    f"{replays} replayed publication(s) rejected",
+                )
+            )
+            checks.append(
+                ScenarioCheck(
+                    "replica-unmutated-by-replay",
+                    self._replay_probes > 0 and self._replay_mutations == 0,
+                    f"{self._replay_probes} replica snapshot(s) across the replay "
+                    f"window, {self._replay_mutations} mutated",
+                )
+            )
+        if any(fault.kind == "retired-key-forgery" for fault in cfg.faults):
+            checks.append(
+                ScenarioCheck(
+                    "retired-key-forgery-rejected",
+                    self._forgery_attempts >= 1
+                    and self._forgery_errors >= 1
+                    and converged,
+                    f"{self._forgery_attempts} forged head(s) published, "
+                    f"{self._forgery_errors} pull error(s), replicas recovered",
+                )
+            )
+        if "key_rotation" in extras:
+            checks.extend(self._rotation_checks(extras["key_rotation"]))
+        if "equivocation" in extras:
+            fault = next(f for f in cfg.faults if f.kind == "equivocating-ca")
+            checks.extend(self._equivocation_checks(extras["equivocation"], fault))
         restart_faults = [f for f in cfg.faults if f.kind == "ra-restart"]
         if restart_faults:
             targets = sorted(
@@ -1299,6 +1720,14 @@ class ScenarioRunner:
                     "prune_every_periods": cfg.prune_every_periods,
                 }
                 if cfg.sharded
+                else {}
+            ),
+            **(
+                {
+                    "key_rotation_periods": cfg.key_rotation_periods,
+                    "key_overlap_periods": cfg.key_overlap_periods,
+                }
+                if cfg.key_rotation_periods
                 else {}
             ),
             "tags": list(cfg.tags),

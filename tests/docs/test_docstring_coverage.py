@@ -22,6 +22,7 @@ COVERED_FILES = sorted(
         *(SRC / "perf").glob("*.py"),
         SRC / "ritm" / "dissemination.py",
         SRC / "ritm" / "persistence.py",
+        SRC / "ritm" / "consistency.py",
         SRC / "dictionary" / "sharding.py",
         SRC / "tls" / "connection.py",
         SRC / "cdn" / "edge.py",

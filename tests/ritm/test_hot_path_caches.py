@@ -18,7 +18,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cdn.geography import GeoLocation, Region
 from repro.cdn.network import CDNNetwork
-from repro.crypto.signing import KeyPair
+from repro.crypto.signing import CAKeyring, KeyPair
 from repro.dictionary.authdict import CADictionary
 from repro.dictionary.signed_root import SignedRoot
 from repro.errors import DictionaryError
@@ -331,3 +331,120 @@ class TestDifferentialProperty:
                 cached = agent.build_status("Property CA", probe)
                 assert cached == replica.prove(probe)
                 assert cached.is_revoked == ca.contains(probe)
+
+
+class TestRotationAwareRootCache:
+    """The verified-root cache must not outlive a CA key rotation.
+
+    A memoized verdict is keyed to the specific key that verified it, so a
+    root signed by a retired key keeps verifying — cached or not — exactly
+    until the overlap window closes, and not one second longer.
+    """
+
+    @staticmethod
+    def _signed(size: int, keys: KeyPair, timestamp: int) -> SignedRoot:
+        return SignedRoot(
+            ca_name="Rotating CA",
+            root=bytes([size % 251]) * 8,
+            size=size,
+            anchor=b"\x01" * 8,
+            timestamp=timestamp,
+            chain_length=8,
+        ).sign(keys.private)
+
+    def test_retired_root_verifies_only_inside_overlap_window(self):
+        old, new = KeyPair.generate(b"rotate-old"), KeyPair.generate(b"rotate-new")
+        root = self._signed(3, old, EPOCH)
+        keyring = CAKeyring.single(old.public)
+        cache = VerifiedRootCache()
+        assert cache.verify(root, keyring)  # memoized under the epoch-0 key
+
+        keyring.add_key(new.public, activated_at=EPOCH + 100, overlap_seconds=50)
+        keyring.advance(EPOCH + 150)  # the last instant of the overlap window
+        assert cache.verify(root, keyring)
+        assert any(
+            key.verify(root.payload(), root.signature)
+            for key in keyring.acceptable_keys()
+        )
+
+        keyring.advance(EPOCH + 151)  # window closed: the memo must die with it
+        assert not cache.verify(root, keyring)
+        assert not any(
+            key.verify(root.payload(), root.signature)
+            for key in keyring.acceptable_keys()
+        )
+        # The new epoch is unaffected, warm or cold.
+        fresh = self._signed(4, new, EPOCH + 200)
+        assert cache.verify(fresh, keyring)
+        assert cache.verify(fresh, keyring)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        gaps=st.lists(st.integers(min_value=10, max_value=120), min_size=1, max_size=5),
+        probe_offset=st.integers(min_value=0, max_value=500),
+    )
+    def test_cached_matches_uncached_for_any_rotation_schedule(
+        self, gaps, probe_offset
+    ):
+        """Differential property: for any rotation schedule, overlap widths,
+        and probe time, a warm cache, a cold cache, and direct keyring
+        verification agree on every historical root."""
+        epoch_keys = [KeyPair.generate(b"sched-epoch-0")]
+        keyring = CAKeyring.single(epoch_keys[0].public)
+        warm = VerifiedRootCache()
+        now = EPOCH
+        roots = [self._signed(1, epoch_keys[0], now)]
+        warm.verify(roots[0], keyring)
+        for index, gap in enumerate(gaps, start=1):
+            now += gap
+            keys = KeyPair.generate(b"sched-epoch-%d" % index)
+            epoch_keys.append(keys)
+            keyring.add_key(keys.public, activated_at=now, overlap_seconds=gap // 2)
+            keyring.advance(now)
+            roots.append(self._signed(index + 1, keys, now))
+            for root in roots:
+                warm.verify(root, keyring)  # keep every verdict memoized
+
+        keyring.advance(now + probe_offset)
+        for root in roots:
+            direct = any(
+                key.verify(root.payload(), root.signature)
+                for key in keyring.acceptable_keys()
+            )
+            assert warm.verify(root, keyring) == direct
+            assert VerifiedRootCache().verify(root, keyring) == direct
+
+    def test_chain_validation_cache_unaffected_by_dictionary_key_rotation(
+        self, world
+    ):
+        """Rotation retires the CA's *dictionary-signing* key, never its
+        certificate-issuing key: chain-validation verdicts — warm, cached,
+        or cold — must be byte-identical across a rotation, and the cached
+        entry must survive it (the trust store did not change)."""
+        from repro.pki.validation import validate_chain
+        from repro.tls.connection import ChainValidationCache
+
+        chain = world.corpus.chains[0]
+        ca = world.ca_by_name(chain.leaf.issuer)
+        cache = ChainValidationCache()
+        before = cache.validate(
+            chain, world.trust_store, now=EPOCH + 20,
+            expected_subject=chain.leaf.subject,
+        )
+        assert before.valid
+
+        ca.rotate_keys(now=EPOCH + 30)
+
+        after = cache.validate(
+            chain, world.trust_store, now=EPOCH + 40,
+            expected_subject=chain.leaf.subject,
+        )
+        assert after is before  # same trust store → the memo survives
+        assert cache.stats.hits == 1
+        direct = validate_chain(
+            chain, world.trust_store, now=EPOCH + 40,
+            expected_subject=chain.leaf.subject,
+        )
+        assert direct.valid and direct.checks == after.checks
+        # ...while the dictionary-signing side really did rotate.
+        assert ca.key_epoch == 1

@@ -1,5 +1,8 @@
 """Tests for RITM's binary wire formats (status, head, issuance)."""
 
+import json
+from dataclasses import replace
+
 import pytest
 
 from repro.crypto.signing import KeyPair
@@ -8,15 +11,21 @@ from repro.errors import TLSError
 from repro.pki.serial import SerialNumber
 from repro.ritm.messages import (
     DictionaryHead,
+    KeyAnnouncement,
+    ShardIndex,
     decode_head,
     decode_issuance,
+    decode_key_announcements,
     decode_proof,
+    decode_shard_index,
     decode_signed_root,
     decode_status,
     decode_status_bundle,
     encode_head,
     encode_issuance,
+    encode_key_announcements,
     encode_proof,
+    encode_shard_index,
     encode_signed_root,
     encode_status,
     encode_status_bundle,
@@ -150,3 +159,144 @@ class TestHeadAndIssuanceCodec:
         replica = ReplicaDictionary("Codec-CA-3", keys.public)
         replica.update(decode_issuance(encode_issuance(issuance)))
         assert replica.root() == dictionary.root()
+
+
+class TestReplayWindowFieldsCodec:
+    """Round-trip and tamper behaviour of the replay-window fields.
+
+    The publication ``sequence`` on heads and shard indexes is deliberately
+    unauthenticated (the replay *backstop* is the signed freshness chain),
+    so the codec contract is: the counter survives a round trip exactly,
+    absent counters decode to zero (pre-replay-window objects), and
+    syntactically invalid counters are rejected as malformed rather than
+    silently clamped.
+    """
+
+    def _head(self, master, sequence):
+        return DictionaryHead(
+            ca_name="Codec-CA",
+            size=master.size,
+            signed_root=master.signed_root,
+            freshness=master.latest_freshness,
+            sequence=sequence,
+        )
+
+    @pytest.mark.parametrize("sequence", [0, 1, 7, 2**32, 2**63])
+    def test_head_sequence_roundtrips_exactly(self, master, keys, sequence):
+        decoded = decode_head(encode_head(self._head(master, sequence)))
+        assert decoded.sequence == sequence
+        assert decoded.signed_root.verify(keys.public)
+
+    def test_legacy_head_without_sequence_decodes_to_zero(self, master):
+        # Heads published before the replay window existed end right after
+        # the freshness statement; decoding must not reject them.
+        encoded = encode_head(self._head(master, sequence=12))
+        decoded = decode_head(encoded[:-8])
+        assert decoded.sequence == 0
+        assert decoded.size == master.size
+
+    def test_head_sequence_is_outside_the_signature(self, master, keys):
+        # A CDN (or attacker) can rewrite the counter without breaking the
+        # root signature — exactly why the client also keeps the signed
+        # freshness chain as the authenticated staleness backstop.
+        head = self._head(master, sequence=5)
+        rewound = decode_head(encode_head(replace(head, sequence=1)))
+        assert rewound.sequence == 1
+        assert rewound.signed_root == head.signed_root
+        assert rewound.signed_root.verify(keys.public)
+
+    @pytest.mark.parametrize("sequence", [0, 3, 2**40])
+    def test_shard_index_sequence_roundtrips_exactly(self, sequence):
+        index = ShardIndex(
+            ca_name="Codec-CA",
+            width_seconds=600,
+            live=(4, 5, 6),
+            retired=(1, 2),
+            sequence=sequence,
+        )
+        decoded = decode_shard_index(encode_shard_index(index))
+        assert decoded == index
+
+    def test_shard_index_without_sequence_decodes_to_zero(self):
+        payload = {"ca": "Codec-CA", "width_seconds": 600, "live": [1]}
+        decoded = decode_shard_index(json.dumps(payload).encode("utf-8"))
+        assert decoded.sequence == 0
+
+    def test_shard_index_negative_sequence_rejected(self):
+        index = ShardIndex(ca_name="Codec-CA", width_seconds=600, live=(1,))
+        payload = json.loads(encode_shard_index(index).decode("utf-8"))
+        payload["sequence"] = -4
+        with pytest.raises(TLSError):
+            decode_shard_index(json.dumps(payload).encode("utf-8"))
+
+
+class TestKeyAnnouncementCodec:
+    """The key-rotation chain must survive the CDN byte-exactly: every
+    field is covered by the previous epoch's signature, so any mutation in
+    transit must flip signature verification, and malformed chains must be
+    rejected before they reach keyring logic."""
+
+    def _chain(self, keys):
+        next_keys = KeyPair.generate(b"codec-epoch-1")
+        genesis = KeyAnnouncement(
+            ca_name="Codec-CA",
+            key_epoch=0,
+            public_key_bytes=keys.public.key_bytes,
+            activated_at=0,
+            overlap_seconds=0,
+        )
+        rotation = KeyAnnouncement(
+            ca_name="Codec-CA",
+            key_epoch=1,
+            public_key_bytes=next_keys.public.key_bytes,
+            activated_at=5_000,
+            overlap_seconds=10,
+        )
+        rotation = replace(rotation, signature=keys.sign(rotation.payload()))
+        return (genesis, rotation)
+
+    def test_chain_roundtrips_and_still_verifies(self, keys):
+        chain = self._chain(keys)
+        decoded = decode_key_announcements(encode_key_announcements(chain))
+        assert decoded == chain
+        # The rotation link's signature still verifies under epoch 0's key.
+        assert keys.public.verify(decoded[1].payload(), decoded[1].signature)
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("key_epoch", 2),
+            ("activated_at", 5_001),
+            ("overlap_seconds", 10_000),
+            ("public_key_bytes", b"\x00" * 32),
+            ("ca_name", "Codec-CA-evil"),
+        ],
+    )
+    def test_any_field_mutation_breaks_the_signature(self, keys, field, value):
+        chain = self._chain(keys)
+        tampered = replace(chain[1], **{field: value})
+        decoded = decode_key_announcements(
+            encode_key_announcements((chain[0], tampered))
+        )
+        assert not keys.public.verify(decoded[1].payload(), decoded[1].signature)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda entries: entries[1].update(signature="zz-not-hex"),
+            lambda entries: entries[1].update(overlap_seconds=-1),
+            lambda entries: entries[1].update(activated_at=-5),
+            lambda entries: entries[1].pop("epoch"),
+        ],
+    )
+    def test_malformed_chain_rejected(self, keys, mutate):
+        entries = json.loads(
+            encode_key_announcements(self._chain(keys)).decode("utf-8")
+        )
+        mutate(entries)
+        with pytest.raises(TLSError):
+            decode_key_announcements(json.dumps(entries).encode("utf-8"))
+
+    def test_non_list_chain_rejected(self):
+        with pytest.raises(TLSError):
+            decode_key_announcements(b"{}")

@@ -179,6 +179,114 @@ class TestTamperedCheckpoints:
             self._restore_into_fresh_agent(config, ca, cdn, tmp_path)
 
 
+class TestRotationAndReplayCursorCheckpoint:
+    """Adversarial control-plane state through a restart (docs/THREATS.md).
+
+    A checkpoint taken mid-rotation must bring back the learned keyring and
+    the replay cursors exactly — the restarted RA neither re-learns the
+    announcement chain nor rejects the CA's next honest head as a replay.
+    A tampered cursor block must degrade to *cold replay state* (cursors
+    re-learned from the next pull) without ever touching the warm replica.
+    """
+
+    def _restored(self, config, ca, cdn, tmp_path):
+        agent = RevocationAgent("ra-under-test", config)
+        client = attach_agent_to_cas(agent, [ca], cdn, GeoLocation(Region.EUROPE))
+        client.restore(tmp_path)
+        return agent, client
+
+    def test_mid_rotation_checkpoint_restores_keyring_and_cursors(self, tmp_path):
+        config, ca, cdn, agent, client = build_stack()
+        issue_and_pull(ca, client, 120, periods=3)
+        ca.rotate_keys(now=160)
+        ca.refresh(now=160)  # republish the head under the new key
+        mid = client.pull(now=165)
+        assert mid.key_rotations_applied == 1
+        assert not mid.errors
+        keyring = agent.keyring_for(ca.name)
+        assert keyring is not None and keyring.key_epoch == ca.key_epoch
+        head_cursors = dict(client._head_cursors)
+        assert head_cursors[ca.name] > 0
+        client.checkpoint(tmp_path)
+
+        restored_agent, restored_client = self._restored(config, ca, cdn, tmp_path)
+        restored_keyring = restored_agent.keyring_for(ca.name)
+        assert restored_keyring is not None
+        assert restored_keyring.key_epoch == keyring.key_epoch
+        assert [
+            record.public_key.key_bytes for record in restored_keyring.records
+        ] == [record.public_key.key_bytes for record in keyring.records]
+        assert restored_client._head_cursors == head_cursors
+        assert restored_client._index_cursors == client._index_cursors
+
+        # The CA revokes once more while the RA was down; the warm restart
+        # applies exactly that delta — no resync, no re-learned rotation,
+        # and crucially no replay rejection of the CA's next honest head.
+        ca.revoke([SerialNumber(9000)], now=300)
+        warm = restored_client.pull(now=305)
+        assert warm.serials_applied == 1
+        assert warm.resyncs == 0
+        assert warm.replays_rejected == 0
+        assert warm.key_rotations_applied == 0
+        assert not warm.errors
+        assert restored_agent.replica_for(ca.name).contains(SerialNumber(9000))
+        for a in (agent, restored_agent):
+            a.close()
+        ca.close()
+
+    def test_tampered_cursor_block_degrades_to_cold_replay_state(self, tmp_path):
+        config, ca, cdn, agent, client = build_stack()
+        issue_and_pull(ca, client, 120, periods=3)
+        client.checkpoint(tmp_path)
+        state_file = tmp_path / client.STATE_FILENAME
+        state = json.loads(state_file.read_text())
+        assert state["head_cursors"][ca.name] > 0
+        # Forge the cursor far into the future — the attack that would brick
+        # the pull loop if restore trusted it.  The CRC no longer matches.
+        state["head_cursors"][ca.name] += 1_000_000
+        state_file.write_text(json.dumps(state))
+
+        restored_agent, restored_client = self._restored(config, ca, cdn, tmp_path)
+        # Cursors were dropped wholesale (cold replay state)...
+        assert restored_client._head_cursors == {}
+        assert restored_client._index_cursors == {}
+        # ...but the replica and the applied-batch cursor stayed warm.
+        assert restored_agent.replica_for(ca.name).size == agent.replica_for(ca.name).size
+
+        ca.revoke([SerialNumber(9100)], now=300)
+        warm = restored_client.pull(now=305)
+        assert warm.serials_applied == 1  # still a delta fetch, not a cold sync
+        assert warm.replays_rejected == 0
+        assert not warm.errors
+        # The cursor is re-learned from the first post-restart pull.
+        assert restored_client._head_cursors[ca.name] > 0
+        for a in (agent, restored_agent):
+            a.close()
+        ca.close()
+
+    def test_pre_replay_window_checkpoint_restores_without_cursors(self, tmp_path):
+        """An honest old checkpoint (written before replay windows existed)
+        must warm-start normally — missing cursors are not tampering."""
+        config, ca, cdn, agent, client = build_stack()
+        issue_and_pull(ca, client, 120, periods=2)
+        client.checkpoint(tmp_path)
+        state_file = tmp_path / client.STATE_FILENAME
+        state = json.loads(state_file.read_text())
+        for legacy_absent in ("head_cursors", "index_cursors", "cursor_checksum"):
+            state.pop(legacy_absent, None)
+        state_file.write_text(json.dumps(state))
+
+        restored_agent, restored_client = self._restored(config, ca, cdn, tmp_path)
+        assert restored_client._head_cursors == {}
+        ca.revoke([SerialNumber(9200)], now=300)
+        warm = restored_client.pull(now=305)
+        assert warm.serials_applied == 1
+        assert warm.resyncs == 0 and not warm.errors
+        for a in (agent, restored_agent):
+            a.close()
+        ca.close()
+
+
 class TestShardedCheckpoint:
     def test_shard_registry_and_replicas_survive_restart(self, tmp_path):
         config, ca, cdn, agent, client = build_stack("incremental", sharded=True)

@@ -193,6 +193,101 @@ class TestCrashRestartValidation:
             FaultSpec(kind=kind, at_period=1, crash=True)
 
 
+class TestAdversarialFaultValidation:
+    """The replay/rotation/equivocation fault kinds and rotation knobs."""
+
+    def test_replayed_head_builds(self):
+        config = make_config(
+            duration_periods=6, faults=(FaultSpec(kind="replayed-head", at_period=4),)
+        )
+        assert config.faults[0].kind == "replayed-head"
+
+    def test_rotation_knobs_build(self):
+        config = make_config(
+            duration_periods=8, key_rotation_periods=3, key_overlap_periods=1
+        )
+        assert config.key_rotation_periods == 3
+
+    def test_retired_key_forgery_requires_rotation(self):
+        with pytest.raises(ConfigurationError, match="needs key_rotation_periods"):
+            make_config(
+                duration_periods=8,
+                faults=(FaultSpec(kind="retired-key-forgery", at_period=6),),
+            )
+
+    def test_retired_key_forgery_must_fire_after_overlap_expiry(self):
+        # Rotation at period 3, overlap 1 period → the forgery only means
+        # anything from period 5 on (the retired key is still honest before).
+        with pytest.raises(ConfigurationError, match="overlap window has expired"):
+            make_config(
+                duration_periods=8,
+                key_rotation_periods=3,
+                key_overlap_periods=1,
+                faults=(FaultSpec(kind="retired-key-forgery", at_period=4),),
+            )
+
+    def test_negative_rotation_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot be negative"):
+            make_config(key_rotation_periods=-1)
+
+    def test_overlap_must_be_shorter_than_rotation(self):
+        with pytest.raises(ConfigurationError, match="smaller than key_rotation"):
+            make_config(
+                duration_periods=8, key_rotation_periods=2, key_overlap_periods=2
+            )
+
+    def test_rotation_forbidden_for_sharded(self):
+        with pytest.raises(ConfigurationError, match="not supported for sharded"):
+            make_config(
+                sharded=True,
+                shard_width_periods=2,
+                cert_lifetime_periods=3,
+                key_rotation_periods=3,
+            )
+
+    def _two_region_agents(self):
+        return (AgentSpec("honest", region="Europe"), AgentSpec("target", region="Japan"))
+
+    def test_equivocating_ca_builds_with_split_regions(self):
+        config = make_config(
+            agents=self._two_region_agents(),
+            faults=(FaultSpec(kind="equivocating-ca", at_period=2, agent="target"),),
+        )
+        assert config.faults[0].agent == "target"
+
+    def test_equivocating_ca_needs_two_agents(self):
+        with pytest.raises(ConfigurationError, match="at least two agents"):
+            make_config(faults=(FaultSpec(kind="equivocating-ca", at_period=2),))
+
+    def test_equivocating_ca_needs_an_honest_region(self):
+        # Both RAs in the targeted region would both swallow the forgery —
+        # nobody is left holding the honest view to gossip against.
+        with pytest.raises(ConfigurationError, match="different region"):
+            make_config(
+                agents=(
+                    AgentSpec("honest", region="Europe"),
+                    AgentSpec("target", region="Europe"),
+                ),
+                faults=(FaultSpec(kind="equivocating-ca", at_period=2, agent="target"),),
+            )
+
+    def test_equivocating_ca_unknown_target_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown agent"):
+            make_config(
+                agents=self._two_region_agents(),
+                faults=(FaultSpec(kind="equivocating-ca", at_period=2, agent="ghost"),),
+            )
+
+    def test_equivocating_ca_conflicts_with_gossip_audit(self):
+        with pytest.raises(ConfigurationError, match="one or the other"):
+            make_config(
+                agents=self._two_region_agents(),
+                victim_host="bank.example",
+                gossip_audit=True,
+                faults=(FaultSpec(kind="equivocating-ca", at_period=2, agent="target"),),
+            )
+
+
 class TestShardedValidation:
     """Sharded mode (§VIII) needs a width, a lifetime, and no study phases."""
 
