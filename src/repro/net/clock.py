@@ -47,4 +47,5 @@ class SkewedClock:
         self.skew_seconds = skew_seconds
 
     def now(self) -> float:
+        """The reference clock's time shifted by the constant skew."""
         return self._reference.now() + self.skew_seconds

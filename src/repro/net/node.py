@@ -60,6 +60,7 @@ class TransparentMiddlebox(Middlebox):
     non-TLS traffic and unsupported clients)."""
 
     def process_packet(self, packet: Packet, now: float) -> List[Packet]:
+        """Pass the packet through unchanged."""
         return [packet]
 
 
@@ -76,6 +77,7 @@ class DroppingMiddlebox(Middlebox):
         self.dropped_count = 0
 
     def process_packet(self, packet: Packet, now: float) -> List[Packet]:
+        """Drop the packet (counting it) when the predicate matches."""
         if self._should_drop(packet):
             self.dropped_count += 1
             return []
@@ -92,6 +94,7 @@ class TamperingMiddlebox(Middlebox):
         self.tampered_count = 0
 
     def process_packet(self, packet: Packet, now: float) -> List[Packet]:
+        """Rewrite the payload (counting it) when the predicate matches."""
         if self._should_tamper(packet):
             self.tampered_count += 1
             return [packet.with_payload(self._tamper(packet.payload))]

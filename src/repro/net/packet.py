@@ -24,6 +24,7 @@ class Direction(Enum):
     SERVER_TO_CLIENT = "server_to_client"
 
     def reversed(self) -> "Direction":
+        """The opposite direction of travel."""
         if self is Direction.CLIENT_TO_SERVER:
             return Direction.SERVER_TO_CLIENT
         return Direction.CLIENT_TO_SERVER
@@ -40,6 +41,7 @@ class FiveTuple:
     protocol: str = "tcp"
 
     def reversed(self) -> "FiveTuple":
+        """The same flow seen from the other endpoint."""
         return FiveTuple(
             src_ip=self.dst_ip,
             src_port=self.dst_port,

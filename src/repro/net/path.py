@@ -37,6 +37,7 @@ class DeliveryRecord:
 
     @property
     def latency(self) -> float:
+        """Seconds between send and delivery."""
         return self.delivered_at - self.sent_at
 
 
@@ -85,9 +86,11 @@ class PathEngine:
         return self._exchange(packet, Direction.SERVER_TO_CLIENT, max_rounds)
 
     def total_wire_bytes(self) -> int:
+        """Bytes that actually crossed the wire (dropped packets excluded)."""
         return sum(record.wire_bytes for record in self.deliveries if not record.dropped)
 
     def last_delivery_latency(self) -> float:
+        """Latency of the most recent successful delivery (0.0 if none)."""
         delivered = [record for record in self.deliveries if not record.dropped]
         if not delivered:
             return 0.0

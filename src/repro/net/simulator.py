@@ -36,14 +36,17 @@ class EventHandle:
         self._event = event
 
     def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when its time comes."""
         self._event.cancelled = True
 
     @property
     def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
         return self._event.cancelled
 
     @property
     def time(self) -> float:
+        """The simulated time the event is scheduled for."""
         return self._event.time
 
 
@@ -69,6 +72,7 @@ class EventScheduler:
         return EventHandle(event)
 
     def schedule_after(self, delay: float, callback: EventCallback, label: str = "") -> EventHandle:
+        """Run ``callback(now)`` after ``delay`` seconds of simulated time."""
         return self.schedule(self.clock.now() + delay, callback, label)
 
     def schedule_periodic(
@@ -88,6 +92,7 @@ class EventScheduler:
         proxy = _PeriodicHandle()
 
         def fire(now: float) -> None:
+            """Run the callback and chain the next firing off ``now``."""
             if proxy.cancelled:
                 return
             callback(now)
@@ -95,6 +100,54 @@ class EventScheduler:
                 proxy.attach(self.schedule(now + period, fire, label))
 
         proxy.attach(self.schedule(first, fire, label))
+        return proxy
+
+    def schedule_every(
+        self,
+        interval: float,
+        callback: EventCallback,
+        start: Optional[float] = None,
+        count: Optional[int] = None,
+        label: str = "",
+    ) -> EventHandle:
+        """Drift-free recurring events: firing ``k`` lands exactly at
+        ``base + k * interval``.
+
+        Unlike :meth:`schedule_periodic` — which chains each firing off the
+        previous one (``now + period``), accumulating floating-point error
+        over long horizons — every firing time here is computed
+        multiplicatively from the base, so the 10,000th firing of a
+        ``0.1``-second interval is exactly ``base + 1000.0``.  ``start``
+        pins the base (default: one interval from now); ``count`` bounds
+        the number of firings (default: unbounded, until cancelled).
+        Cancelling the returned handle stops all future firings.
+        """
+        if interval <= 0:
+            raise NetworkError("recurring events need a positive interval")
+        if count is not None and count < 1:
+            raise NetworkError("recurring events need at least one firing")
+        base = self.clock.now() + interval if start is None else start
+        proxy = _PeriodicHandle()
+
+        def fire_at(index: int) -> EventCallback:
+            """The callback for firing ``index``, chaining ``index + 1``."""
+
+            def fire(now: float) -> None:
+                """Run the callback, then schedule ``base + (k+1)·interval``."""
+                if proxy.cancelled:
+                    return
+                callback(now)
+                upcoming = index + 1
+                if count is not None and upcoming >= count:
+                    return
+                if not proxy.cancelled:
+                    proxy.attach(
+                        self.schedule(base + upcoming * interval, fire_at(upcoming), label)
+                    )
+
+            return fire
+
+        proxy.attach(self.schedule(base, fire_at(0), label))
         return proxy
 
     def run_until(self, end_time: float) -> int:
@@ -127,6 +180,7 @@ class EventScheduler:
         return processed
 
     def pending(self) -> int:
+        """The number of not-yet-cancelled events still queued."""
         return sum(1 for event in self._queue if not event.cancelled)
 
 

@@ -257,8 +257,15 @@ class RADisseminationClient:
 
     # -- the Δ-periodic pull -------------------------------------------------------
 
-    def pull(self, now: float) -> PullResult:
-        """One pull cycle over every CA the RA replicates."""
+    def pull(self, now: float, link=None) -> PullResult:
+        """One pull cycle over every CA the RA replicates.
+
+        ``link`` (a :class:`repro.net.Link`, optional) models the RA's
+        uplink: when set, one request/response round trip sized by the
+        cycle's actual head checks and downloaded bytes is added to the
+        recorded latency.  ``None`` (the default) keeps the pre-fleet
+        behaviour where latency is purely the CDN path model's.
+        """
         result = PullResult(time=now)
         root_stats = self.agent.root_cache.stats
         proof_stats = self.agent.proof_cache.stats
@@ -288,6 +295,11 @@ class RADisseminationClient:
         result.root_cache_hits = root_stats.hits - hits_before
         result.root_signatures_verified = root_stats.misses - misses_before
         result.proofs_invalidated = proof_stats.invalidations - invalidations_before
+        if link is not None:
+            result.latency_seconds += link.round_trip_time(
+                request_bytes=64 * max(1, result.heads_checked),
+                response_bytes=result.bytes_downloaded,
+            )
         self.pull_history.append(result)
         return result
 

@@ -5,8 +5,9 @@ revocation, mid-session revocation on long-lived connections, equivocating
 CAs, degraded infrastructure — into registered, runnable configurations:
 
 * :mod:`repro.scenarios.config` — the frozen :class:`ScenarioConfig` family;
-* :mod:`repro.scenarios.runner` — executes a config against the real
-  ``ritm``/``cdn``/``workloads`` layers;
+* :mod:`repro.scenarios.engine` — the discrete-event fleet engine that
+  executes a config against the real ``ritm``/``cdn``/``workloads`` layers
+  (:mod:`repro.scenarios.runner` remains as its import shim);
 * :mod:`repro.scenarios.report` — the pinned-schema :class:`ScenarioReport`
   (JSON + Markdown);
 * :mod:`repro.scenarios.registry` — named lookup used by the CLI and tests;
@@ -27,6 +28,7 @@ from repro.scenarios.registry import all_scenarios, get, names, register
 from repro.scenarios.report import (
     CACHE_METRIC_KEYS,
     DISSEMINATION_METRIC_KEYS,
+    FLEET_METRIC_KEYS,
     REPORT_SCHEMA_KEYS,
     ScenarioCheck,
     ScenarioReport,
@@ -44,6 +46,7 @@ __all__ = [
     "REPORT_SCHEMA_KEYS",
     "DISSEMINATION_METRIC_KEYS",
     "CACHE_METRIC_KEYS",
+    "FLEET_METRIC_KEYS",
     "ScenarioRunner",
     "run_scenario",
     "register",

@@ -39,6 +39,21 @@ BASELINES = ("", "ocsp-stapling")
 #: Workload shapes: a calibrated trace window or an explicit event script.
 WORKLOAD_KINDS = ("trace", "scripted")
 
+#: Executor backends for the fleet engine's embarrassingly parallel work
+#: (Ed25519 batch verification, durable-WAL I/O).  ``serial`` — the default —
+#: keeps every existing scenario's verdicts and report JSON bit-identical.
+PARALLELISM_MODES = ("serial", "thread", "process")
+
+#: Named per-RA link profiles resolvable to :class:`repro.net.Link` shapes.
+#: ``""`` disables link modelling (pull latency stays purely computational),
+#: ``mixed`` cycles lan/metro/wan across the fleet by agent index, and
+#: ``stalled`` models a pathologically slow RA uplink.
+LINK_PROFILES = ("", "lan", "metro", "wan", "stalled", "mixed")
+
+#: Profiles a ``link_overrides`` entry may name (a concrete shape, not a
+#: fleet-wide policy like ``mixed`` or the empty default).
+CONCRETE_LINK_PROFILES = ("lan", "metro", "wan", "stalled")
+
 
 def _region_for(name: str) -> Region:
     """Resolve a region given either the enum name or its human value."""
@@ -272,6 +287,33 @@ class ScenarioConfig:
     key_overlap_periods: int = 1
     #: Simulated Unix time the scenario starts at (scripted workloads).
     epoch: int = 1_400_000_000
+    #: Expand the declared agents into a fleet of this many RAs (0 keeps the
+    #: declared agents as-is).  Clones cycle the declared specs and are named
+    #: ``<template>-NNN``; see :meth:`effective_agents`.
+    fleet_size: int = 0
+    #: Phase offset between consecutive RAs' pulls, in seconds: agent ``i``
+    #: pulls at ``head_time + i * stagger + jitter_i``.  Flattens the CA
+    #: egress peak (the ``staggered-pulls`` scenario studies this).
+    pull_stagger_seconds: float = 0.0
+    #: Cap on the per-agent uniform jitter added to each pull time, drawn
+    #: from the agent's seeded stream (see :attr:`rng_seed`).
+    pull_jitter_seconds: float = 0.0
+    #: Fleet-wide link profile (one of :data:`LINK_PROFILES`); ``""`` keeps
+    #: pull latency purely computational as the serial runner did.
+    link_profile: str = ""
+    #: Per-agent link-profile overrides, keyed by effective agent name; each
+    #: value must be a concrete profile (:data:`CONCRETE_LINK_PROFILES`).
+    link_overrides: Mapping[str, str] = field(default_factory=dict)
+    #: Master seed for every stochastic draw the engine makes (jitter,
+    #: client-handshake sampling, gossip ring ordering).  Two runs of the
+    #: same config and seed produce byte-identical report JSON.
+    rng_seed: int = 404
+    #: Executor backend for batch signature verification and WAL I/O
+    #: (one of :data:`PARALLELISM_MODES`).
+    parallelism: str = "serial"
+    #: Total client status handshakes served across the run, spread evenly
+    #: over periods and the RA fleet (0 disables client load).
+    client_handshakes: int = 0
     #: Field overrides applied by :meth:`smoke` for fast CI runs.
     smoke_overrides: Mapping[str, Any] = field(default_factory=dict)
     tags: Tuple[str, ...] = ()
@@ -319,15 +361,19 @@ class ScenarioConfig:
                         f"fault {fault.kind!r} at period {fault.at_period} "
                         f"starts after the scenario ends"
                     )
+        effective_names = [spec.name for spec in self.effective_agents()]
         for fault in self.faults:
-            if (
-                fault.kind in ("ra-restart", "equivocating-ca")
-                and fault.agent
-                and fault.agent not in names
-            ):
-                raise ConfigurationError(
-                    f"{fault.kind} targets unknown agent {fault.agent!r}"
-                )
+            if fault.kind in ("ra-restart", "equivocating-ca"):
+                if fault.agent and fault.agent not in effective_names:
+                    raise ConfigurationError(
+                        f"{fault.kind} targets unknown agent {fault.agent!r}"
+                    )
+                if self.fleet_size and not fault.agent:
+                    raise ConfigurationError(
+                        f"{fault.kind} must name its target agent explicitly "
+                        "when fleet_size expands the fleet (the implicit "
+                        "'last agent' default is ambiguous across clones)"
+                    )
             if fault.kind == "retired-key-forgery":
                 if not self.key_rotation_periods:
                     raise ConfigurationError(
@@ -421,6 +467,56 @@ class ScenarioConfig:
             raise ConfigurationError(
                 "shard_width_periods/cert_lifetime_periods require sharded=True"
             )
+        if self.fleet_size and self.fleet_size < len(self.agents):
+            raise ConfigurationError(
+                "fleet_size cannot be smaller than the declared agent list"
+            )
+        if len(set(effective_names)) != len(effective_names):
+            raise ConfigurationError(
+                "fleet expansion produced a clone name that collides with a "
+                "declared agent; rename the declared agents"
+            )
+        if self.pull_stagger_seconds < 0.0:
+            raise ConfigurationError("pull_stagger_seconds cannot be negative")
+        if self.pull_jitter_seconds < 0.0:
+            raise ConfigurationError("pull_jitter_seconds cannot be negative")
+        worst_offset = (
+            (len(effective_names) - 1) * self.pull_stagger_seconds
+            + self.pull_jitter_seconds
+        )
+        if worst_offset >= self.delta_seconds:
+            raise ConfigurationError(
+                f"the worst-case pull offset ({worst_offset:.3f}s of stagger "
+                f"plus jitter) must stay inside one Δ period "
+                f"({self.delta_seconds}s) or pulls spill into the next head"
+            )
+        if self.link_profile not in LINK_PROFILES:
+            raise ConfigurationError(
+                f"unknown link profile {self.link_profile!r}; "
+                f"expected one of {LINK_PROFILES}"
+            )
+        for agent_name, profile in self.link_overrides.items():
+            if agent_name not in effective_names:
+                raise ConfigurationError(
+                    f"link override targets unknown agent {agent_name!r}"
+                )
+            if profile not in CONCRETE_LINK_PROFILES:
+                raise ConfigurationError(
+                    f"link override for {agent_name!r} names {profile!r}; "
+                    f"expected one of {CONCRETE_LINK_PROFILES}"
+                )
+        if self.parallelism not in PARALLELISM_MODES:
+            raise ConfigurationError(
+                f"unknown parallelism mode {self.parallelism!r}; "
+                f"expected one of {PARALLELISM_MODES}"
+            )
+        if self.client_handshakes < 0:
+            raise ConfigurationError("client_handshakes cannot be negative")
+        if self.client_handshakes and self.sharded:
+            raise ConfigurationError(
+                "client handshake load is not supported for sharded "
+                "scenarios yet (status sampling needs the unsharded pool)"
+            )
 
     # -- derived values ------------------------------------------------------------
 
@@ -433,6 +529,25 @@ class ScenarioConfig:
     def attack_window_seconds(self) -> int:
         """The paper's 2Δ bound for this scenario's Δ."""
         return 2 * self.delta_seconds
+
+    def effective_agents(self) -> Tuple[AgentSpec, ...]:
+        """The RA fleet after :attr:`fleet_size` expansion.
+
+        With ``fleet_size`` unset this is exactly :attr:`agents`.  Otherwise
+        the declared specs are kept (they anchor fault targets and study
+        phases) and clones fill the fleet, cycling the declared specs for
+        their regions and named ``<template>-NNN`` so fleet ordering — and
+        with it every same-time scheduling decision — is deterministic.
+        """
+        if not self.fleet_size or self.fleet_size == len(self.agents):
+            return self.agents
+        fleet = list(self.agents)
+        for index in range(self.fleet_size - len(self.agents)):
+            template = self.agents[index % len(self.agents)]
+            fleet.append(
+                AgentSpec(name=f"{template.name}-{index:03d}", region=template.region)
+            )
+        return tuple(fleet)
 
     # -- copies --------------------------------------------------------------------
 

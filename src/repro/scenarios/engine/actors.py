@@ -1,0 +1,384 @@
+"""The fleet's actors: CA director, RA pull agents, client load.
+
+Each actor schedules its own next event on the engine's shared
+:class:`repro.net.EventScheduler` (self-chaining), so the whole run is one
+event loop instead of a lockstep period loop:
+
+* :class:`CADirector` fires at every period's bin start: it performs the
+  CA's publication duty (outage queueing, backlog flush, issuance or bare
+  refresh), runs the ``after_ca_duty`` observers (rotation recording, fault
+  injection, snapshots), posts ``head-published`` to every RA mailbox, and
+  chains the next period.
+* :class:`RAActor` fires at its own pull time — ``bin + Δ + i·stagger +
+  jitter_i`` — drains its mailbox (serving queued client batches first),
+  handles restart/crash/restore faults, pulls over its modelled uplink, and
+  chains its next pull.  When the last agent of a period finishes, the
+  engine runs the ``after_pulls`` observers.
+* :class:`ClientLoadActor` posts mid-period ``client-batch`` messages via
+  the drift-free :meth:`~repro.net.EventScheduler.schedule_every`.
+
+Same-time events fire in scheduling order, which (with the chaining
+discipline above) reproduces the serial runner's period ordering exactly
+when every concurrency knob is at its default.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from typing import List, Tuple
+
+from repro.crypto.signing import PublicKey, verify_batch
+from repro.errors import DesynchronizedError, DictionaryError
+from repro.pki import SerialNumber
+from repro.ritm import RevocationAgent, attach_agent_to_cas
+from repro.scenarios.config import FaultSpec
+from repro.scenarios.engine.mailbox import Message
+from repro.scenarios.engine.state import AgentRuntime, PendingProvability
+
+#: Serial space the absent-probe sampler draws from (3-byte serials).
+_SERIAL_SPACE = 256**3 - 1
+
+
+class CADirector:
+    """The CA-side actor: one firing per Δ period at the bin start."""
+
+    def __init__(self, engine) -> None:
+        """Bind the director to its engine."""
+        self.engine = engine
+        self._period = 0
+
+    def start(self) -> None:
+        """Schedule the first period's publication event."""
+        first_bin = self.engine.state.periods[0][1]
+        self.engine.scheduler.schedule(first_bin, self._on_period, label="ca-duty")
+
+    def _on_period(self, now: float) -> None:
+        """One period's CA duty, observer hooks, and mailbox announcements."""
+        engine, state = self.engine, self.engine.state
+        cfg = state.config
+        period = self._period
+        ctx = engine.open_period(period, now)
+
+        count, revoke_victim, reason = ctx.workload
+        serials = [SerialNumber(next(state.serial_pool)) for _ in range(count)]
+        if revoke_victim and state.victim is not None:
+            serials.append(state.victim.serial)
+
+        if ctx.outage is not None:
+            if serials:
+                state.backlog.append(
+                    (now, serials, reason or "queued in outage", revoke_victim)
+                )
+                state.event(period, "ca-outage", f"{len(serials)} revocation(s) queued")
+            elif period == ctx.outage.at_period:
+                state.event(period, "ca-outage", "CA publishes nothing this window")
+        else:
+            self._issue_revocations(period, now, serials, reason, revoke_victim)
+
+        for observer in engine.observers:
+            observer.after_ca_duty(ctx, state)
+
+        if ctx.outage is None:
+            for runtime in state.runtimes:
+                runtime.mailbox.post(
+                    Message(kind="head-published", posted_at=now, payload={"period": period})
+                )
+
+        self._period += 1
+        if self._period < len(state.periods):
+            next_bin = state.periods[self._period][1]
+            engine.scheduler.schedule(next_bin, self._on_period, label="ca-duty")
+
+    def _issue_revocations(
+        self,
+        period: int,
+        now: float,
+        serials: List[SerialNumber],
+        reason: str,
+        revoke_victim: bool,
+    ) -> None:
+        """Flush any outage backlog, then revoke this period's serials."""
+        state = self.engine.state
+        if state.config.sharded:
+            self._issue_sharded(period, now, serials, reason)
+            return
+        victim = state.victim
+        for intended_time, queued, queued_reason, queued_victim in state.backlog:
+            issuance = state.ca.revoke(queued, now=now, reason=queued_reason)
+            state.record_issuance(issuance, intended_time)
+            if queued_victim and victim is not None:
+                victim.revoked_at = now
+                state.event(period, "victim-revoked", f"serial {victim.serial} revoked")
+            state.event(
+                period,
+                "backlog-flush",
+                f"{len(queued)} queued revocation(s) published "
+                f"{now - intended_time:.0f}s late",
+            )
+        state.backlog = []
+        if not serials:
+            state.ca.refresh(now=now)
+            return
+        issuance = state.ca.revoke(serials, now=now, reason=reason or "unspecified")
+        state.record_issuance(issuance, now)
+        if revoke_victim and victim is not None:
+            victim.revoked_at = now
+            state.event(period, "victim-revoked", f"serial {victim.serial} revoked")
+        if len(serials) > (1 if revoke_victim else 0):
+            state.event(period, "revocation", f"{len(serials)} serial(s) revoked")
+
+    def _issue_sharded(
+        self, period: int, now: float, serials: List[SerialNumber], reason: str
+    ) -> None:
+        """Sharded-mode issuance: assign expiries, route to shards, refresh.
+
+        Every serial gets a deterministic certificate expiry 1..N periods
+        after its revocation (``cert_lifetime_periods``), producing the
+        expiry churn that makes shards fill and retire over a long run.  The
+        same serials are fed to the unsharded oracle dictionary for the
+        verdict/storage comparison.  The CA refreshes every period, which
+        also drives shard retirement at the configured cadence.
+        """
+        state = self.engine.state
+        if serials:
+            pairs = [(serial, state.assign_expiry(serial, now)) for serial in serials]
+            issuances = state.ca.revoke_with_expiry(
+                pairs, now=now, reason=reason or "unspecified"
+            )
+            for _, issuance in issuances:
+                state.batches.append(list(issuance.serials))
+            state.revocations_issued += len(serials)
+            state.pending.append(
+                PendingProvability(
+                    event_time=now, cumulative_size=state.revocations_issued
+                )
+            )
+            state.oracle.insert(serials, int(now))
+            state.event(period, "revocation", f"{len(serials)} serial(s) revoked")
+        state.ca.refresh(now=now)
+
+
+class RAActor:
+    """One RA's actor: drains its mailbox and pulls once per period."""
+
+    def __init__(self, engine, runtime: AgentRuntime) -> None:
+        """Bind the actor to its runtime and derive its seeded RNG streams."""
+        self.engine = engine
+        self.runtime = runtime
+        cfg = engine.state.config
+        stem = f"{cfg.name}:{cfg.rng_seed}"
+        self._jitter_rng = random.Random(f"{stem}:jitter:{runtime.spec_name}")
+        self._client_rng = random.Random(f"{stem}:clients:{runtime.spec_name}")
+        self._period = 0
+
+    def start(self) -> None:
+        """Schedule this agent's first pull."""
+        self._schedule_pull(0)
+
+    def _schedule_pull(self, period: int) -> None:
+        """Queue the pull event for ``period`` at the agent's offset time."""
+        state = self.engine.state
+        cfg = state.config
+        bin_start = state.periods[period][1]
+        offset = self.runtime.fleet_index * cfg.pull_stagger_seconds
+        if cfg.pull_jitter_seconds:
+            offset += self._jitter_rng.uniform(0.0, cfg.pull_jitter_seconds)
+        self.engine.scheduler.schedule(
+            bin_start + cfg.delta_seconds + offset,
+            self._on_pull,
+            label=f"pull:{self.runtime.spec_name}",
+        )
+
+    def _on_pull(self, now: float) -> None:
+        """One period's turn: fault handling, mailbox drain, the pull itself."""
+        engine, state, runtime = self.engine, self.engine.state, self.runtime
+        period = self._period
+        self._period += 1
+        if self._period < len(state.periods):
+            self._schedule_pull(self._period)
+
+        ctx = engine.period_contexts[period]
+        fault = state.restart_fault_for(runtime, period)
+        if fault is not None:
+            if fault.crash and period == fault.at_period:
+                self._crash(fault, period)
+            runtime.missed_pulls += 1
+            state.event(period, "ra-restart", f"{runtime.spec_name} missed its pull")
+            engine.pull_finished(period)
+            return
+
+        self._drain_mailbox()
+
+        restored_replicas = None
+        if runtime.pending_restore:
+            restored_replicas = runtime.client.restore(runtime.checkpoint_dir)
+            runtime.pending_restore = False
+            state.event(
+                period,
+                "ra-restore",
+                f"{runtime.spec_name} warm-started from its checkpoint "
+                f"({restored_replicas} replica(s))",
+            )
+        result = runtime.client.pull(now=now, link=runtime.link)
+        state.pull_intervals.append((now, now + result.latency_seconds))
+        if runtime.crashed_mode is not None and runtime.recovery is None:
+            runtime.recovery = {
+                "mode": runtime.crashed_mode,
+                "period": period,
+                "bytes_downloaded": result.bytes_downloaded,
+                "latency_seconds": result.latency_seconds,
+                "serials_applied": result.serials_applied,
+                "issuances_applied": result.issuances_applied,
+                "resyncs": result.resyncs,
+                "restored_replicas": restored_replicas or 0,
+                "completed_at": now + result.latency_seconds,
+            }
+            state.event(
+                period,
+                "ra-recovered",
+                f"{runtime.spec_name} {runtime.crashed_mode} recovery: "
+                f"{result.bytes_downloaded} B, "
+                f"{result.serials_applied} serial(s) applied in "
+                f"{result.latency_seconds:.3f}s",
+            )
+        state.advance_provability(runtime, now + result.latency_seconds)
+        if ctx.forgery is not None and period == ctx.forgery.at_period:
+            state.forgery_errors += len(result.errors)
+        for error in result.errors:
+            state.event(period, "pull-error", error)
+        engine.pull_finished(period)
+
+    def _crash(self, fault: FaultSpec, period: int) -> None:
+        """Kill and re-create the agent's process state for a crash restart.
+
+        In durable mode the dissemination client checkpoints first —
+        modelling an RA that persists its state once per applied epoch — so
+        recovery can warm-start from disk.  Either way the old agent and
+        client are discarded (their pull history is archived for the run's
+        dissemination totals) and replaced with a fresh attach, exactly what
+        a restarted process would do.
+        """
+        state, runtime = self.engine.state, self.runtime
+        if fault.durable:
+            runtime.checkpoint_dir = tempfile.mkdtemp(
+                prefix=f"ritm-ckpt-{runtime.spec_name}-"
+            )
+            state.checkpoint_dirs.append(runtime.checkpoint_dir)
+            runtime.client.checkpoint(runtime.checkpoint_dir)
+        runtime.archived_pulls.extend(runtime.client.pull_history)
+        runtime.agent.close()
+        agent = RevocationAgent(runtime.spec_name, state.ritm_config)
+        runtime.agent = agent
+        runtime.client = attach_agent_to_cas(
+            agent, [state.ca], state.cdn, runtime.location
+        )
+        runtime.pending_restore = fault.durable
+        runtime.crashed_mode = "durable" if fault.durable else "cold"
+        state.event(
+            period,
+            "ra-crash",
+            f"{runtime.spec_name} crashed "
+            f"({'durable checkpoint on disk' if fault.durable else 'memory lost'})",
+        )
+
+    # -- client handshake load -------------------------------------------------------
+
+    def _drain_mailbox(self) -> None:
+        """Process queued messages, serving client batches before the pull."""
+        for message in self.runtime.mailbox.drain():
+            if message.kind == "client-batch":
+                self._serve_clients(int(message.payload["count"]))
+
+    def _serve_clients(self, count: int) -> None:
+        """Serve one batch of status handshakes against the pre-pull replica.
+
+        A sampled fraction of served statuses gets its signed root
+        re-verified through :func:`repro.crypto.signing.verify_batch`, which
+        is where a ``parallelism="process"`` run fans the Ed25519 work out
+        to worker processes.
+        """
+        engine, state, runtime = self.engine, self.engine.state, self.runtime
+        triples: List[Tuple[PublicKey, bytes, bytes]] = []
+        for _ in range(count):
+            serial = self._sample_serial()
+            try:
+                status = runtime.agent.build_status(state.ca.name, serial)
+            except (DictionaryError, DesynchronizedError):
+                continue
+            state.handshakes_served += 1
+            engine.handshake_counter += 1
+            if (
+                engine.verify_every
+                and engine.handshake_counter % engine.verify_every == 0
+            ):
+                root = status.signed_root
+                triples.append((state.ca.public_key, root.payload(), root.signature))
+        if triples:
+            state.handshake_roots_verified += sum(verify_batch(triples))
+
+    def _sample_serial(self) -> SerialNumber:
+        """Draw a status-query serial: 80 % issued, 20 % absent probes."""
+        state = self.engine.state
+        rng = self._client_rng
+        if state.numbered and rng.random() < 0.8:
+            _, serial = state.numbered[rng.randrange(len(state.numbered))]
+            return serial
+        issued = self.engine.issued_values()
+        while True:
+            value = rng.randrange(1, _SERIAL_SPACE + 1)
+            if value not in issued:
+                return SerialNumber(value)
+
+
+class ClientLoadActor:
+    """Spreads the configured client-handshake total over periods and RAs.
+
+    One drift-free recurring event per period, at the period's midpoint,
+    posts a ``client-batch`` message into every RA's mailbox; the RA serves
+    the batch when it next drains (normally at its pull, so clients always
+    hit the pre-pull replica state — and a restarted RA visibly accumulates
+    unserved batches).
+    """
+
+    def __init__(self, engine) -> None:
+        """Precompute the per-(period, agent) handshake counts."""
+        self.engine = engine
+        state = engine.state
+        cfg = state.config
+        fleet = len(state.runtimes)
+        slots = len(state.periods) * fleet
+        base, remainder = divmod(cfg.client_handshakes, slots)
+        self._counts = [
+            base + (1 if slot < remainder else 0) for slot in range(slots)
+        ]
+        self._fleet = fleet
+        self._period = 0
+
+    def start(self) -> None:
+        """Schedule one mid-period batch posting per period."""
+        state = self.engine.state
+        delta = state.config.delta_seconds
+        self.engine.scheduler.schedule_every(
+            interval=float(delta),
+            callback=self._on_tick,
+            start=state.periods[0][1] + delta / 2.0,
+            count=len(state.periods),
+            label="client-load",
+        )
+
+    def _on_tick(self, now: float) -> None:
+        """Post this period's client batches to every RA mailbox."""
+        state = self.engine.state
+        period = self._period
+        self._period += 1
+        for index, runtime in enumerate(state.runtimes):
+            count = self._counts[period * self._fleet + index]
+            if count:
+                runtime.mailbox.post(
+                    Message(
+                        kind="client-batch",
+                        posted_at=now,
+                        payload={"period": period, "count": count},
+                    )
+                )

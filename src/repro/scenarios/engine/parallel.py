@@ -1,0 +1,78 @@
+"""Opt-in executors for the run's embarrassingly parallel work.
+
+Two work classes genuinely parallelize inside a scenario run:
+
+* **Ed25519 batch verification** — pure-Python verification costs
+  milliseconds per signature; chunks of independent ``(key, message,
+  signature)`` triples can verify in worker *processes* (the GIL makes
+  threads useless for this CPU-bound work).  The context installs its
+  executor into :func:`repro.crypto.signing.set_batch_executor` for the
+  duration of the run.
+* **Durable-WAL I/O** — closing/checkpointing many agents' durable stores
+  is blocking file I/O, which *threads* overlap fine.
+
+``parallelism="serial"`` (the default) creates no pools at all, so every
+existing scenario's wall-clock profile and verdicts are untouched.  The
+verdict stream is identical in every mode — executors only change
+wall-clock — which the parallelism-equivalence test pins.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+from repro.crypto import signing
+
+#: Worker counts kept deliberately small: scenario runs are short-lived and
+#: pool startup (especially process fork) must not dominate them.
+_PROCESS_WORKERS = 4
+_IO_WORKERS = 4
+
+
+class ParallelContext:
+    """The run-scoped executor pair behind the ``parallelism`` config knob.
+
+    Use as a context manager around the whole run; ``__exit__`` always
+    uninstalls the signing executor and shuts the pools down, so a crashed
+    study phase cannot leak worker processes into the next scenario.
+    """
+
+    def __init__(self, mode: str) -> None:
+        """Prepare (but do not yet start) executors for ``mode``."""
+        self.mode = mode
+        self._signing_pool = None
+        self._io_pool: Optional[ThreadPoolExecutor] = None
+
+    def __enter__(self) -> "ParallelContext":
+        """Start the pools for the chosen mode and install the signing executor."""
+        if self.mode == "thread":
+            self._signing_pool = ThreadPoolExecutor(max_workers=_IO_WORKERS)
+            self._io_pool = self._signing_pool
+        elif self.mode == "process":
+            self._signing_pool = ProcessPoolExecutor(max_workers=_PROCESS_WORKERS)
+            self._io_pool = ThreadPoolExecutor(max_workers=_IO_WORKERS)
+        if self._signing_pool is not None:
+            signing.set_batch_executor(self._signing_pool)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Uninstall the signing executor and shut both pools down."""
+        signing.set_batch_executor(None)
+        if self._signing_pool is not None:
+            self._signing_pool.shutdown(wait=True)
+        if self._io_pool is not None and self._io_pool is not self._signing_pool:
+            self._io_pool.shutdown(wait=True)
+        self._signing_pool = None
+        self._io_pool = None
+
+    def run_io(self, thunks: Sequence[Callable[[], object]]) -> List[object]:
+        """Run blocking-I/O thunks, overlapped on the thread pool when one exists.
+
+        Results come back in submission order either way, so callers see the
+        same behaviour serial and parallel.
+        """
+        if self._io_pool is None:
+            return [thunk() for thunk in thunks]
+        futures = [self._io_pool.submit(thunk) for thunk in thunks]
+        return [future.result() for future in futures]

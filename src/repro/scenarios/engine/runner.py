@@ -1,0 +1,32 @@
+"""The public entry points to the fleet engine.
+
+:class:`ScenarioRunner` keeps the name and surface the rest of the repo
+(CLI, examples, benchmarks, tests) has always used; it now delegates to
+:class:`~repro.scenarios.engine.core.FleetEngine` instead of running the
+retired lockstep period loop.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.engine.core import FleetEngine
+from repro.scenarios.report import ScenarioReport
+
+
+class ScenarioRunner:
+    """Executes one scenario configuration and assembles its report."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        """Bind the runner to a validated scenario config."""
+        self.config = config
+
+    def run(self) -> ScenarioReport:
+        """Execute the scenario on the fleet engine and return its report."""
+        return FleetEngine(self.config).run()
+
+
+def run_scenario(config: ScenarioConfig, smoke: bool = False) -> ScenarioReport:
+    """Run ``config`` (optionally its smoke variant) and return the report."""
+    if smoke:
+        config = config.smoke()
+    return ScenarioRunner(config).run()

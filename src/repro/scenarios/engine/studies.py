@@ -1,0 +1,422 @@
+"""The study phases that bracket the event loop.
+
+Everything here runs *outside* the scheduler: victim setup happens before
+the first event fires, and the closing handshake, gossip audit, engine
+comparison, baseline comparison, and the crash/rotation/equivocation/
+sharded extras all run after the last event drains.  Each function is a
+direct port of the serial runner's corresponding phase, taking the shared
+:class:`~repro.scenarios.engine.state.RunState` instead of a runner
+instance, so report extras stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.crypto import HashChain, KeyPair
+from repro.crypto.merkle import SortedMerkleTree
+from repro.dictionary.signed_root import SignedRoot
+from repro.net.clock import SimulatedClock
+from repro.pki import SerialNumber, TrustStore
+from repro.ritm import GossipExchange, build_close_to_client_deployment
+from repro.scenarios.faults import DECOY_SERIAL
+from repro.scenarios.engine.state import AgentRuntime, RunState, VictimRuntime
+from repro.store import create_store
+
+
+def setup_victim(state: RunState, now: float) -> Optional[VictimRuntime]:
+    """Issue the victim certificate and run the opening handshake."""
+    cfg = state.config
+    ca = state.ca
+    if not cfg.victim_host:
+        return None
+    server_keys = KeyPair.generate(f"{cfg.name}-server".encode())
+    chain = ca.authority.issue_chain_for(
+        cfg.victim_host, server_keys.public, now=int(now)
+    )
+    trust_store = TrustStore()
+    trust_store.add(ca.authority)
+    victim = VictimRuntime(
+        chain=chain,
+        trust_store=trust_store,
+        # Under rotation the TLS clients must verify against the CA's
+        # live keyring — the closing handshake may land epochs after the
+        # genesis key was retired.
+        ca_public_keys={
+            ca.name: ca.keyring if cfg.key_rotation_periods else ca.public_key
+        },
+        serial=chain.leaf.serial,
+    )
+    clock = SimulatedClock(now + 1)
+    deployment = build_close_to_client_deployment(
+        server_chain=chain,
+        trust_store=trust_store,
+        ca_public_keys=victim.ca_public_keys,
+        config=state.ritm_config,
+        agent=state.runtimes[0].agent,
+        clock=clock,
+    )
+    victim.initial_accepted = deployment.run_handshake()
+    status = deployment.client.last_status
+    victim.status_size_bytes = status.encoded_size() if status is not None else 0
+    state.event(
+        -1,
+        "handshake",
+        f"opening handshake accepted={victim.initial_accepted} "
+        f"(status {victim.status_size_bytes} B)",
+    )
+    if cfg.long_lived_session:
+        victim.deployment = deployment
+        victim.clock = clock
+    return victim
+
+
+def final_handshake(state: RunState, now: float) -> None:
+    """Run the closing handshake on a fresh connection."""
+    victim = state.victim
+    deployment = build_close_to_client_deployment(
+        server_chain=victim.chain,
+        trust_store=victim.trust_store,
+        ca_public_keys=victim.ca_public_keys,
+        config=state.ritm_config,
+        agent=state.runtimes[0].agent,
+        clock=SimulatedClock(now),
+    )
+    victim.final_accepted = deployment.run_handshake()
+    victim.final_rejection = (
+        deployment.client.rejection.value if deployment.client.rejection else ""
+    )
+    state.event(
+        -2,
+        "handshake",
+        f"closing handshake accepted={victim.final_accepted}"
+        + (f" ({victim.final_rejection})" if victim.final_rejection else ""),
+    )
+
+
+def gossip_audit(state: RunState, now: float) -> Dict[str, object]:
+    """Stage a CA equivocation against the last agent and gossip it out.
+
+    The CA revokes the victim honestly for every RA except the targeted
+    one, which instead receives a forged issuance (a decoy serial and a
+    parallel signed root over the doctored content).  One gossip round
+    between an honest RA and the targeted RA yields portable evidence.
+    """
+    ca, victim, runtimes = state.ca, state.victim, state.runtimes
+    issuance = ca.revoke([victim.serial], now=now, reason="equivocation target")
+    victim.revoked_at = now
+    honest, targeted = runtimes[0], runtimes[-1]
+    for runtime in runtimes[:-1]:
+        runtime.client.pull(now=now + 1)
+
+    decoy = SerialNumber(DECOY_SERIAL)
+    shadow_tree = SortedMerkleTree()
+    for number, serial in state.numbered:
+        shadow_tree.insert(serial.to_bytes(), number.to_bytes(4, "big"))
+    shadow_tree.insert(decoy.to_bytes(), issuance.first_number.to_bytes(4, "big"))
+    chain_length = issuance.signed_root.chain_length
+    shadow_chain = HashChain(length=chain_length)
+    forged_root = SignedRoot(
+        ca_name=ca.name,
+        root=shadow_tree.root(),
+        size=issuance.signed_root.size,
+        anchor=shadow_chain.anchor,
+        timestamp=issuance.signed_root.timestamp,
+        chain_length=chain_length,
+    ).sign(state.authority._keys.private)  # noqa: SLF001 - the CA signs its own forgery
+    forged = replace(issuance, serials=(decoy,), signed_root=forged_root)
+    targeted.agent.apply_issuance(forged)
+    targeted_blind = not targeted.agent.replica_for(ca.name).contains(victim.serial)
+
+    reports = GossipExchange().exchange(
+        honest.agent.consistency, targeted.agent.consistency
+    )
+    evidence_valid = bool(reports) and reports[0].is_valid_evidence(ca.public_key)
+    state.event(
+        -3,
+        "gossip",
+        f"gossip round produced {len(reports)} misbehavior report(s)",
+    )
+    return {
+        "targeted_agent": targeted.spec_name,
+        "honest_agent": honest.spec_name,
+        "targeted_believes_victim_revoked": not targeted_blind,
+        "misbehavior_reports": len(reports),
+        "evidence_valid_under_ca_key": evidence_valid,
+        "conflicting_size": reports[0].first.size if reports else 0,
+    }
+
+
+def compare_engines(state: RunState) -> Dict[str, object]:
+    """Replay the recorded revocation batches against each engine."""
+    comparison: Dict[str, object] = {}
+    roots = set()
+    for engine in state.config.compare_engines:
+        with create_store(engine) as store:
+            number = 0
+            started = _time.perf_counter()
+            for batch in state.batches:
+                items = []
+                for serial in batch:
+                    number += 1
+                    items.append((serial.to_bytes(), number.to_bytes(4, "big")))
+                store.insert_batch(items)
+                store.root()
+            elapsed = _time.perf_counter() - started
+            root_hex = store.root().hex()
+        roots.add(root_hex)
+        comparison[engine] = {
+            "seconds": round(elapsed, 6),
+            "serials": number,
+            "root": root_hex[:16],
+        }
+    comparison["roots_agree"] = len(roots) <= 1
+    return comparison
+
+
+def baseline_comparison(state: RunState) -> Dict[str, object]:
+    """Replay the victim's timeline against OCSP Stapling."""
+    from repro.baselines import CheckContext, GroundTruth, OCSPStaplingScheme
+
+    cfg, victim = state.config, state.victim
+    truth = GroundTruth(ca_name=cfg.ca_name)
+    stapling = OCSPStaplingScheme(truth, response_lifetime=4 * 86_400.0)
+    session_start = float(cfg.epoch)
+    stapling.check(
+        CheckContext(
+            "scenario-client", cfg.victim_host, victim.serial, now=session_start
+        )
+    )
+    truth.revoke(victim.serial, now=float(victim.revoked_at))
+    probe = stapling.check(
+        CheckContext(
+            "scenario-client",
+            cfg.victim_host,
+            victim.serial,
+            now=float(victim.revoked_at) + 3600.0,
+        )
+    )
+    return {
+        "scheme": stapling.name,
+        "response_lifetime_seconds": stapling.responder.response_lifetime,
+        "reports_revoked_one_hour_after_revocation": probe.revoked,
+        "worst_case_exposure_seconds": stapling.responder.response_lifetime,
+        "ritm_bound_seconds": cfg.attack_window_seconds(),
+    }
+
+
+def crash_recovery_extras(state: RunState) -> Dict[str, object]:
+    """The warm-vs-cold restart study results (docs/STORAGE.md).
+
+    Per crashed agent: its recovery-pull metrics.  Differentially: every
+    revoked serial's verdict from each crashed agent's recovered replica
+    against the in-memory oracle, plus a handful of absent probes.  When
+    both a durable and a cold crash ran, the head-to-head comparison.
+    """
+    ca = state.ca
+    agents: Dict[str, object] = {}
+    mismatches = checked = 0
+    probe_values = [serial.value for _, serial in state.numbered]
+    absent_base = (max(probe_values, default=0) or DECOY_SERIAL) + 1
+    for runtime in state.runtimes:
+        if runtime.crashed_mode is None:
+            continue
+        agents[runtime.spec_name] = dict(
+            runtime.recovery or {"mode": runtime.crashed_mode}
+        )
+        replica = runtime.agent.replica_for(ca.name)
+        if replica is None or replica.signed_root is None:
+            mismatches += 1
+            continue
+        for value in probe_values:
+            serial = SerialNumber(value)
+            checked += 1
+            if replica.prove(serial).is_revoked != state.oracle.contains(serial):
+                mismatches += 1
+        for offset in range(5):
+            probe = SerialNumber(absent_base + offset)
+            checked += 1
+            if replica.prove(probe).is_revoked or state.oracle.contains(probe):
+                mismatches += 1
+    study: Dict[str, object] = {
+        "agents": agents,
+        "verdicts_checked": checked,
+        "verdict_mismatches": mismatches,
+    }
+    durable = [a for a in agents.values() if a.get("mode") == "durable"]
+    cold = [a for a in agents.values() if a.get("mode") == "cold"]
+    if durable and cold and durable[0].get("completed_at") and cold[0].get("completed_at"):
+        warm, coldstart = durable[0], cold[0]
+        study["comparison"] = {
+            "warm_bytes": warm["bytes_downloaded"],
+            "cold_bytes": coldstart["bytes_downloaded"],
+            "warm_recovery_seconds": warm["latency_seconds"],
+            "cold_recovery_seconds": coldstart["latency_seconds"],
+            "warm_back_in_bound_at": warm["completed_at"],
+            "cold_back_in_bound_at": coldstart["completed_at"],
+            "bytes_saved": coldstart["bytes_downloaded"] - warm["bytes_downloaded"],
+        }
+    return study
+
+
+def key_rotation_extras(state: RunState) -> Dict[str, object]:
+    """The key-rotation study results (docs/THREATS.md).
+
+    The rotation timeline, how many announcement-chain entries the fleet
+    learned, each agent's final keyring epoch, and the overlap probes from
+    :class:`~repro.scenarios.engine.observers.RotationProber`.
+    """
+    ca = state.ca
+    learned = sum(
+        sum(pull.key_rotations_applied for pull in r.pull_results())
+        for r in state.runtimes
+    )
+    agent_epochs: Dict[str, int] = {}
+    for runtime in state.runtimes:
+        keyring = runtime.agent.keyring_for(ca.name)
+        agent_epochs[runtime.spec_name] = keyring.key_epoch if keyring else 0
+    return {
+        "ca_key_epoch": ca.key_epoch,
+        "rotations": [
+            {
+                "period": record["period"],
+                "epoch": record["epoch"],
+                "rotated_at": record["rotated_at"],
+                "overlap_until": record["overlap_until"],
+            }
+            for record in state.rotations
+        ],
+        "announcements_learned": learned,
+        "agent_key_epochs": agent_epochs,
+        "probes": list(state.rotation_probes),
+    }
+
+
+def equivocation_extras(state: RunState) -> Dict[str, object]:
+    """The equivocation study results: planted forgery, detection, evidence."""
+    ca = state.ca
+    planted = dict(state.equivocation or {})
+    target_name = planted.get("targeted_agent")
+    target = next(
+        (r for r in state.runtimes if r.spec_name == target_name), None
+    )
+    targeted_blind = False
+    if target is not None and state.hidden_serial is not None:
+        replica = target.agent.replica_for(ca.name)
+        targeted_blind = replica is not None and not replica.contains(
+            state.hidden_serial
+        )
+    reports = state.misbehavior_reports
+    return {
+        **planted,
+        "detected_period": state.first_detection_period,
+        "misbehavior_reports": len(reports),
+        "evidence_valid_under_ca_keyring": bool(reports)
+        and all(report.is_valid_evidence(ca.keyring) for report in reports),
+        "reporter_signatures_valid": bool(reports)
+        and all(report.verify_reporter() for report in reports),
+        "targeted_blind": targeted_blind,
+    }
+
+
+def sharded_extras(state: RunState, end_time: float) -> Dict[str, object]:
+    """The §VIII study results: storage timeline, differential verdicts,
+    read-path purity, and reclaimed storage."""
+    cfg, ca = state.config, state.ca
+    agent = state.runtimes[0].agent
+    oracle = state.oracle
+
+    # Differential verdicts: every revoked serial whose certificate is
+    # still live must get the same verdict from the sharded replica as
+    # from the unsharded oracle; a few absent serials in live windows
+    # must prove absent on both.
+    live_checked = mismatches = absent_checked = 0
+    live_expiries: List[int] = []
+    for value, expiry in state.expiries.items():
+        if expiry <= end_time:
+            continue
+        live_expiries.append(expiry)
+        serial = SerialNumber(value)
+        replica = agent.replica_for_certificate(ca.name, expiry)
+        if replica is None:
+            mismatches += 1
+            continue
+        live_checked += 1
+        if replica.prove(serial).is_revoked != oracle.contains(serial):
+            mismatches += 1
+    unused_value = max(state.expiries, default=0) + 1
+    for expiry in live_expiries[:5]:
+        probe = SerialNumber(unused_value)
+        unused_value += 1
+        replica = agent.replica_for_certificate(ca.name, expiry)
+        if replica is None:
+            mismatches += 1
+            continue
+        absent_checked += 1
+        if replica.prove(probe).is_revoked or oracle.contains(probe):
+            mismatches += 1
+
+    # Read-path purity: proving a serial in a window no shard covers
+    # must answer "absent" without creating (and retaining) a shard.
+    shards_before = ca.shards.shard_count
+    storage_before = ca.storage_size_bytes()
+    unknown_window_expiry = int(
+        end_time + 2 * cfg.shard_width_periods * cfg.delta_seconds
+    )
+    probe_status = ca.prove_status(
+        SerialNumber(unused_value), unknown_window_expiry, now=int(end_time)
+    )
+    read_path_pure = (
+        ca.shards.shard_count == shards_before
+        and ca.storage_size_bytes() == storage_before
+        and not probe_status.is_revoked
+    )
+
+    baseline_series = [
+        sample["baseline_storage_bytes"] for sample in state.storage_timeline
+    ]
+    sharded_series = [
+        sample["ra_storage_bytes"] for sample in state.storage_timeline
+    ]
+    return {
+        "timeline": state.storage_timeline,
+        "live_serials_checked": live_checked,
+        "absent_serials_checked": absent_checked,
+        "verdict_mismatches": mismatches,
+        "read_path_pure": read_path_pure,
+        "ca_shards_retired": ca.shards.retired_count,
+        "ca_reclaimed_bytes": ca.shards.reclaimed_storage_bytes,
+        "ra_reclaimed_bytes": agent.reclaimed_storage_bytes,
+        "ra_pruned_entries": agent.pruned_revocations,
+        "baseline_final_bytes": baseline_series[-1] if baseline_series else 0,
+        "sharded_final_bytes": sharded_series[-1] if sharded_series else 0,
+        "sharded_peak_bytes": max(sharded_series, default=0),
+        "baseline_monotonic": all(
+            earlier <= later
+            for earlier, later in zip(baseline_series, baseline_series[1:])
+        ),
+    }
+
+
+def shard_replicas_converged(state: RunState, runtime: AgentRuntime) -> bool:
+    """Does the agent hold an equal-size replica of every live CA shard?
+
+    Shards whose window expired by the agent's last pull are skipped:
+    the RA prunes at pull time (bin start + Δ) while the CA retires at
+    its next refresh (the following bin start), so a window boundary
+    inside the final period legitimately leaves the CA one shard ahead.
+    """
+    ca = state.ca
+    replicas = runtime.agent.shard_replicas(ca.name)
+    history = runtime.client.pull_history
+    last_pull = history[-1].time if history else 0.0
+    for key in ca.shards.shard_keys():
+        if key.is_expired(last_pull):
+            continue
+        replica = replicas.get(key.index)
+        shard = ca.shards.shard_at(key.index)
+        if replica is None or shard is None or replica.size != shard.size:
+            return False
+    return True

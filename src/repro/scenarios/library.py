@@ -1,6 +1,6 @@
 """The built-in scenario library.
 
-Twelve scenarios ship with the engine.  Four re-express the original
+Fifteen scenarios ship with the engine.  Four re-express the original
 ``examples/`` scripts (``quickstart``, ``heartbleed``, ``iot-long-lived``,
 ``ca-audit-gossip``); five are new workloads the declarative engine makes
 cheap (``flash-crowd`` with a store-engine comparison, ``degraded-ra``
@@ -12,7 +12,13 @@ full resync on the write-ahead-logged store engine); three form the
 adversarial control-plane matrix of docs/THREATS.md (``replayed-head``
 re-presenting captured signed state, ``rotated-ca-key`` driving scheduled
 key rotation plus a retired-key forgery, and ``equivocating-ca`` planting a
-split-world view at one region's CDN edges for the gossip ring to catch).
+split-world view at one region's CDN edges for the gossip ring to catch);
+and three exercise the fleet engine's concurrency model
+(``thundering-herd`` slamming an expanded jittered fleet plus client load
+into one mass-revocation period, ``staggered-pulls`` spreading the fleet's
+pull offsets across the period to flatten the CDN peak, and
+``slow-ra-holb`` pinning one RA behind a stalled uplink to show the event
+loop has no head-of-line blocking).
 
 Each scenario is a plain :class:`~repro.scenarios.config.ScenarioConfig`;
 adding a new one is a ~30-line :func:`~repro.scenarios.registry.register`
@@ -591,5 +597,162 @@ EQUIVOCATING_CA = register(
         ),
         faults=(FaultSpec(kind="equivocating-ca", at_period=1, agent="branch-ra"),),
         tags=("fault", "adversarial", "accountability", "gossip"),
+    )
+)
+
+THUNDERING_HERD = register(
+    ScenarioConfig(
+        name="thundering-herd",
+        title="Thundering herd: a jittered fleet absorbs a mass-revocation burst",
+        summary=(
+            "Twelve RAs across three regions pull a mass-revocation burst "
+            "over WAN uplinks within a fraction of a second of each other "
+            "while serving thousands of client status handshakes; the "
+            "report pins that pulls genuinely overlapped and the whole "
+            "fleet still converged inside the 2Δ bound."
+        ),
+        description=(
+            "The fleet-engine stress case the serial runner could not "
+            "express: a CA publishes a large batch and every RA in an "
+            "expanded fleet races to fetch it at bin+Δ plus an independent "
+            "seeded jitter draw, so the CDN sees a thundering herd rather "
+            "than a lockstep queue. Mid-period, a client-load actor posts "
+            "handshake batches into each RA's mailbox; RAs serve them "
+            "against the pre-pull replica state (sampling Ed25519 root "
+            "re-verification through the batch-verify path, where "
+            "parallelism=process fans out to worker processes). The fleet "
+            "block of the report records peak concurrent pulls, the "
+            "overlap factor, and mailbox high-watermarks."
+        ),
+        delta_seconds=15,
+        duration_periods=6,
+        agents=(
+            AgentSpec("edge-us", "UNITED_STATES"),
+            AgentSpec("edge-eu", "EUROPE"),
+            AgentSpec("edge-ap", "JAPAN"),
+        ),
+        workload=WorkloadSpec(
+            kind="scripted",
+            events=(
+                RevocationEvent(at_period=0, count=60, reason="warmup"),
+                RevocationEvent(at_period=1, count=2400, reason="mass compromise"),
+                RevocationEvent(at_period=2, count=400, reason="aftershock"),
+                RevocationEvent(at_period=4, count=40, reason="routine"),
+            ),
+        ),
+        fleet_size=12,
+        pull_jitter_seconds=0.25,
+        link_profile="wan",
+        client_handshakes=18_000,
+        smoke_overrides={
+            "fleet_size": 6,
+            "client_handshakes": 3_000,
+            "workload": {
+                "events": (
+                    RevocationEvent(at_period=0, count=30, reason="warmup"),
+                    RevocationEvent(at_period=1, count=600, reason="mass compromise"),
+                    RevocationEvent(at_period=2, count=100, reason="aftershock"),
+                    RevocationEvent(at_period=4, count=20, reason="routine"),
+                )
+            },
+        },
+        tags=("fleet", "concurrency", "mass-revocation"),
+    )
+)
+
+STAGGERED_PULLS = register(
+    ScenarioConfig(
+        name="staggered-pulls",
+        title="Staggered pulls: spreading the fleet flattens the CDN peak",
+        summary=(
+            "Eight RAs pull with a 2-second per-agent stagger instead of "
+            "all at bin+Δ; the report pins that the peak pull concurrency "
+            "drops below the fleet size while every agent's provability "
+            "lag stays inside the 2Δ bound."
+        ),
+        description=(
+            "The operational counterpart to thundering-herd: an operator "
+            "who controls the fleet's pull offsets can trade a bounded "
+            "extra per-agent lag (agent i pulls at bin+Δ+2i seconds) for a "
+            "flat CDN load curve. The stagger rides the same event "
+            "scheduler as everything else — pulls are genuinely distinct "
+            "events, not a serialised loop — and the config validation "
+            "guarantees the worst stagger offset still lands inside the "
+            "period, so the 2Δ freshness contract is preserved by "
+            "construction."
+        ),
+        delta_seconds=30,
+        duration_periods=5,
+        agents=(
+            AgentSpec("pop-east", "UNITED_STATES"),
+            AgentSpec("pop-west", "EUROPE"),
+        ),
+        workload=WorkloadSpec(
+            kind="scripted",
+            events=(
+                RevocationEvent(at_period=0, count=50, reason="routine"),
+                RevocationEvent(at_period=1, count=800, reason="batch compromise"),
+                RevocationEvent(at_period=3, count=120, reason="routine"),
+            ),
+        ),
+        fleet_size=8,
+        pull_stagger_seconds=2.0,
+        link_profile="metro",
+        smoke_overrides={
+            "duration_periods": 4,
+            "workload": {
+                "events": (
+                    RevocationEvent(at_period=0, count=20, reason="routine"),
+                    RevocationEvent(at_period=1, count=200, reason="batch compromise"),
+                    RevocationEvent(at_period=3, count=40, reason="routine"),
+                )
+            },
+        },
+        tags=("fleet", "concurrency", "operations"),
+    )
+)
+
+SLOW_RA_HOLB = register(
+    ScenarioConfig(
+        name="slow-ra-holb",
+        title="Slow RA: a stalled uplink cannot head-of-line-block the fleet",
+        summary=(
+            "Three healthy RAs share the period with one RA behind a "
+            "pathological 25-second uplink; the report pins that the "
+            "healthy agents stay inside the 2Δ bound while the stalled "
+            "agent alone blows past it."
+        ),
+        description=(
+            "In a lockstep loop one slow puller delays everyone behind it; "
+            "on the event scheduler each RA's pull is its own event, so a "
+            "stalled uplink only stretches that agent's own "
+            "availability time. The stalled link profile (25 s one-way at "
+            "256 kbit/s) pushes one round trip past a full Δ period: the "
+            "slow RA's dissemination lag lands far outside the 2Δ bound "
+            "while the metro-linked rest of the fleet converges as usual — "
+            "per-agent isolation the attack-window metrics make explicit."
+        ),
+        delta_seconds=20,
+        duration_periods=5,
+        agents=(
+            AgentSpec("core-ra", "UNITED_STATES"),
+            AgentSpec("metro-ra", "EUROPE"),
+            AgentSpec("branch-ra", "JAPAN"),
+            AgentSpec("slow-ra", "AUSTRALIA"),
+        ),
+        workload=WorkloadSpec(
+            kind="scripted",
+            events=(
+                RevocationEvent(at_period=0, count=40, reason="routine"),
+                RevocationEvent(at_period=1, count=300, reason="incident"),
+                RevocationEvent(at_period=3, count=60, reason="routine"),
+            ),
+        ),
+        link_profile="metro",
+        link_overrides={"slow-ra": "stalled"},
+        smoke_overrides={
+            "duration_periods": 4,
+        },
+        tags=("fleet", "concurrency", "degraded"),
     )
 )

@@ -55,6 +55,19 @@ CACHE_METRIC_KEYS = (
     "hit_rate",
 )
 
+#: The pinned keys of ``metrics["fleet"]`` — the event engine's per-run
+#: concurrency accounting, present in every report.
+FLEET_METRIC_KEYS = (
+    "fleet_size",
+    "parallelism",
+    "scheduler_events_processed",
+    "mailbox_depth_max",
+    "per_agent_mailbox_depth",
+    "overlap_factor",
+    "peak_concurrent_pulls",
+    "handshakes_served",
+)
+
 
 @dataclass
 class ScenarioCheck:

@@ -1,1780 +1,16 @@
-"""The scenario runner: executes a :class:`ScenarioConfig` end to end.
+"""Compatibility shim for the old serial runner module path.
 
-The runner is the single place that wires the existing layers together —
-workloads drive a :class:`~repro.ritm.ca_service.RITMCertificationAuthority`,
-the CA publishes through a :class:`~repro.cdn.network.CDNNetwork`, a fleet of
-:class:`~repro.ritm.agent.RevocationAgent` middleboxes pulls every Δ, and
-optional study phases (victim handshakes, a long-lived session, a gossip
-audit, engine comparison, a baseline comparison) ride on top.  Faults from
-the config are injected at their scheduled periods.
-
-Every run produces a :class:`~repro.scenarios.report.ScenarioReport` whose
-schema is pinned by tests; examples, the ``python -m repro`` CLI, and CI all
-consume the same reports.
+The 1,800-line lockstep ``ScenarioRunner`` that used to live here was
+refactored into the discrete-event fleet engine under
+:mod:`repro.scenarios.engine` — per-agent actors on a shared
+:class:`repro.net.EventScheduler`, study phases as ordered observers, and
+opt-in parallelism for signature verification and durable-store I/O.
+Importing :class:`ScenarioRunner`/:func:`run_scenario` from this module
+keeps working and lands on the engine-backed implementations.
 """
 
 from __future__ import annotations
 
-import shutil
-import tempfile
-import time as _time
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from repro.scenarios.engine.runner import ScenarioRunner, run_scenario
 
-from repro.cdn import CDNNetwork, GeoLocation
-from repro.crypto import HashChain, KeyPair
-from repro.crypto.merkle import SortedMerkleTree
-from repro.dictionary.authdict import CADictionary
-from repro.dictionary.signed_root import SignedRoot
-from repro.errors import ConfigurationError
-from repro.net.clock import SimulatedClock
-from repro.perf import CacheStats
-from repro.pki import CertificationAuthority, SerialNumber, TrustStore
-from repro.ritm import (
-    GossipExchange,
-    RITMCertificationAuthority,
-    RITMConfig,
-    RevocationAgent,
-    attach_agent_to_cas,
-    build_close_to_client_deployment,
-)
-from repro.ritm.ca_service import head_path
-from repro.ritm.client import RejectionReason
-from repro.ritm.dissemination import PullResult, RADisseminationClient
-from repro.scenarios.config import FaultSpec, ScenarioConfig
-from repro.scenarios.faults import (
-    DECOY_SERIAL,
-    equivocate_at_edges,
-    forge_head_with_retired_key,
-    replay_captured_head,
-    tamper_latest_batch,
-)
-from repro.scenarios.report import ScenarioCheck, ScenarioReport
-from repro.store import create_store
-from repro.workloads import generate_trace, serials_for_count
-
-
-@dataclass
-class _PendingProvability:
-    """A revocation waiting to become provable at each agent."""
-
-    event_time: float
-    cumulative_size: int
-
-
-@dataclass
-class _AgentRuntime:
-    """Per-agent state the runner tracks across periods."""
-
-    spec_name: str
-    agent: RevocationAgent
-    client: RADisseminationClient
-    location: GeoLocation
-    #: Index into the pending-provability list: entries before it are provable.
-    provability_cursor: int = 0
-    max_lag_seconds: float = 0.0
-    missed_pulls: int = 0
-    #: Pull results of clients discarded by a crash restart, so dissemination
-    #: totals cover the whole run, not just the current process incarnation.
-    archived_pulls: List[PullResult] = field(default_factory=list)
-    #: Crash-restart state: checkpoint directory (durable mode), whether a
-    #: restore must run before the next pull, which crash mode hit this
-    #: agent, and the metrics of its first post-crash recovery pull.
-    checkpoint_dir: Optional[str] = None
-    pending_restore: bool = False
-    crashed_mode: Optional[str] = None
-    recovery: Optional[Dict[str, object]] = None
-
-    def pull_results(self) -> List[PullResult]:
-        """Every pull this agent completed, across crash restarts."""
-        return self.archived_pulls + self.client.pull_history
-
-    def total_bytes_downloaded(self) -> int:
-        """Bytes fetched from the CDN across the agent's whole lifetime."""
-        return sum(pull.bytes_downloaded for pull in self.pull_results())
-
-
-class ScenarioRunner:
-    """Executes one scenario configuration and assembles its report."""
-
-    def __init__(self, config: ScenarioConfig) -> None:
-        """Bind the runner to a validated scenario config."""
-        self.config = config
-
-    # -- public API ----------------------------------------------------------------
-
-    def run(self) -> ScenarioReport:
-        """Execute the scenario and return its structured report."""
-        cfg = self.config
-        periods, counts = self._build_timeline()
-        duration = len(periods)
-        ritm_kwargs: Dict[str, object] = {}
-        if cfg.sharded:
-            ritm_kwargs = {
-                "sharded": True,
-                "shard_width_seconds": cfg.shard_width_periods * cfg.delta_seconds,
-                "prune_every_periods": cfg.prune_every_periods,
-            }
-        if cfg.key_rotation_periods:
-            ritm_kwargs["key_rotation_periods"] = cfg.key_rotation_periods
-            ritm_kwargs["key_overlap_periods"] = cfg.key_overlap_periods
-        ritm_config = RITMConfig(
-            delta_seconds=cfg.delta_seconds,
-            chain_length=cfg.effective_chain_length(duration),
-            store_engine=cfg.store_engine,
-            **ritm_kwargs,
-        )
-
-        self._ritm_config = ritm_config
-        self._events: List[Dict[str, object]] = []
-        self._pending: List[_PendingProvability] = []
-        self._batches: List[List[SerialNumber]] = []
-        self._numbered: List[Tuple[int, SerialNumber]] = []
-        self._backlog: List[Tuple[float, List[SerialNumber], str, bool]] = []
-        self._revocations_issued = 0
-        self._checkpoint_dirs: List[str] = []
-        #: Sharded mode: serial value → assigned certificate expiry, the
-        #: unsharded oracle dictionary, and the per-period storage timeline.
-        self._expiries: Dict[int, int] = {}
-        self._expiry_cycle = 0
-        self._oracle: Optional[CADictionary] = None
-        self._storage_timeline: List[Dict[str, object]] = []
-        #: Adversarial control-plane state: every head publication's raw
-        #: bytes (ammunition for the replay injector), the CA's rotation
-        #: history with the retired epochs' signed roots, the rotation cache
-        #: probes, replay-fault replica-integrity counters, the planted
-        #: equivocation summary, and the gossip ring's detections.
-        self._head_archive: List[bytes] = []
-        self._rotations: List[Dict[str, object]] = []
-        self._rotation_probes: List[Dict[str, object]] = []
-        self._replay_probes = 0
-        self._replay_mutations = 0
-        self._forgery_attempts = 0
-        self._forgery_errors = 0
-        self._equivocation: Optional[Dict[str, object]] = None
-        self._hidden_serial: Optional[SerialNumber] = None
-        self._misbehavior_reports: List[object] = []
-        self._first_detection_period: Optional[int] = None
-        if cfg.sharded:
-            self._oracle = CADictionary(
-                ca_name=f"{cfg.ca_name} (unsharded oracle)",
-                keys=KeyPair.generate(f"{cfg.name}-oracle".encode()),
-                delta=cfg.delta_seconds,
-                chain_length=cfg.effective_chain_length(duration),
-                engine=cfg.store_engine,
-            )
-        elif any(fault.crash for fault in cfg.faults):
-            # Crash-recovery study: an always-in-memory oracle fed the same
-            # revocations, so the (possibly durable-engine) replicas'
-            # post-recovery verdicts can be differentially checked.
-            self._oracle = CADictionary(
-                ca_name=cfg.ca_name,
-                keys=KeyPair.generate(f"{cfg.name}-oracle".encode()),
-                delta=cfg.delta_seconds,
-                chain_length=cfg.effective_chain_length(duration),
-                engine="incremental",
-            )
-
-        setup_time = periods[0][1] - 2
-        authority = CertificationAuthority(cfg.ca_name, key_seed=cfg.name.encode())
-        cdn = CDNNetwork()
-        ca = RITMCertificationAuthority(authority, ritm_config, cdn)
-        ca.bootstrap(now=setup_time)
-
-        runtimes: List[_AgentRuntime] = []
-        for spec in cfg.agents:
-            agent = RevocationAgent(spec.name, ritm_config)
-            location = GeoLocation(spec.geo_region())
-            client = attach_agent_to_cas(agent, [ca], cdn, location)
-            client.pull(now=setup_time + 1)
-            runtimes.append(_AgentRuntime(spec.name, agent, client, location))
-
-        try:
-            victim = self._setup_victim(ca, ritm_config, runtimes, setup_time + 1)
-            serial_pool = self._serial_pool(counts, victim)
-
-            for period, (_, bin_start) in enumerate(periods):
-                self._run_period(
-                    period,
-                    bin_start,
-                    counts[period],
-                    ca,
-                    cdn,
-                    runtimes,
-                    serial_pool,
-                    victim,
-                )
-
-            end_time = periods[-1][1] + cfg.delta_seconds
-            extras: Dict[str, object] = {}
-            if cfg.gossip_audit:
-                # The audit phase revokes the victim, so it must precede the
-                # closing handshake for the rejection check to be meaningful.
-                extras["gossip_audit"] = self._gossip_audit(
-                    ca, authority, runtimes, victim, end_time + 1
-                )
-            if victim is not None:
-                self._final_handshake(ca, ritm_config, runtimes[0], victim, end_time + 3)
-            if cfg.compare_engines:
-                extras["engine_comparison"] = self._compare_engines()
-            if cfg.baseline and victim is not None and victim.revoked_at is not None:
-                extras["baseline"] = self._baseline_comparison(victim)
-            if victim is not None:
-                extras["victim"] = victim.as_dict()
-            if cfg.sharded:
-                extras["sharded_storage"] = self._sharded_extras(ca, runtimes, end_time)
-            if any(fault.crash for fault in cfg.faults):
-                extras["crash_recovery"] = self._crash_recovery_extras(ca, runtimes)
-            if any(fault.kind == "equivocating-ca" for fault in cfg.faults):
-                extras["equivocation"] = self._equivocation_extras(ca, runtimes)
-            if cfg.key_rotation_periods:
-                extras["key_rotation"] = self._key_rotation_extras(ca, runtimes)
-
-            metrics = self._collect_metrics(ca, runtimes, cdn)
-            checks = self._build_checks(ca, runtimes, victim, extras)
-            return ScenarioReport(
-                scenario=cfg.name,
-                title=cfg.title,
-                summary=cfg.summary,
-                config=self._config_dict(duration),
-                metrics=metrics,
-                events=self._events,
-                checks=checks,
-                extras=extras,
-            )
-        finally:
-            self._cleanup(ca, runtimes)
-
-    # -- schedule and workload -----------------------------------------------------
-
-    def _build_timeline(
-        self,
-    ) -> Tuple[List[Tuple[int, float]], List[Tuple[int, bool, str]]]:
-        """The run's schedule: (period, start time) pairs and per-period work.
-
-        Each per-period work item is a ``(serial count, revoke-victim flag,
-        reason)`` triple.  Trace workloads derive both lists from the
-        calibrated trace; scripted workloads derive them from the config.
-        """
-        cfg = self.config
-        if cfg.workload.kind == "trace":
-            start, end = cfg.workload.trace_window()
-            bins = generate_trace().counts_per_bin(start, end, cfg.delta_seconds)
-            if not bins:
-                raise ConfigurationError("the trace window produced no periods")
-            periods = [
-                (index, float(bin_start)) for index, (bin_start, _) in enumerate(bins)
-            ]
-            counts = [
-                (int(count * cfg.workload.ca_share), False, "trace")
-                for _, count in bins
-            ]
-            return periods, counts
-        periods = [
-            (period, float(cfg.epoch + period * cfg.delta_seconds))
-            for period in range(cfg.duration_periods)
-        ]
-        counts: List[Tuple[int, bool, str]] = [(0, False, "")] * len(periods)
-        for event in cfg.workload.events:
-            count, victim_flag, reason = counts[event.at_period]
-            counts[event.at_period] = (
-                count + event.count,
-                victim_flag or event.revoke_victim,
-                event.reason if event.reason != "unspecified" else reason,
-            )
-        return periods, counts
-
-    def _serial_pool(self, counts, victim: Optional["_VictimRuntime"]):
-        """A deterministic iterator of serials, skipping the victim's."""
-        total = sum(count for count, _, _ in counts)
-        pool = serials_for_count(total + 8, seed=self.config.workload.serial_seed)
-        victim_value = victim.serial.value if victim is not None else None
-        forbidden = {victim_value, DECOY_SERIAL}
-        return iter(value for value in pool if value not in forbidden)
-
-    # -- one Δ period --------------------------------------------------------------
-
-    def _run_period(
-        self,
-        period: int,
-        bin_start: float,
-        workload: Tuple[int, bool, str],
-        ca: RITMCertificationAuthority,
-        cdn: CDNNetwork,
-        runtimes: List[_AgentRuntime],
-        serial_pool,
-        victim: Optional["_VictimRuntime"],
-    ) -> None:
-        """Drive one Δ period: CA duty, faults, agent pulls, session upkeep."""
-        cfg = self.config
-        count, revoke_victim, reason = workload
-        outage = self._active_fault("ca-outage", period)
-        serials = [SerialNumber(next(serial_pool)) for _ in range(count)]
-        if revoke_victim and victim is not None:
-            serials.append(victim.serial)
-
-        prev_epoch = ca.key_epoch
-        prev_root = ca.dictionary.signed_root if not cfg.sharded else None
-
-        if outage is not None:
-            if serials:
-                self._backlog.append(
-                    (bin_start, serials, reason or "queued in outage", revoke_victim)
-                )
-                self._event(period, "ca-outage", f"{len(serials)} revocation(s) queued")
-            elif period == outage.at_period:
-                self._event(period, "ca-outage", "CA publishes nothing this window")
-        else:
-            self._issue_revocations(
-                period, bin_start, serials, reason, revoke_victim, ca, victim
-            )
-
-        if ca.key_epoch > prev_epoch:
-            self._record_rotation(period, bin_start, prev_root, ca)
-        if any(fault.kind == "replayed-head" for fault in cfg.faults):
-            self._archive_head(ca, cdn)
-
-        tamper = self._active_fault("tampered-batch", period)
-        if tamper is not None and period == tamper.at_period:
-            detail = tamper_latest_batch(ca, cdn, bin_start)
-            self._event(
-                period, "tampered-batch", detail or "no published batch to tamper with"
-            )
-
-        replay = self._active_fault("replayed-head", period)
-        replay_active = (
-            replay is not None and period == replay.at_period and self._head_archive
-        )
-        if replay is not None and period == replay.at_period:
-            if self._head_archive:
-                detail = replay_captured_head(
-                    ca.name, cdn, self._head_archive[0], bin_start
-                )
-                self._event(period, "replayed-head", detail)
-            else:
-                self._event(period, "replayed-head", "no archived head to replay")
-
-        forgery = self._active_fault("retired-key-forgery", period)
-        if forgery is not None and period == forgery.at_period:
-            detail = forge_head_with_retired_key(ca, cdn, bin_start)
-            if detail is not None:
-                self._forgery_attempts += 1
-            self._event(
-                period, "retired-key-forgery", detail or "no retired key available yet"
-            )
-
-        equivocation = self._active_fault("equivocating-ca", period)
-        if equivocation is not None and period == equivocation.at_period:
-            self._plant_equivocation(period, bin_start, equivocation, ca, cdn, runtimes)
-
-        # Replay integrity probe: snapshot every replica before the pulls so
-        # the zero-mutation property (a rejected replay leaves size and root
-        # untouched) is checked directly, not inferred from error counts.
-        snapshots: Dict[str, Tuple[int, bytes]] = {}
-        if replay_active and not cfg.sharded:
-            for runtime in runtimes:
-                replica = runtime.agent.replica_for(ca.name)
-                if replica is not None and replica.signed_root is not None:
-                    snapshots[runtime.spec_name] = (
-                        replica.size,
-                        replica.signed_root.root,
-                    )
-
-        pull_time = bin_start + cfg.delta_seconds
-        for runtime in runtimes:
-            fault = self._restart_fault_for(runtime, period, runtimes)
-            if fault is not None:
-                if fault.crash and period == fault.at_period:
-                    self._crash_agent(runtime, fault, ca, cdn, period)
-                runtime.missed_pulls += 1
-                self._event(period, "ra-restart", f"{runtime.spec_name} missed its pull")
-                continue
-            restored_replicas: Optional[int] = None
-            if runtime.pending_restore:
-                restored_replicas = runtime.client.restore(runtime.checkpoint_dir)
-                runtime.pending_restore = False
-                self._event(
-                    period,
-                    "ra-restore",
-                    f"{runtime.spec_name} warm-started from its checkpoint "
-                    f"({restored_replicas} replica(s))",
-                )
-            result = runtime.client.pull(now=pull_time)
-            if runtime.crashed_mode is not None and runtime.recovery is None:
-                runtime.recovery = {
-                    "mode": runtime.crashed_mode,
-                    "period": period,
-                    "bytes_downloaded": result.bytes_downloaded,
-                    "latency_seconds": result.latency_seconds,
-                    "serials_applied": result.serials_applied,
-                    "issuances_applied": result.issuances_applied,
-                    "resyncs": result.resyncs,
-                    "restored_replicas": restored_replicas or 0,
-                    "completed_at": pull_time + result.latency_seconds,
-                }
-                self._event(
-                    period,
-                    "ra-recovered",
-                    f"{runtime.spec_name} {runtime.crashed_mode} recovery: "
-                    f"{result.bytes_downloaded} B, "
-                    f"{result.serials_applied} serial(s) applied in "
-                    f"{result.latency_seconds:.3f}s",
-                )
-            self._advance_provability(
-                runtime, pull_time + result.latency_seconds, ca.name
-            )
-            if forgery is not None and period == forgery.at_period:
-                self._forgery_errors += len(result.errors)
-            for error in result.errors:
-                self._event(period, "pull-error", error)
-
-        if replay_active and not cfg.sharded:
-            for runtime in runtimes:
-                before = snapshots.get(runtime.spec_name)
-                replica = runtime.agent.replica_for(ca.name)
-                if before is None or replica is None or replica.signed_root is None:
-                    continue
-                self._replay_probes += 1
-                if (replica.size, replica.signed_root.root) != before:
-                    self._replay_mutations += 1
-
-        if len(runtimes) >= 2 and not cfg.sharded:
-            self._gossip_ring(period, runtimes)
-        if cfg.key_rotation_periods and not cfg.sharded:
-            self._probe_rotation(period, pull_time, ca, runtimes[0])
-
-        if cfg.sharded:
-            self._record_sharded_storage(period, pull_time, ca, runtimes[0])
-
-        if victim is not None and victim.deployment is not None:
-            self._session_upkeep(period, pull_time, victim)
-
-    def _issue_revocations(
-        self,
-        period: int,
-        now: float,
-        serials: List[SerialNumber],
-        reason: str,
-        revoke_victim: bool,
-        ca: RITMCertificationAuthority,
-        victim: Optional["_VictimRuntime"],
-    ) -> None:
-        """Flush any outage backlog, then revoke this period's serials."""
-        if self.config.sharded:
-            self._issue_sharded(period, now, serials, reason, ca)
-            return
-        for intended_time, queued, queued_reason, queued_victim in self._backlog:
-            issuance = ca.revoke(queued, now=now, reason=queued_reason)
-            self._record_issuance(issuance, intended_time)
-            if queued_victim and victim is not None:
-                victim.revoked_at = now
-                self._event(period, "victim-revoked", f"serial {victim.serial} revoked")
-            self._event(
-                period,
-                "backlog-flush",
-                f"{len(queued)} queued revocation(s) published "
-                f"{now - intended_time:.0f}s late",
-            )
-        self._backlog = []
-        if not serials:
-            ca.refresh(now=now)
-            return
-        issuance = ca.revoke(serials, now=now, reason=reason or "unspecified")
-        self._record_issuance(issuance, now)
-        if revoke_victim and victim is not None:
-            victim.revoked_at = now
-            self._event(period, "victim-revoked", f"serial {victim.serial} revoked")
-        if len(serials) > (1 if revoke_victim else 0):
-            self._event(period, "revocation", f"{len(serials)} serial(s) revoked")
-
-    def _record_issuance(self, issuance, event_time: float) -> None:
-        """Track an issuance for provability accounting and replay phases."""
-        self._batches.append(list(issuance.serials))
-        self._numbered.extend(issuance.numbered_serials())
-        self._revocations_issued += len(issuance.serials)
-        if self._oracle is not None and not self.config.sharded:
-            # Crash-recovery study: mirror every revocation into the
-            # in-memory oracle the recovered replicas are checked against.
-            self._oracle.insert(list(issuance.serials), int(event_time))
-        self._pending.append(
-            _PendingProvability(
-                event_time=event_time,
-                cumulative_size=issuance.first_number + len(issuance.serials) - 1,
-            )
-        )
-
-    def _issue_sharded(
-        self,
-        period: int,
-        now: float,
-        serials: List[SerialNumber],
-        reason: str,
-        ca: RITMCertificationAuthority,
-    ) -> None:
-        """Sharded-mode issuance: assign expiries, route to shards, refresh.
-
-        Every serial gets a deterministic certificate expiry 1..N periods
-        after its revocation (``cert_lifetime_periods``), producing the
-        expiry churn that makes shards fill and retire over a long run.  The
-        same serials are fed to the unsharded oracle dictionary for the
-        verdict/storage comparison.  The CA refreshes every period, which
-        also drives shard retirement at the configured cadence.
-        """
-        if serials:
-            pairs = [(serial, self._assign_expiry(serial, now)) for serial in serials]
-            issuances = ca.revoke_with_expiry(pairs, now=now, reason=reason or "unspecified")
-            for _, issuance in issuances:
-                self._batches.append(list(issuance.serials))
-            self._revocations_issued += len(serials)
-            self._pending.append(
-                _PendingProvability(
-                    event_time=now, cumulative_size=self._revocations_issued
-                )
-            )
-            self._oracle.insert(serials, int(now))
-            self._event(period, "revocation", f"{len(serials)} serial(s) revoked")
-        ca.refresh(now=now)
-
-    def _assign_expiry(self, serial: SerialNumber, now: float) -> int:
-        """Deterministic expiry churn: 1..cert_lifetime_periods periods out."""
-        lifetime = self.config.cert_lifetime_periods
-        offset = (self._expiry_cycle % lifetime) + 1
-        self._expiry_cycle += 1
-        expiry = int(now + offset * self.config.delta_seconds)
-        self._expiries[serial.value] = expiry
-        return expiry
-
-    def _record_sharded_storage(
-        self,
-        period: int,
-        pull_time: float,
-        ca: RITMCertificationAuthority,
-        runtime: _AgentRuntime,
-    ) -> None:
-        """Append one sample to the sharded-vs-baseline storage timeline."""
-        replicas = runtime.agent.shard_replicas(ca.name)
-        self._storage_timeline.append(
-            {
-                "period": period,
-                "time": pull_time,
-                "ca_storage_bytes": ca.storage_size_bytes(),
-                "ca_shard_count": ca.shards.shard_count,
-                "ra_storage_bytes": sum(
-                    replica.storage_size_bytes() for replica in replicas.values()
-                ),
-                "ra_shard_count": len(replicas),
-                "baseline_storage_bytes": self._oracle.storage_size_bytes(),
-            }
-        )
-
-    def _advance_provability(
-        self, runtime: _AgentRuntime, available_at: float, ca_name: str
-    ) -> None:
-        """Record dissemination lag for every batch the agent now covers.
-
-        In sharded mode shard pruning shrinks replica sizes, so coverage is
-        tracked by cumulative serials *applied* (which only grows) instead
-        of the replica's current size.
-        """
-        if self.config.sharded:
-            size = sum(
-                pull.serials_applied for pull in runtime.client.pull_history
-            )
-        else:
-            replica = runtime.agent.replica_for(ca_name)
-            size = replica.size if replica is not None else 0
-        while runtime.provability_cursor < len(self._pending):
-            entry = self._pending[runtime.provability_cursor]
-            if entry.cumulative_size > size:
-                break
-            lag = available_at - entry.event_time
-            runtime.max_lag_seconds = max(runtime.max_lag_seconds, lag)
-            runtime.provability_cursor += 1
-
-    # -- faults --------------------------------------------------------------------
-
-    def _active_fault(self, kind: str, period: int) -> Optional[FaultSpec]:
-        """The configured fault of ``kind`` covering ``period``, if any."""
-        for fault in self.config.faults:
-            if fault.kind == kind and fault.covers(period):
-                return fault
-        return None
-
-    def _restart_fault_for(
-        self, runtime: _AgentRuntime, period: int, runtimes: List[_AgentRuntime]
-    ) -> Optional[FaultSpec]:
-        """The ``ra-restart`` fault keeping ``runtime`` down this period.
-
-        Unlike :meth:`_active_fault` this considers *every* restart fault,
-        so several agents can restart in the same window (the crash-recovery
-        scenario runs a durable and a cold restart side by side).
-        """
-        for fault in self.config.faults:
-            if fault.kind != "ra-restart" or not fault.covers(period):
-                continue
-            target = fault.agent or runtimes[-1].spec_name
-            if runtime.spec_name == target:
-                return fault
-        return None
-
-    def _crash_agent(
-        self,
-        runtime: _AgentRuntime,
-        fault: FaultSpec,
-        ca: RITMCertificationAuthority,
-        cdn: CDNNetwork,
-        period: int,
-    ) -> None:
-        """Kill and re-create an agent's process state for a crash restart.
-
-        In durable mode the dissemination client checkpoints first —
-        modelling an RA that persists its state once per applied epoch — so
-        recovery can warm-start from disk.  Either way the old agent and
-        client are discarded (their pull history is archived for the run's
-        dissemination totals) and replaced with a fresh attach, exactly what
-        a restarted process would do.
-        """
-        if fault.durable:
-            runtime.checkpoint_dir = tempfile.mkdtemp(
-                prefix=f"ritm-ckpt-{runtime.spec_name}-"
-            )
-            self._checkpoint_dirs.append(runtime.checkpoint_dir)
-            runtime.client.checkpoint(runtime.checkpoint_dir)
-        runtime.archived_pulls.extend(runtime.client.pull_history)
-        runtime.agent.close()
-        agent = RevocationAgent(runtime.spec_name, self._ritm_config)
-        runtime.agent = agent
-        runtime.client = attach_agent_to_cas(agent, [ca], cdn, runtime.location)
-        runtime.pending_restore = fault.durable
-        runtime.crashed_mode = "durable" if fault.durable else "cold"
-        self._event(
-            period,
-            "ra-crash",
-            f"{runtime.spec_name} crashed "
-            f"({'durable checkpoint on disk' if fault.durable else 'memory lost'})",
-        )
-
-    def _archive_head(self, ca: RITMCertificationAuthority, cdn: CDNNetwork) -> None:
-        """Keep the raw bytes of every head publication for the replay fault."""
-        path = head_path(ca.name)
-        if cdn.origin.exists(path):
-            self._head_archive.append(cdn.origin.fetch(path).content)
-
-    def _record_rotation(
-        self,
-        period: int,
-        bin_start: float,
-        prev_root: Optional[SignedRoot],
-        ca: RITMCertificationAuthority,
-    ) -> None:
-        """Log a CA key rotation and remember the retired epoch's root.
-
-        The pre-rotation signed root — the last statement the outgoing key
-        ever signed — is what the overlap probes re-verify later: it must
-        stay acceptable until the overlap window closes and not a second
-        longer (:meth:`_probe_rotation`).
-        """
-        overlap = self._ritm_config.key_overlap_seconds
-        self._rotations.append(
-            {
-                "period": period,
-                "epoch": ca.key_epoch,
-                "rotated_at": bin_start,
-                "overlap_until": bin_start + overlap,
-                "retired_root": prev_root,
-                "probed_inside": False,
-                "probed_after": False,
-            }
-        )
-        self._event(
-            period,
-            "key-rotation",
-            f"CA advanced to signing-key epoch {ca.key_epoch} "
-            f"(outgoing key acceptable for {overlap:.0f}s more)",
-        )
-
-    def _plant_equivocation(
-        self,
-        period: int,
-        bin_start: float,
-        fault: FaultSpec,
-        ca: RITMCertificationAuthority,
-        cdn: CDNNetwork,
-        runtimes: List[_AgentRuntime],
-    ) -> None:
-        """Stage the equivocating-CA fault against the targeted agent's region."""
-        target_name = fault.agent or runtimes[-1].spec_name
-        target = next(r for r in runtimes if r.spec_name == target_name)
-        planted = equivocate_at_edges(
-            ca,
-            cdn,
-            target.location.region,
-            self._batches,
-            bin_start,
-            ttl_seconds=2 * self.config.delta_seconds,
-        )
-        if planted is None:
-            self._event(
-                period, "equivocating-ca", "nothing revoked yet — no forgery planted"
-            )
-            return
-        self._hidden_serial = planted["hidden_serial"]
-        self._equivocation = {
-            "period": period,
-            "targeted_agent": target_name,
-            "hidden_serial": str(planted["hidden_serial"]),
-            "conflicting_size": planted["conflicting_size"],
-            "forged_root": planted["forged_root"][:16],
-        }
-        self._event(period, "equivocating-ca", planted["detail"])
-
-    def _gossip_ring(self, period: int, runtimes: List[_AgentRuntime]) -> None:
-        """One round of the always-on cross-RA gossip ring (§V detection).
-
-        Every period each adjacent pair of agents (closed into a ring when
-        the fleet has more than two) exchanges observed roots; any conflict
-        — same CA, same size, different root — yields signed misbehavior
-        reports within the same period it was planted.
-        """
-        pairs = list(zip(runtimes, runtimes[1:]))
-        if len(runtimes) > 2:
-            pairs.append((runtimes[-1], runtimes[0]))
-        exchange = GossipExchange()
-        new_reports = []
-        for left, right in pairs:
-            new_reports.extend(
-                exchange.exchange(left.agent.consistency, right.agent.consistency)
-            )
-        if not new_reports:
-            return
-        if self._first_detection_period is None:
-            self._first_detection_period = period
-        self._misbehavior_reports.extend(new_reports)
-        self._event(
-            period,
-            "misbehavior-detected",
-            f"gossip round produced {len(new_reports)} misbehavior report(s)",
-        )
-
-    def _probe_rotation(
-        self,
-        period: int,
-        pull_time: float,
-        ca: RITMCertificationAuthority,
-        runtime: _AgentRuntime,
-    ) -> None:
-        """Differentially re-verify retired epochs' roots, cached vs uncached.
-
-        For each recorded rotation the retired root is verified twice — once
-        through the agent's :class:`~repro.perf.root_cache.VerifiedRootCache`
-        and once directly against the keyring's currently-acceptable keys —
-        at most once inside the overlap window and once after it closes.
-        The derived checks assert accept-inside / reject-after and that the
-        cached verdict never diverges from the uncached one.
-        """
-        keyring = runtime.agent.keyring_for(ca.name)
-        if keyring is None:
-            return
-        for record in self._rotations:
-            root = record["retired_root"]
-            if root is None:
-                continue
-            inside = pull_time <= record["overlap_until"]
-            probed_key = "probed_inside" if inside else "probed_after"
-            if record[probed_key]:
-                continue
-            record[probed_key] = True
-            cached = runtime.agent.root_cache.verify(root, keyring)
-            uncached = any(
-                key.verify(root.payload(), root.signature)
-                for key in keyring.acceptable_keys()
-            )
-            self._rotation_probes.append(
-                {
-                    "period": period,
-                    "epoch": record["epoch"],
-                    "inside_overlap": inside,
-                    "cached_verdict": cached,
-                    "uncached_verdict": uncached,
-                }
-            )
-
-    # -- victim lifecycle ----------------------------------------------------------
-
-    def _setup_victim(
-        self,
-        ca: RITMCertificationAuthority,
-        ritm_config: RITMConfig,
-        runtimes: List[_AgentRuntime],
-        now: float,
-    ) -> Optional["_VictimRuntime"]:
-        """Issue the victim certificate and run the opening handshake."""
-        cfg = self.config
-        if not cfg.victim_host:
-            return None
-        server_keys = KeyPair.generate(f"{cfg.name}-server".encode())
-        chain = ca.authority.issue_chain_for(cfg.victim_host, server_keys.public, now=int(now))
-        trust_store = TrustStore()
-        trust_store.add(ca.authority)
-        victim = _VictimRuntime(
-            chain=chain,
-            trust_store=trust_store,
-            # Under rotation the TLS clients must verify against the CA's
-            # live keyring — the closing handshake may land epochs after the
-            # genesis key was retired.
-            ca_public_keys={
-                ca.name: ca.keyring if cfg.key_rotation_periods else ca.public_key
-            },
-            serial=chain.leaf.serial,
-        )
-        clock = SimulatedClock(now + 1)
-        deployment = build_close_to_client_deployment(
-            server_chain=chain,
-            trust_store=trust_store,
-            ca_public_keys=victim.ca_public_keys,
-            config=ritm_config,
-            agent=runtimes[0].agent,
-            clock=clock,
-        )
-        victim.initial_accepted = deployment.run_handshake()
-        status = deployment.client.last_status
-        victim.status_size_bytes = status.encoded_size() if status is not None else 0
-        self._event(
-            -1,
-            "handshake",
-            f"opening handshake accepted={victim.initial_accepted} "
-            f"(status {victim.status_size_bytes} B)",
-        )
-        if cfg.long_lived_session:
-            victim.deployment = deployment
-            victim.clock = clock
-        return victim
-
-    def _session_upkeep(
-        self, period: int, pull_time: float, victim: "_VictimRuntime"
-    ) -> None:
-        """Deliver server traffic on the long-lived session and enforce 2Δ."""
-        if victim.detected_at is not None:
-            return
-        deployment, clock = victim.deployment, victim.clock
-        clock.advance(pull_time - clock.now())
-        deployment.deliver_from_server(b"keepalive")
-        client = deployment.client
-        if client.is_connection_usable:
-            client.enforce_freshness(clock.now())
-        if not client.is_connection_usable:
-            victim.detected_at = clock.now()
-            reason = client.rejection.value if client.rejection else "unknown"
-            detail = f"session torn down: {reason}"
-            if victim.revoked_at is not None:
-                detail += f" ({victim.detected_at - victim.revoked_at:.0f}s after revocation)"
-            self._event(period, "session-teardown", detail)
-
-    def _final_handshake(
-        self,
-        ca: RITMCertificationAuthority,
-        ritm_config: RITMConfig,
-        runtime: _AgentRuntime,
-        victim: "_VictimRuntime",
-        now: float,
-    ) -> None:
-        """Run the closing handshake on a fresh connection."""
-        deployment = build_close_to_client_deployment(
-            server_chain=victim.chain,
-            trust_store=victim.trust_store,
-            ca_public_keys=victim.ca_public_keys,
-            config=ritm_config,
-            agent=runtime.agent,
-            clock=SimulatedClock(now),
-        )
-        victim.final_accepted = deployment.run_handshake()
-        victim.final_rejection = (
-            deployment.client.rejection.value if deployment.client.rejection else ""
-        )
-        self._event(
-            -2,
-            "handshake",
-            f"closing handshake accepted={victim.final_accepted}"
-            + (f" ({victim.final_rejection})" if victim.final_rejection else ""),
-        )
-
-    # -- study phases --------------------------------------------------------------
-
-    def _gossip_audit(
-        self,
-        ca: RITMCertificationAuthority,
-        authority: CertificationAuthority,
-        runtimes: List[_AgentRuntime],
-        victim: Optional["_VictimRuntime"],
-        now: float,
-    ) -> Dict[str, object]:
-        """Stage a CA equivocation against the last agent and gossip it out.
-
-        The CA revokes the victim honestly for every RA except the targeted
-        one, which instead receives a forged issuance (a decoy serial and a
-        parallel signed root over the doctored content).  One gossip round
-        between an honest RA and the targeted RA yields portable evidence.
-        """
-        cfg = self.config
-        issuance = ca.revoke([victim.serial], now=now, reason="equivocation target")
-        victim.revoked_at = now
-        honest, targeted = runtimes[0], runtimes[-1]
-        for runtime in runtimes[:-1]:
-            runtime.client.pull(now=now + 1)
-
-        decoy = SerialNumber(DECOY_SERIAL)
-        shadow_tree = SortedMerkleTree()
-        for number, serial in self._numbered:
-            shadow_tree.insert(serial.to_bytes(), number.to_bytes(4, "big"))
-        shadow_tree.insert(decoy.to_bytes(), issuance.first_number.to_bytes(4, "big"))
-        chain_length = issuance.signed_root.chain_length
-        shadow_chain = HashChain(length=chain_length)
-        forged_root = SignedRoot(
-            ca_name=ca.name,
-            root=shadow_tree.root(),
-            size=issuance.signed_root.size,
-            anchor=shadow_chain.anchor,
-            timestamp=issuance.signed_root.timestamp,
-            chain_length=chain_length,
-        ).sign(authority._keys.private)  # noqa: SLF001 - the CA signs its own forgery
-        forged = replace(issuance, serials=(decoy,), signed_root=forged_root)
-        targeted.agent.apply_issuance(forged)
-        targeted_blind = not targeted.agent.replica_for(ca.name).contains(victim.serial)
-
-        reports = GossipExchange().exchange(
-            honest.agent.consistency, targeted.agent.consistency
-        )
-        evidence_valid = bool(reports) and reports[0].is_valid_evidence(ca.public_key)
-        self._event(
-            -3,
-            "gossip",
-            f"gossip round produced {len(reports)} misbehavior report(s)",
-        )
-        return {
-            "targeted_agent": targeted.spec_name,
-            "honest_agent": honest.spec_name,
-            "targeted_believes_victim_revoked": not targeted_blind,
-            "misbehavior_reports": len(reports),
-            "evidence_valid_under_ca_key": evidence_valid,
-            "conflicting_size": reports[0].first.size if reports else 0,
-        }
-
-    def _compare_engines(self) -> Dict[str, object]:
-        """Replay the recorded revocation batches against each engine."""
-        comparison: Dict[str, object] = {}
-        roots = set()
-        for engine in self.config.compare_engines:
-            with create_store(engine) as store:
-                number = 0
-                started = _time.perf_counter()
-                for batch in self._batches:
-                    items = []
-                    for serial in batch:
-                        number += 1
-                        items.append((serial.to_bytes(), number.to_bytes(4, "big")))
-                    store.insert_batch(items)
-                    store.root()
-                elapsed = _time.perf_counter() - started
-                root_hex = store.root().hex()
-            roots.add(root_hex)
-            comparison[engine] = {
-                "seconds": round(elapsed, 6),
-                "serials": number,
-                "root": root_hex[:16],
-            }
-        comparison["roots_agree"] = len(roots) <= 1
-        return comparison
-
-    def _baseline_comparison(self, victim: "_VictimRuntime") -> Dict[str, object]:
-        """Replay the victim's timeline against OCSP Stapling."""
-        from repro.baselines import CheckContext, GroundTruth, OCSPStaplingScheme
-
-        truth = GroundTruth(ca_name=self.config.ca_name)
-        stapling = OCSPStaplingScheme(truth, response_lifetime=4 * 86_400.0)
-        session_start = float(self.config.epoch)
-        stapling.check(
-            CheckContext("scenario-client", self.config.victim_host, victim.serial, now=session_start)
-        )
-        truth.revoke(victim.serial, now=float(victim.revoked_at))
-        probe = stapling.check(
-            CheckContext(
-                "scenario-client",
-                self.config.victim_host,
-                victim.serial,
-                now=float(victim.revoked_at) + 3600.0,
-            )
-        )
-        return {
-            "scheme": stapling.name,
-            "response_lifetime_seconds": stapling.responder.response_lifetime,
-            "reports_revoked_one_hour_after_revocation": probe.revoked,
-            "worst_case_exposure_seconds": stapling.responder.response_lifetime,
-            "ritm_bound_seconds": self.config.attack_window_seconds(),
-        }
-
-    # -- crash-recovery study phase --------------------------------------------------
-
-    def _crash_recovery_extras(
-        self, ca: RITMCertificationAuthority, runtimes: List[_AgentRuntime]
-    ) -> Dict[str, object]:
-        """The warm-vs-cold restart study results (docs/STORAGE.md).
-
-        Per crashed agent: its recovery-pull metrics.  Differentially: every
-        revoked serial's verdict from each crashed agent's recovered replica
-        against the in-memory oracle, plus a handful of absent probes.  When
-        both a durable and a cold crash ran, the head-to-head comparison.
-        """
-        agents: Dict[str, object] = {}
-        mismatches = checked = 0
-        probe_values = [serial.value for _, serial in self._numbered]
-        absent_base = (max(probe_values, default=0) or DECOY_SERIAL) + 1
-        for runtime in runtimes:
-            if runtime.crashed_mode is None:
-                continue
-            agents[runtime.spec_name] = dict(runtime.recovery or {"mode": runtime.crashed_mode})
-            replica = runtime.agent.replica_for(ca.name)
-            if replica is None or replica.signed_root is None:
-                mismatches += 1
-                continue
-            for value in probe_values:
-                serial = SerialNumber(value)
-                checked += 1
-                if replica.prove(serial).is_revoked != self._oracle.contains(serial):
-                    mismatches += 1
-            for offset in range(5):
-                probe = SerialNumber(absent_base + offset)
-                checked += 1
-                if replica.prove(probe).is_revoked or self._oracle.contains(probe):
-                    mismatches += 1
-        study: Dict[str, object] = {
-            "agents": agents,
-            "verdicts_checked": checked,
-            "verdict_mismatches": mismatches,
-        }
-        durable = [a for a in agents.values() if a.get("mode") == "durable"]
-        cold = [a for a in agents.values() if a.get("mode") == "cold"]
-        if durable and cold and durable[0].get("completed_at") and cold[0].get("completed_at"):
-            warm, coldstart = durable[0], cold[0]
-            study["comparison"] = {
-                "warm_bytes": warm["bytes_downloaded"],
-                "cold_bytes": coldstart["bytes_downloaded"],
-                "warm_recovery_seconds": warm["latency_seconds"],
-                "cold_recovery_seconds": coldstart["latency_seconds"],
-                "warm_back_in_bound_at": warm["completed_at"],
-                "cold_back_in_bound_at": coldstart["completed_at"],
-                "bytes_saved": coldstart["bytes_downloaded"] - warm["bytes_downloaded"],
-            }
-        return study
-
-    def _crash_checks(self, study: Dict[str, object]) -> List[ScenarioCheck]:
-        """Pass/fail assertions derived from the crash-recovery study."""
-        checks = [
-            ScenarioCheck(
-                "crash-verdicts-match-inmemory-oracle",
-                study["verdict_mismatches"] == 0 and study["verdicts_checked"] > 0,
-                f"{study['verdicts_checked']} verdict(s), "
-                f"{study['verdict_mismatches']} mismatch(es)",
-            )
-        ]
-        durable_agents = [
-            a for a in study["agents"].values() if a.get("mode") == "durable"
-        ]
-        if durable_agents:
-            checks.append(
-                ScenarioCheck(
-                    "durable-restart-used-checkpoint",
-                    all(a.get("restored_replicas", 0) >= 1 for a in durable_agents),
-                    f"{len(durable_agents)} durable agent(s) warm-started",
-                )
-            )
-        comparison = study.get("comparison")
-        if comparison is not None:
-            checks.append(
-                ScenarioCheck(
-                    "warm-restart-beats-cold-resync",
-                    comparison["warm_bytes"] < comparison["cold_bytes"]
-                    and comparison["warm_back_in_bound_at"]
-                    < comparison["cold_back_in_bound_at"],
-                    f"warm {comparison['warm_bytes']} B back in bound at "
-                    f"{comparison['warm_back_in_bound_at']:.3f}s vs cold "
-                    f"{comparison['cold_bytes']} B at "
-                    f"{comparison['cold_back_in_bound_at']:.3f}s",
-                )
-            )
-        return checks
-
-    # -- adversarial study phases ----------------------------------------------------
-
-    def _key_rotation_extras(
-        self, ca: RITMCertificationAuthority, runtimes: List[_AgentRuntime]
-    ) -> Dict[str, object]:
-        """The key-rotation study results (docs/THREATS.md).
-
-        The rotation timeline, how many announcement-chain entries the fleet
-        learned, each agent's final keyring epoch, and the overlap probes
-        from :meth:`_probe_rotation`.
-        """
-        learned = sum(
-            sum(pull.key_rotations_applied for pull in r.pull_results())
-            for r in runtimes
-        )
-        agent_epochs: Dict[str, int] = {}
-        for runtime in runtimes:
-            keyring = runtime.agent.keyring_for(ca.name)
-            agent_epochs[runtime.spec_name] = keyring.key_epoch if keyring else 0
-        return {
-            "ca_key_epoch": ca.key_epoch,
-            "rotations": [
-                {
-                    "period": record["period"],
-                    "epoch": record["epoch"],
-                    "rotated_at": record["rotated_at"],
-                    "overlap_until": record["overlap_until"],
-                }
-                for record in self._rotations
-            ],
-            "announcements_learned": learned,
-            "agent_key_epochs": agent_epochs,
-            "probes": list(self._rotation_probes),
-        }
-
-    def _rotation_checks(self, study: Dict[str, object]) -> List[ScenarioCheck]:
-        """Pass/fail assertions derived from the key-rotation study."""
-        probes = study["probes"]
-        inside = [p for p in probes if p["inside_overlap"]]
-        after = [p for p in probes if not p["inside_overlap"]]
-        epochs = study["agent_key_epochs"].values()
-        return [
-            ScenarioCheck(
-                "key-rotation-learned",
-                study["ca_key_epoch"] >= 1
-                and study["announcements_learned"] >= 1
-                and all(epoch == study["ca_key_epoch"] for epoch in epochs),
-                f"CA at epoch {study['ca_key_epoch']}, "
-                f"{study['announcements_learned']} announcement(s) learned, "
-                f"agent epochs {sorted(epochs)}",
-            ),
-            ScenarioCheck(
-                "retired-key-valid-inside-overlap",
-                bool(inside)
-                and all(p["cached_verdict"] and p["uncached_verdict"] for p in inside),
-                f"{len(inside)} in-overlap probe(s) accepted",
-            ),
-            ScenarioCheck(
-                "retired-key-rejected-after-overlap",
-                bool(after)
-                and all(
-                    not p["cached_verdict"] and not p["uncached_verdict"] for p in after
-                ),
-                f"{len(after)} post-overlap probe(s) rejected",
-            ),
-            ScenarioCheck(
-                "cached-matches-uncached-across-rotation",
-                bool(probes)
-                and all(p["cached_verdict"] == p["uncached_verdict"] for p in probes),
-                f"{len(probes)} probe(s), cache and direct verification agree",
-            ),
-        ]
-
-    def _equivocation_extras(
-        self, ca: RITMCertificationAuthority, runtimes: List[_AgentRuntime]
-    ) -> Dict[str, object]:
-        """The equivocation study results: planted forgery, detection, evidence."""
-        planted = dict(self._equivocation or {})
-        target_name = planted.get("targeted_agent")
-        target = next(
-            (r for r in runtimes if r.spec_name == target_name), None
-        )
-        targeted_blind = False
-        if target is not None and self._hidden_serial is not None:
-            replica = target.agent.replica_for(ca.name)
-            targeted_blind = replica is not None and not replica.contains(
-                self._hidden_serial
-            )
-        reports = self._misbehavior_reports
-        return {
-            **planted,
-            "detected_period": self._first_detection_period,
-            "misbehavior_reports": len(reports),
-            "evidence_valid_under_ca_keyring": bool(reports)
-            and all(report.is_valid_evidence(ca.keyring) for report in reports),
-            "reporter_signatures_valid": bool(reports)
-            and all(report.verify_reporter() for report in reports),
-            "targeted_blind": targeted_blind,
-        }
-
-    def _equivocation_checks(
-        self, study: Dict[str, object], fault: FaultSpec
-    ) -> List[ScenarioCheck]:
-        """Pass/fail assertions derived from the equivocation study."""
-        return [
-            ScenarioCheck(
-                "equivocation-detected-within-one-round",
-                study["detected_period"] == fault.at_period,
-                f"planted at period {fault.at_period}, gossip detected it at "
-                f"period {study['detected_period']}",
-            ),
-            ScenarioCheck(
-                "equivocation-evidence-valid",
-                study["misbehavior_reports"] >= 1
-                and bool(study["evidence_valid_under_ca_keyring"])
-                and bool(study["reporter_signatures_valid"]),
-                f"{study['misbehavior_reports']} signed report(s)",
-            ),
-            ScenarioCheck(
-                "targeted-ra-blind-before-gossip",
-                bool(study["targeted_blind"]),
-                f"targeted agent {study.get('targeted_agent')} missing serial "
-                f"{study.get('hidden_serial')}",
-            ),
-        ]
-
-    # -- lifecycle -------------------------------------------------------------------
-
-    def _cleanup(self, ca: RITMCertificationAuthority, runtimes: List[_AgentRuntime]) -> None:
-        """Close every store and drop checkpoint scratch directories.
-
-        The durable engine holds open WAL handles (and temp directories when
-        no explicit path was configured); a scenario run must not leak them
-        even when a study phase raises.
-        """
-        for runtime in runtimes:
-            runtime.agent.close()
-        ca.close()
-        if self._oracle is not None:
-            self._oracle.close()
-        for directory in self._checkpoint_dirs:
-            shutil.rmtree(directory, ignore_errors=True)
-
-    # -- sharded study phase -------------------------------------------------------
-
-    def _sharded_extras(
-        self,
-        ca: RITMCertificationAuthority,
-        runtimes: List[_AgentRuntime],
-        end_time: float,
-    ) -> Dict[str, object]:
-        """The §VIII study results: storage timeline, differential verdicts,
-        read-path purity, and reclaimed storage."""
-        agent = runtimes[0].agent
-        oracle = self._oracle
-
-        # Differential verdicts: every revoked serial whose certificate is
-        # still live must get the same verdict from the sharded replica as
-        # from the unsharded oracle; a few absent serials in live windows
-        # must prove absent on both.
-        live_checked = mismatches = absent_checked = 0
-        live_expiries: List[int] = []
-        for value, expiry in self._expiries.items():
-            if expiry <= end_time:
-                continue
-            live_expiries.append(expiry)
-            serial = SerialNumber(value)
-            replica = agent.replica_for_certificate(ca.name, expiry)
-            if replica is None:
-                mismatches += 1
-                continue
-            live_checked += 1
-            if replica.prove(serial).is_revoked != oracle.contains(serial):
-                mismatches += 1
-        unused_value = max(self._expiries, default=0) + 1
-        for expiry in live_expiries[:5]:
-            probe = SerialNumber(unused_value)
-            unused_value += 1
-            replica = agent.replica_for_certificate(ca.name, expiry)
-            if replica is None:
-                mismatches += 1
-                continue
-            absent_checked += 1
-            if replica.prove(probe).is_revoked or oracle.contains(probe):
-                mismatches += 1
-
-        # Read-path purity: proving a serial in a window no shard covers
-        # must answer "absent" without creating (and retaining) a shard.
-        shards_before = ca.shards.shard_count
-        storage_before = ca.storage_size_bytes()
-        unknown_window_expiry = int(
-            end_time + 2 * self.config.shard_width_periods * self.config.delta_seconds
-        )
-        probe_status = ca.prove_status(
-            SerialNumber(unused_value), unknown_window_expiry, now=int(end_time)
-        )
-        read_path_pure = (
-            ca.shards.shard_count == shards_before
-            and ca.storage_size_bytes() == storage_before
-            and not probe_status.is_revoked
-        )
-
-        baseline_series = [
-            sample["baseline_storage_bytes"] for sample in self._storage_timeline
-        ]
-        sharded_series = [
-            sample["ra_storage_bytes"] for sample in self._storage_timeline
-        ]
-        return {
-            "timeline": self._storage_timeline,
-            "live_serials_checked": live_checked,
-            "absent_serials_checked": absent_checked,
-            "verdict_mismatches": mismatches,
-            "read_path_pure": read_path_pure,
-            "ca_shards_retired": ca.shards.retired_count,
-            "ca_reclaimed_bytes": ca.shards.reclaimed_storage_bytes,
-            "ra_reclaimed_bytes": agent.reclaimed_storage_bytes,
-            "ra_pruned_entries": agent.pruned_revocations,
-            "baseline_final_bytes": baseline_series[-1] if baseline_series else 0,
-            "sharded_final_bytes": sharded_series[-1] if sharded_series else 0,
-            "sharded_peak_bytes": max(sharded_series, default=0),
-            "baseline_monotonic": all(
-                earlier <= later
-                for earlier, later in zip(baseline_series, baseline_series[1:])
-            ),
-        }
-
-    def _sharded_checks(self, study: Dict[str, object]) -> List[ScenarioCheck]:
-        """Pass/fail assertions derived from the §VIII study results."""
-        return [
-            ScenarioCheck(
-                "ra-storage-reclaimed",
-                bool(study["ra_reclaimed_bytes"]) and study["ca_shards_retired"] > 0,
-                f"{study['ra_reclaimed_bytes']} B freed across "
-                f"{study['ca_shards_retired']} retired shard(s)",
-            ),
-            ScenarioCheck(
-                "verdicts-match-unsharded-oracle",
-                study["verdict_mismatches"] == 0 and study["live_serials_checked"] > 0,
-                f"{study['live_serials_checked']} live + "
-                f"{study['absent_serials_checked']} absent serials, "
-                f"{study['verdict_mismatches']} mismatch(es)",
-            ),
-            ScenarioCheck(
-                "read-path-pure-on-unknown-window",
-                bool(study["read_path_pure"]),
-                "prove() on an uncovered expiry window left shard_count "
-                "and storage unchanged",
-            ),
-            ScenarioCheck(
-                "sharded-storage-plateaus",
-                bool(study["baseline_monotonic"])
-                and study["sharded_final_bytes"] < study["baseline_final_bytes"],
-                f"sharded RA ends at {study['sharded_final_bytes']} B vs "
-                f"ever-growing baseline {study['baseline_final_bytes']} B",
-            ),
-        ]
-
-    def _shard_replicas_converged(
-        self, ca: RITMCertificationAuthority, runtime: _AgentRuntime
-    ) -> bool:
-        """Does the agent hold an equal-size replica of every live CA shard?
-
-        Shards whose window expired by the agent's last pull are skipped:
-        the RA prunes at pull time (bin start + Δ) while the CA retires at
-        its next refresh (the following bin start), so a window boundary
-        inside the final period legitimately leaves the CA one shard ahead.
-        """
-        replicas = runtime.agent.shard_replicas(ca.name)
-        history = runtime.client.pull_history
-        last_pull = history[-1].time if history else 0.0
-        for key in ca.shards.shard_keys():
-            if key.is_expired(last_pull):
-                continue
-            replica = replicas.get(key.index)
-            shard = ca.shards.shard_at(key.index)
-            if replica is None or shard is None or replica.size != shard.size:
-                return False
-        return True
-
-    # -- report assembly -----------------------------------------------------------
-
-    def _collect_metrics(
-        self,
-        ca: RITMCertificationAuthority,
-        runtimes: List[_AgentRuntime],
-        cdn: CDNNetwork,
-    ) -> Dict[str, object]:
-        """Aggregate dissemination, dictionary, hot-path, and attack-window
-        metrics."""
-        pulls = bytes_downloaded = freshness = issuances = serials = resyncs = errors = 0
-        root_cache_hits = root_signatures_verified = 0
-        stale_heads = replays = rotations_learned = 0
-        latencies: List[float] = []
-        per_agent: Dict[str, Dict[str, object]] = {}
-        for runtime in runtimes:
-            history = runtime.pull_results()
-            pulls += len(history)
-            bytes_downloaded += runtime.total_bytes_downloaded()
-            latencies.extend(pull.latency_seconds for pull in history)
-            freshness += sum(pull.freshness_applied for pull in history)
-            issuances += sum(pull.issuances_applied for pull in history)
-            serials += sum(pull.serials_applied for pull in history)
-            resyncs += sum(pull.resyncs for pull in history)
-            errors += sum(len(pull.errors) for pull in history)
-            root_cache_hits += sum(pull.root_cache_hits for pull in history)
-            root_signatures_verified += sum(
-                pull.root_signatures_verified for pull in history
-            )
-            stale_heads += sum(pull.stale_heads_ignored for pull in history)
-            replays += sum(pull.replays_rejected for pull in history)
-            rotations_learned += sum(pull.key_rotations_applied for pull in history)
-            if self.config.sharded:
-                replicas = runtime.agent.shard_replicas(ca.name)
-                per_agent[runtime.spec_name] = {
-                    "size": sum(replica.size for replica in replicas.values()),
-                    "storage_bytes": sum(
-                        replica.storage_size_bytes() for replica in replicas.values()
-                    ),
-                    "shard_count": len(replicas),
-                    "missed_pulls": runtime.missed_pulls,
-                    "max_lag_seconds": round(runtime.max_lag_seconds, 3),
-                }
-            else:
-                replica = runtime.agent.replica_for(ca.name)
-                per_agent[runtime.spec_name] = {
-                    "size": replica.size if replica else 0,
-                    "storage_bytes": replica.storage_size_bytes() if replica else 0,
-                    "missed_pulls": runtime.missed_pulls,
-                    "max_lag_seconds": round(runtime.max_lag_seconds, 3),
-                }
-        return {
-            "dissemination": {
-                "pulls": pulls,
-                "bytes_downloaded": bytes_downloaded,
-                "average_pull_latency_seconds": (
-                    sum(latencies) / len(latencies) if latencies else 0.0
-                ),
-                "freshness_applied": freshness,
-                "issuances_applied": issuances,
-                "serials_applied": serials,
-                "resyncs": resyncs,
-                "errors": errors,
-                "root_cache_hits": root_cache_hits,
-                "root_signatures_verified": root_signatures_verified,
-                "stale_heads_ignored": stale_heads,
-                "replays_rejected": replays,
-                "key_rotations_applied": rotations_learned,
-            },
-            "hot_path": self._hot_path_metrics(runtimes, cdn),
-            "dictionary": {
-                "ca_size": ca.total_revocations(),
-                "revocations_issued": self._revocations_issued,
-                "issuance_batches": ca.issuance_count(),
-            },
-            **(
-                {
-                    "sharding": {
-                        "ca_shard_count": ca.shards.shard_count,
-                        "ca_shards_retired": ca.shards.retired_count,
-                        "ca_reclaimed_bytes": ca.shards.reclaimed_storage_bytes,
-                        "ra_shards_pruned": sum(
-                            r.agent.stats.shard_replicas_pruned for r in runtimes
-                        ),
-                        "ra_pruned_entries": sum(
-                            r.agent.pruned_revocations for r in runtimes
-                        ),
-                        "ra_reclaimed_bytes": sum(
-                            r.agent.reclaimed_storage_bytes for r in runtimes
-                        ),
-                    }
-                }
-                if self.config.sharded
-                else {}
-            ),
-            "attack_window": {
-                "bound_seconds": self.config.attack_window_seconds(),
-                "max_lag_seconds": round(
-                    max((r.max_lag_seconds for r in runtimes), default=0.0), 3
-                ),
-                "per_agent": {
-                    runtime.spec_name: round(runtime.max_lag_seconds, 3)
-                    for runtime in runtimes
-                },
-            },
-            "agents": per_agent,
-        }
-
-    @staticmethod
-    def _hot_path_metrics(
-        runtimes: List[_AgentRuntime], cdn: CDNNetwork
-    ) -> Dict[str, object]:
-        """Aggregate the verification-engine cache counters across the fleet.
-
-        One section per cache layer (see docs/PERFORMANCE.md): the agents'
-        Merkle proof caches, their verified-root caches, and the CDN edges'
-        object caches — each in the uniform :class:`CacheStats` shape.
-        """
-        sections = {
-            "proof_cache": [r.agent.proof_cache.stats for r in runtimes],
-            "root_cache": [r.agent.root_cache.stats for r in runtimes],
-            "edge_object_cache": [e.cache_stats for e in cdn.all_edges()],
-        }
-        metrics: Dict[str, object] = {}
-        for name, stats_list in sections.items():
-            total = CacheStats()
-            for stats in stats_list:
-                total.hits += stats.hits
-                total.misses += stats.misses
-                total.evictions += stats.evictions
-                total.invalidations += stats.invalidations
-            metrics[name] = total.as_dict()
-        return metrics
-
-    def _build_checks(
-        self,
-        ca: RITMCertificationAuthority,
-        runtimes: List[_AgentRuntime],
-        victim: Optional["_VictimRuntime"],
-        extras: Dict[str, object],
-    ) -> List[ScenarioCheck]:
-        """The generic and fault/study-specific pass/fail assertions."""
-        cfg = self.config
-        checks: List[ScenarioCheck] = []
-        pulls = sum(len(r.pull_results()) for r in runtimes)
-        bytes_downloaded = sum(r.total_bytes_downloaded() for r in runtimes)
-        checks.append(
-            ScenarioCheck(
-                "dissemination-active",
-                pulls > 0 and bytes_downloaded > 0,
-                f"{pulls} pulls, {bytes_downloaded} bytes",
-            )
-        )
-        equivocation_targets = {
-            fault.agent or runtimes[-1].spec_name
-            for fault in cfg.faults
-            if fault.kind == "equivocating-ca"
-        }
-        converged_agents = [
-            r
-            for r in runtimes
-            if not (cfg.gossip_audit and r is runtimes[-1])
-            and r.spec_name not in equivocation_targets
-        ]
-        if cfg.sharded:
-            converged = all(
-                self._shard_replicas_converged(ca, r) for r in converged_agents
-            )
-        else:
-            converged = all(
-                (r.agent.replica_for(ca.name).size if r.agent.replica_for(ca.name) else 0)
-                == ca.dictionary.size
-                for r in converged_agents
-            )
-        checks.append(
-            ScenarioCheck(
-                "replicas-converged",
-                converged,
-                f"CA size {ca.total_revocations()}",
-            )
-        )
-        if cfg.sharded and "sharded_storage" in extras:
-            checks.extend(self._sharded_checks(extras["sharded_storage"]))
-        if victim is not None:
-            checks.append(
-                ScenarioCheck(
-                    "initial-handshake-accepted",
-                    victim.initial_accepted,
-                    f"status {victim.status_size_bytes} B",
-                )
-            )
-            if victim.revoked_at is not None:
-                checks.append(
-                    ScenarioCheck(
-                        "revoked-handshake-rejected",
-                        not victim.final_accepted
-                        and victim.final_rejection
-                        == RejectionReason.CERTIFICATE_REVOKED.value,
-                        victim.final_rejection,
-                    )
-                )
-        if cfg.long_lived_session and victim is not None:
-            bound = cfg.attack_window_seconds()
-            detected = victim.detected_at is not None and victim.revoked_at is not None
-            lag = (victim.detected_at - victim.revoked_at) if detected else float("inf")
-            checks.append(
-                ScenarioCheck(
-                    "mid-session-detection-within-bound",
-                    detected and lag <= bound,
-                    f"lag {lag:.0f}s vs bound {bound}s" if detected else "not detected",
-                )
-            )
-        if any(fault.kind == "tampered-batch" for fault in cfg.faults):
-            resyncs = sum(
-                sum(pull.resyncs for pull in r.pull_results()) for r in runtimes
-            )
-            checks.append(
-                ScenarioCheck(
-                    "tamper-detected-and-recovered",
-                    resyncs >= 1 and converged,
-                    f"{resyncs} resync(s)",
-                )
-            )
-        if any(fault.kind == "replayed-head" for fault in cfg.faults):
-            replays = sum(
-                sum(pull.replays_rejected for pull in r.pull_results())
-                for r in runtimes
-            )
-            checks.append(
-                ScenarioCheck(
-                    "replayed-head-rejected",
-                    replays >= 1,
-                    f"{replays} replayed publication(s) rejected",
-                )
-            )
-            checks.append(
-                ScenarioCheck(
-                    "replica-unmutated-by-replay",
-                    self._replay_probes > 0 and self._replay_mutations == 0,
-                    f"{self._replay_probes} replica snapshot(s) across the replay "
-                    f"window, {self._replay_mutations} mutated",
-                )
-            )
-        if any(fault.kind == "retired-key-forgery" for fault in cfg.faults):
-            checks.append(
-                ScenarioCheck(
-                    "retired-key-forgery-rejected",
-                    self._forgery_attempts >= 1
-                    and self._forgery_errors >= 1
-                    and converged,
-                    f"{self._forgery_attempts} forged head(s) published, "
-                    f"{self._forgery_errors} pull error(s), replicas recovered",
-                )
-            )
-        if "key_rotation" in extras:
-            checks.extend(self._rotation_checks(extras["key_rotation"]))
-        if "equivocation" in extras:
-            fault = next(f for f in cfg.faults if f.kind == "equivocating-ca")
-            checks.extend(self._equivocation_checks(extras["equivocation"], fault))
-        restart_faults = [f for f in cfg.faults if f.kind == "ra-restart"]
-        if restart_faults:
-            targets = sorted(
-                {f.agent or runtimes[-1].spec_name for f in restart_faults}
-            )
-            degraded = [r for r in runtimes if r.spec_name in targets]
-            healthy = [r for r in runtimes if r.spec_name not in targets]
-            bound = cfg.attack_window_seconds()
-            checks.append(
-                ScenarioCheck(
-                    "missed-pulls-extend-attack-window",
-                    all(r.max_lag_seconds > bound for r in degraded),
-                    ", ".join(
-                        f"{r.spec_name} worst lag {r.max_lag_seconds:.0f}s"
-                        for r in degraded
-                    )
-                    + f" vs bound {bound}s",
-                )
-            )
-            if healthy:
-                worst_healthy = max(r.max_lag_seconds for r in healthy)
-                checks.append(
-                    ScenarioCheck(
-                        "healthy-agents-within-bound",
-                        worst_healthy <= bound,
-                        f"worst healthy lag {worst_healthy:.1f}s",
-                    )
-                )
-        if "crash_recovery" in extras:
-            checks.extend(self._crash_checks(extras["crash_recovery"]))
-        if cfg.gossip_audit and "gossip_audit" in extras:
-            audit = extras["gossip_audit"]
-            checks.append(
-                ScenarioCheck(
-                    "equivocation-evidence-valid",
-                    bool(audit["evidence_valid_under_ca_key"]),
-                    f"{audit['misbehavior_reports']} report(s)",
-                )
-            )
-            checks.append(
-                ScenarioCheck(
-                    "targeted-ra-blind-before-gossip",
-                    not audit["targeted_believes_victim_revoked"],
-                    f"targeted agent {audit['targeted_agent']}",
-                )
-            )
-        if cfg.compare_engines and "engine_comparison" in extras:
-            checks.append(
-                ScenarioCheck(
-                    "engines-agree-on-root",
-                    bool(extras["engine_comparison"]["roots_agree"]),
-                    ", ".join(cfg.compare_engines),
-                )
-            )
-        return checks
-
-    def _config_dict(self, duration: int) -> Dict[str, object]:
-        """The config section of the report."""
-        cfg = self.config
-        return {
-            "delta_seconds": cfg.delta_seconds,
-            "duration_periods": duration,
-            "store_engine": cfg.store_engine,
-            "agents": [f"{a.name}@{a.region}" for a in cfg.agents],
-            "faults": [
-                f"{f.kind}@{f.at_period}+{f.duration_periods}" for f in cfg.faults
-            ],
-            "workload": cfg.workload.kind,
-            "victim_host": cfg.victim_host,
-            "attack_window_bound_seconds": cfg.attack_window_seconds(),
-            "sharded": cfg.sharded,
-            **(
-                {
-                    "shard_width_periods": cfg.shard_width_periods,
-                    "cert_lifetime_periods": cfg.cert_lifetime_periods,
-                    "prune_every_periods": cfg.prune_every_periods,
-                }
-                if cfg.sharded
-                else {}
-            ),
-            **(
-                {
-                    "key_rotation_periods": cfg.key_rotation_periods,
-                    "key_overlap_periods": cfg.key_overlap_periods,
-                }
-                if cfg.key_rotation_periods
-                else {}
-            ),
-            "tags": list(cfg.tags),
-        }
-
-    def _event(self, period: int, kind: str, detail: str) -> None:
-        """Append one timeline entry (period -1/-2/-3 = setup/closing/audit)."""
-        self._events.append({"period": period, "kind": kind, "detail": detail})
-
-
-@dataclass
-class _VictimRuntime:
-    """State for the scenario's victim certificate and its connections."""
-
-    chain: object
-    trust_store: TrustStore
-    ca_public_keys: Dict[str, object]
-    serial: SerialNumber
-    initial_accepted: bool = False
-    final_accepted: bool = False
-    final_rejection: str = ""
-    status_size_bytes: int = 0
-    revoked_at: Optional[float] = None
-    detected_at: Optional[float] = None
-    deployment: Optional[object] = None
-    clock: Optional[SimulatedClock] = None
-
-    def as_dict(self) -> Dict[str, object]:
-        """JSON-ready summary for the report's extras."""
-        return {
-            "serial": str(self.serial),
-            "initial_handshake_accepted": self.initial_accepted,
-            "final_handshake_accepted": self.final_accepted,
-            "final_rejection": self.final_rejection,
-            "status_size_bytes": self.status_size_bytes,
-            "revoked_at": self.revoked_at,
-            "detected_at": self.detected_at,
-            "detection_lag_seconds": (
-                self.detected_at - self.revoked_at
-                if self.detected_at is not None and self.revoked_at is not None
-                else None
-            ),
-        }
-
-
-def run_scenario(config: ScenarioConfig, smoke: bool = False) -> ScenarioReport:
-    """Run ``config`` (optionally its smoke variant) and return the report."""
-    if smoke:
-        config = config.smoke()
-    return ScenarioRunner(config).run()
+__all__ = ["ScenarioRunner", "run_scenario"]

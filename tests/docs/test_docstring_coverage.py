@@ -1,9 +1,9 @@
 """Docstring coverage gate for the documented public API surfaces.
 
 Every public class and function in ``repro.store``, ``repro.perf``,
-``repro.ritm.dissemination``, ``repro.ritm.persistence``,
+``repro.net``, ``repro.ritm.dissemination``, ``repro.ritm.persistence``,
 ``repro.dictionary.sharding``, ``repro.tls.connection``, ``repro.cdn.edge``,
-and ``repro.scenarios`` must carry a docstring.  CI additionally runs
+``repro.scenarios``, and ``repro.scenarios.engine`` must carry a docstring.  CI additionally runs
 ``interrogate``; this test is the always-on, stdlib-only enforcement so the
 gate holds wherever the suite runs.
 """
@@ -20,6 +20,7 @@ COVERED_FILES = sorted(
     [
         *(SRC / "store").glob("*.py"),
         *(SRC / "perf").glob("*.py"),
+        *(SRC / "net").glob("*.py"),
         SRC / "ritm" / "dissemination.py",
         SRC / "ritm" / "persistence.py",
         SRC / "ritm" / "consistency.py",
@@ -27,6 +28,7 @@ COVERED_FILES = sorted(
         SRC / "tls" / "connection.py",
         SRC / "cdn" / "edge.py",
         *(SRC / "scenarios").glob("*.py"),
+        *(SRC / "scenarios" / "engine").glob("*.py"),
     ]
 )
 

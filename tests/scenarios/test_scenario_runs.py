@@ -7,6 +7,7 @@ import pytest
 from repro.scenarios import (
     CACHE_METRIC_KEYS,
     DISSEMINATION_METRIC_KEYS,
+    FLEET_METRIC_KEYS,
     REPORT_SCHEMA_KEYS,
     all_scenarios,
     get,
@@ -38,6 +39,10 @@ def test_report_schema_is_pinned(name):
     assert sorted(hot_path) == ["edge_object_cache", "proof_cache", "root_cache"]
     for section in hot_path.values():
         assert tuple(sorted(section)) == tuple(sorted(CACHE_METRIC_KEYS))
+    fleet = payload["metrics"]["fleet"]
+    assert tuple(sorted(fleet)) == tuple(sorted(FLEET_METRIC_KEYS))
+    assert fleet["scheduler_events_processed"] > 0
+    assert fleet["fleet_size"] == len(payload["metrics"]["agents"])
     # the whole report must survive a JSON round trip
     assert json.loads(json.dumps(payload)) == payload
 
