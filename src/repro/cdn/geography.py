@@ -107,3 +107,23 @@ class GeoLocation:
 
 def all_regions() -> Tuple[Region, ...]:
     return tuple(Region)
+
+
+def region_distance(a: Region, b: Region) -> float:
+    """Coarse inter-region RTT proxy used for peer and failover ranking.
+
+    0 within one region; across regions, the sum of both regions' median
+    edge RTTs (each leg has to reach the wide-area backbone).  Deliberately
+    crude — it only needs to *order* regions consistently so same-region
+    peers always beat cross-region ones and failover routing is stable.
+    """
+    if a is b:
+        return 0.0
+    return EDGE_RTT_SECONDS[a][0] + EDGE_RTT_SECONDS[b][0]
+
+
+def nearest_regions(origin: Region, candidates) -> Tuple[Region, ...]:
+    """Rank ``candidates`` nearest-first from ``origin``, ties by enum name."""
+    return tuple(
+        sorted(candidates, key=lambda region: (region_distance(origin, region), region.name))
+    )

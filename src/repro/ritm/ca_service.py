@@ -52,6 +52,7 @@ from repro.ritm.messages import (
     encode_key_announcements,
     encode_shard_index,
 )
+from repro.ritm.replication import ReplicationLog, segment_path
 
 
 def head_path(ca_name: str) -> str:
@@ -120,6 +121,10 @@ class RITMCertificationAuthority:
         self._sequences: Dict[str, int] = {}
         self._index_sequence = 0
         self._refresh_count = 0
+        #: The CA→RA replication stream: one signed WAL segment per batch
+        #: (docs/REPLICATION.md).  Unsharded mode only for now — sharded
+        #: deployments keep the per-shard issuance objects as their stream.
+        self.replication: Optional[ReplicationLog] = None
         if self.config.sharded:
             self.dictionary = None
             self.sync_server = None
@@ -145,6 +150,7 @@ class RITMCertificationAuthority:
                 engine=self.config.store_engine,
             )
             self.sync_server = SyncServer(self.dictionary)
+            self.replication = ReplicationLog(authority.name)
 
     @staticmethod
     def _keys_of(authority: CertificationAuthority):
@@ -256,6 +262,20 @@ class RITMCertificationAuthority:
             )
             self.publication_stats.issuances_published += 1
             self.publication_stats.bytes_uploaded += len(content)
+        # Replication stream: the same batch, framed as a signed WAL
+        # segment.  Segment numbers advance in lockstep with the batch
+        # counter, so RA-side replication cursors and applied-batch cursors
+        # describe the same position in the revocation history.
+        segment = self.replication.append(
+            issuance, self.dictionary.latest_freshness, self._signing_keys
+        )
+        if self.cdn is not None:
+            self.cdn.publish(
+                segment_path(self.name, self._batch_counter),
+                segment,
+                now,
+                ttl_seconds=self.config.cdn_ttl_seconds,
+            )
         self._publish_head(now)
         return issuance
 

@@ -27,7 +27,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.cdn.geography import GeoLocation
+from repro.cdn.geography import GeoLocation, region_distance
 from repro.cdn.network import CDNNetwork
 from repro.crypto.signing import CAKeyring, PublicKey
 from repro.dictionary.sharding import (
@@ -38,6 +38,7 @@ from repro.dictionary.sharding import (
 from repro.dictionary.sync import SyncRequest, SyncServer
 from repro.errors import (
     CDNError,
+    DesynchronizedError,
     DictionaryError,
     ReplayError,
     SignatureError,
@@ -56,6 +57,12 @@ from repro.ritm.messages import (
     decode_issuance,
     decode_key_announcements,
     decode_shard_index,
+)
+from repro.ritm.replication import (
+    decode_segment,
+    segment_path,
+    segment_suffix_issuance,
+    verify_segment,
 )
 from repro.store.durable import atomic_write
 
@@ -94,6 +101,18 @@ class PullResult:
     stale_heads_ignored: int = 0
     replays_rejected: int = 0
     key_rotations_applied: int = 0
+    #: Streaming-replication accounting (docs/REPLICATION.md): WAL segments
+    #: verified and applied this cycle, the subset relayed by a peer rather
+    #: than fetched CA-direct, raw segment bytes transferred, per-CA
+    #: anti-entropy exchanges attempted against a peer, explicit
+    #: degradations to the cold sync protocol, and segments rejected for
+    #: failing structural or signature verification.
+    segments_applied: int = 0
+    segments_from_peer: int = 0
+    segment_bytes_downloaded: int = 0
+    peer_syncs: int = 0
+    cold_sync_fallbacks: int = 0
+    segments_rejected: int = 0
 
 
 def _cursor_checksum(cursor_state: Dict[str, Dict[str, int]]) -> int:
@@ -141,6 +160,16 @@ class RADisseminationClient:
         self._head_stale_counts: Dict[str, int] = {}
         self._index_cursors: Dict[str, int] = {}
         self._index_stale_counts: Dict[str, int] = {}
+        #: Streaming replication (docs/REPLICATION.md): highest contiguously
+        #: applied WAL segment per CA, and the verified raw segment bytes
+        #: retained so this RA can relay them to anti-entropy peers.
+        self._segment_cursors: Dict[str, int] = {}
+        self._segment_archive: Dict[str, Dict[int, bytes]] = {}
+        #: Opt-in: when set, every :meth:`pull` walks the CA's WAL segment
+        #: stream *before* the head check, so serials arrive as verified
+        #: segments (and the head then only refreshes freshness).  Off by
+        #: default — the legacy batch-driven pull stays byte-identical.
+        self.segment_streaming = False
 
     def register_sync_server(self, ca_name: str, server: SyncServer) -> None:
         """Register the CA's direct sync endpoint for desync recovery."""
@@ -165,12 +194,20 @@ class RADisseminationClient:
             "head_cursors": dict(self._head_cursors),
             "index_cursors": dict(self._index_cursors),
         }
+        # Replication cursors travel as their own CRC'd block (not folded
+        # into the replay-cursor checksum) so pre-replication checkpoints —
+        # and checkpoints written by pre-replication builds — keep restoring
+        # byte-for-byte as before, and a corrupted segment block degrades
+        # only segment catch-up, never the replay windows.
+        segment_state = {"segment_cursors": dict(self._segment_cursors)}
         state = {
             "format": 1,
             "applied_batches": dict(self._applied_batches),
             "shard_pulls": dict(self._shard_pulls),
             "cursor_checksum": _cursor_checksum(cursor_state),
+            "segment_cursor_checksum": _cursor_checksum(segment_state),
             **cursor_state,
+            **segment_state,
         }
         # Cursors are written first (atomically), the agent manifest last:
         # the manifest is the checkpoint's commit point, so a crash at any
@@ -233,7 +270,207 @@ class RADisseminationClient:
                 self._index_cursors.update(cursor_state["index_cursors"])
         except (ValueError, TypeError, AttributeError):
             pass  # malformed cursor block: cold replay state, never trust it
+        try:
+            segment_state = {
+                "segment_cursors": {
+                    str(name): int(number)
+                    for name, number in state.get("segment_cursors", {}).items()
+                }
+            }
+            if state.get("segment_cursor_checksum") == _cursor_checksum(segment_state):
+                for name, number in segment_state["segment_cursors"].items():
+                    replica = self.agent.replicas.get(name)
+                    if replica is not None and replica.signed_root is not None:
+                        # Like applied-batch cursors: only meaningful for a
+                        # replica that actually warm-started — a cursor
+                        # without its content would skip segments forever.
+                        self._segment_cursors[name] = number
+        except (ValueError, TypeError, AttributeError):
+            pass  # malformed segment block: catch up from scratch or a peer
         return restored
+
+    # -- streaming replication (docs/REPLICATION.md) -----------------------------
+
+    def replication_cursor(self, ca_name: str) -> int:
+        """Highest contiguously applied WAL segment for one CA (0 = none)."""
+        return self._segment_cursors.get(ca_name, 0)
+
+    def archived_segment(self, ca_name: str, number: int) -> Optional[bytes]:
+        """Raw bytes of a verified, retained segment (``None`` if unknown).
+
+        This is the anti-entropy serving side: peers relay exactly the
+        bytes they verified, and every receiver re-verifies against its own
+        trust anchor, so the archive never has to be trusted.
+        """
+        return self._segment_archive.get(ca_name, {}).get(number)
+
+    def _replicated_cas(self):
+        """(CA name, replica) pairs eligible for segment replication.
+
+        Shard replicas are excluded — sharded CAs keep the per-shard
+        issuance objects as their stream for now.
+        """
+        shard_replica_names = self.agent.shard_replica_names()
+        return [
+            (ca_name, replica)
+            for ca_name, replica in list(self.agent.replicas.items())
+            if ca_name not in shard_replica_names
+        ]
+
+    def sync_via_segments(self, now: float) -> PullResult:
+        """Catch every replica up by walking the CA's segment stream CA-direct.
+
+        Fetches ``segment/<cursor+1>`` onward from the CDN until the stream
+        ends, verifying and applying each segment.  A segment that fails
+        verification (or exposes a gap) stops the walk for that CA and is
+        recorded; the next ordinary pull recovers through the batch or sync
+        path.  Returns the recorded :class:`PullResult` (also appended to
+        :attr:`pull_history`).
+        """
+        result = PullResult(time=now)
+        self._sync_segments_into(result, now)
+        self.pull_history.append(result)
+        return result
+
+    def _sync_segments_into(self, result: PullResult, now: float) -> None:
+        """The CA-direct segment walk, accumulating into ``result``."""
+        for ca_name, replica in self._replicated_cas():
+            while True:
+                path = segment_path(ca_name, self.replication_cursor(ca_name) + 1)
+                if not self.cdn.origin.exists(path):
+                    break
+                download = self.cdn.download(
+                    path, self.location, now, source=self.agent.name
+                )
+                result.bytes_downloaded += download.bytes_on_wire
+                result.segment_bytes_downloaded += download.bytes_on_wire
+                result.latency_seconds += download.latency_seconds
+                try:
+                    self._apply_segment_bytes(
+                        ca_name, replica, download.content, now, result
+                    )
+                except (TLSError, SignatureError, DictionaryError) as exc:
+                    result.segments_rejected += 1
+                    result.errors.append(f"{ca_name}: {exc}")
+                    break
+
+    def sync_from_peer(self, peer: "RADisseminationClient", now: float) -> PullResult:
+        """RA→RA anti-entropy: catch up from a peer's verified segment archive.
+
+        For every replicated CA the cursors are compared and the missing
+        segments are relayed peer-to-peer — each one re-verified against
+        *this* RA's trust anchor before it touches the replica, so the peer
+        can withhold progress but never forge it.  When the peer cannot
+        supply a contiguous run up to its claimed cursor (archive gap,
+        tampered relay, equivocation attempt), the CA's sync protocol is
+        used as the **explicit** cold fallback and counted as such.  The
+        latency model charges one inter-region round trip per relayed
+        segment plus transfer time at this RA's downstream bandwidth.
+        """
+        result = PullResult(time=now)
+        hop_rtt = max(0.001, region_distance(self.location.region, peer.location.region))
+        for ca_name, replica in self._replicated_cas():
+            peer_cursor = peer.replication_cursor(ca_name)
+            if peer_cursor <= self.replication_cursor(ca_name):
+                continue
+            result.peer_syncs += 1
+            degraded = False
+            while self.replication_cursor(ca_name) < peer_cursor:
+                raw = peer.archived_segment(ca_name, self.replication_cursor(ca_name) + 1)
+                if raw is None:
+                    degraded = True
+                    break
+                result.bytes_downloaded += len(raw)
+                result.segment_bytes_downloaded += len(raw)
+                result.latency_seconds += hop_rtt + len(raw) / self.location.bandwidth_to_edge()
+                before = self.replication_cursor(ca_name)
+                try:
+                    self._apply_segment_bytes(
+                        ca_name, replica, raw, now, result, from_peer=True
+                    )
+                except (TLSError, SignatureError, DictionaryError) as exc:
+                    result.segments_rejected += 1
+                    result.errors.append(f"{ca_name}: peer relay rejected: {exc}")
+                    degraded = True
+                    break
+                if self.replication_cursor(ca_name) == before:
+                    # The peer answered the requested number with an
+                    # already-covered segment; re-asking would loop forever.
+                    degraded = True
+                    break
+            if degraded:
+                # Never silent: the peer claimed more history than it could
+                # prove, so fall back to the CA's sync protocol and say so.
+                result.cold_sync_fallbacks += 1
+                self._resync(ca_name, replica, result)
+        self.pull_history.append(result)
+        return result
+
+    def _apply_segment_bytes(
+        self,
+        ca_name: str,
+        replica,
+        raw: bytes,
+        now: float,
+        result: PullResult,
+        from_peer: bool = False,
+    ) -> int:
+        """Verify one encoded segment and apply it to its replica.
+
+        Enforces, in order: structural integrity (framing + every CRC), the
+        CA header signature under this RA's own keyring, segment-cursor
+        contiguity, and revocation-number contiguity — then applies the
+        not-yet-covered suffix through the same ``update_many`` transaction
+        as the pull path (rollback on root mismatch).  Duplicate delivery
+        is a verified no-op.  Returns serials newly applied.
+        """
+        segment = decode_segment(raw)
+        if segment.ca_name != ca_name or segment.shard:
+            raise TLSError(
+                f"WAL segment addressed to {segment.ca_name!r}/{segment.shard!r} "
+                f"applied to {ca_name!r}'s replica"
+            )
+        verifier = replica.ca_public_key
+        if hasattr(verifier, "advance"):
+            verifier.advance(int(now))
+        if not verify_segment(segment, verifier):
+            raise SignatureError(
+                f"WAL segment {segment.segment_number} for {ca_name!r} is not "
+                f"signed by an acceptable CA key"
+            )
+        cursor = self._segment_cursors.get(ca_name, 0)
+        if segment.segment_number <= cursor:
+            return 0  # duplicate delivery: already covered, idempotent
+        if segment.segment_number != cursor + 1:
+            raise DesynchronizedError(
+                f"WAL segment stream for {ca_name!r} has a gap: expected "
+                f"segment {cursor + 1}, got {segment.segment_number}"
+            )
+        issuance = segment_suffix_issuance(segment, replica.size)
+        applied = 0
+        if issuance is not None:
+            applied = self.agent.apply_issuances(ca_name, [issuance])
+            result.issuances_applied += 1
+            result.serials_applied += applied
+        try:
+            replica.apply_freshness(segment.freshness_after)
+            result.freshness_applied += 1
+        except (ReplayError, DictionaryError):
+            # The replica already holds newer authenticated freshness (it
+            # pulled a head after this segment was cut): keep the newer one.
+            pass
+        self._segment_cursors[ca_name] = segment.segment_number
+        self._segment_archive.setdefault(ca_name, {})[segment.segment_number] = raw
+        # Segment numbers advance in lockstep with the CA's issuance batch
+        # counter, so a later head-driven catch-up must not refetch batches
+        # the segment stream already covered.
+        self._applied_batches[ca_name] = max(
+            self._applied_batches.get(ca_name, 0), segment.segment_number
+        )
+        result.segments_applied += 1
+        if from_peer:
+            result.segments_from_peer += 1
+        return applied
 
     def register_sharded_ca(
         self,
@@ -272,6 +509,11 @@ class RADisseminationClient:
         hits_before = root_stats.hits
         misses_before = root_stats.misses
         invalidations_before = proof_stats.invalidations
+        if self.segment_streaming:
+            # Streaming mode: apply the WAL segment stream first, so the
+            # head check below finds the replica current and only applies
+            # freshness — serials travel as verified segments.
+            self._sync_segments_into(result, now)
         for ca_name in self._sharded_cas:
             index = None
             try:

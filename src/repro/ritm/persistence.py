@@ -17,6 +17,15 @@ Checkpoints are *not* trusted on restore: CRCs catch corruption here, and
 re-verifies the root signature and the recomputed Merkle root, so a doctored
 checkpoint can never warm-start a replica into unsigned state.  The format
 is documented in ``docs/STORAGE.md``.
+
+Format evolution: the replica file carries an explicit format version, and
+from format 2 onward any bytes between the leaf dump and the trailing CRC
+are a sequence of typed extension blocks (``u8 type + u32 length + body``).
+Readers skip blocks they do not understand, so a checkpoint written by a
+newer build (e.g. one that appends replication-cursor blocks) still
+warm-starts an older agent — and a format-1 file from a pre-extension build
+still loads here.  The CRC always covers the whole file, unknown blocks
+included.
 """
 
 from __future__ import annotations
@@ -43,8 +52,13 @@ from repro.store.durable import atomic_write, decode_leaf_pairs, encode_leaf_pai
 #: Replica-file magic; the manifest's ``format`` field pins the layout.
 REPLICA_MAGIC = b"RITMRACP"
 
-#: Pinned checkpoint format version (manifest + replica files).
-CHECKPOINT_FORMAT = 1
+#: Checkpoint format version this build writes (manifest + replica files).
+CHECKPOINT_FORMAT = 2
+
+#: Every format version this build can read.  Format 1 is the pre-extension
+#: layout (no trailing blocks allowed); format 2 adds the skip-unknown
+#: extension-block rule after the leaf dump.
+SUPPORTED_CHECKPOINT_FORMATS = (1, 2)
 
 #: Manifest file name inside a checkpoint directory.
 MANIFEST_FILENAME = "agent.json"
@@ -59,6 +73,9 @@ class ReplicaCheckpoint:
     signed_root: SignedRoot
     freshness: FreshnessStatement
     items: List[Tuple[bytes, bytes]]
+    #: Typed extension blocks (block type → raw body) carried after the leaf
+    #: dump in format ≥ 2 files.  Unknown types are preserved, not rejected.
+    extensions: Dict[int, bytes] = field(default_factory=dict)
 
     @property
     def public_key(self) -> PublicKey:
@@ -96,6 +113,10 @@ def _encode_replica(checkpoint: ReplicaCheckpoint) -> bytes:
     body += freshness_bytes
     body += struct.pack(">Q", len(checkpoint.items))
     body += encode_leaf_pairs(checkpoint.items)
+    for block_type in sorted(checkpoint.extensions):
+        block = checkpoint.extensions[block_type]
+        body += struct.pack(">BI", block_type, len(block))
+        body += block
     body += struct.pack(">I", zlib.crc32(bytes(body)))
     return bytes(body)
 
@@ -112,10 +133,10 @@ def _decode_replica(data: bytes, ca_name: str) -> ReplicaCheckpoint:
         offset = len(REPLICA_MAGIC)
         (version,) = struct.unpack_from(">H", data, offset)
         offset += 2
-        if version != CHECKPOINT_FORMAT:
+        if version not in SUPPORTED_CHECKPOINT_FORMATS:
             raise StorageError(
                 f"replica checkpoint for {ca_name!r} has format {version}; "
-                f"this build reads format {CHECKPOINT_FORMAT}"
+                f"this build reads formats {SUPPORTED_CHECKPOINT_FORMATS}"
             )
         (key_length,) = struct.unpack_from(">H", data, offset)
         offset += 2
@@ -132,6 +153,20 @@ def _decode_replica(data: bytes, ca_name: str) -> ReplicaCheckpoint:
         (leaf_count,) = struct.unpack_from(">Q", data, offset)
         offset += 8
         items, offset = decode_leaf_pairs(data, offset, leaf_count)
+        extensions: Dict[int, bytes] = {}
+        if version >= 2:
+            # Skip-unknown extension blocks: anything between the leaf dump
+            # and the CRC must parse as (u8 type, u32 length, body) frames.
+            while offset < len(data) - 4:
+                block_type, block_length = struct.unpack_from(">BI", data, offset)
+                offset += 5
+                if offset + block_length > len(data) - 4:
+                    raise StorageError(
+                        f"replica checkpoint for {ca_name!r} has a truncated "
+                        f"extension block"
+                    )
+                extensions[block_type] = data[offset : offset + block_length]
+                offset += block_length
         if offset != len(data) - 4:
             raise StorageError(
                 f"replica checkpoint for {ca_name!r} has trailing bytes"
@@ -146,6 +181,7 @@ def _decode_replica(data: bytes, ca_name: str) -> ReplicaCheckpoint:
         signed_root=signed_root,
         freshness=freshness,
         items=items,
+        extensions=extensions,
     )
 
 
@@ -209,10 +245,10 @@ def load_checkpoint(directory: Union[str, Path]) -> AgentCheckpoint:
         raise StorageError(f"no RA checkpoint manifest under {directory}")
     try:
         manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-        if manifest["format"] != CHECKPOINT_FORMAT:
+        if manifest["format"] not in SUPPORTED_CHECKPOINT_FORMATS:
             raise StorageError(
                 f"checkpoint format {manifest['format']} unsupported; this "
-                f"build reads format {CHECKPOINT_FORMAT}"
+                f"build reads formats {SUPPORTED_CHECKPOINT_FORMATS}"
             )
         agent_name = manifest["agent"]
         shard_widths = {ca: int(w) for ca, w in manifest["shard_widths"].items()}

@@ -29,6 +29,7 @@ from repro.scenarios.report import (
     CACHE_METRIC_KEYS,
     DISSEMINATION_METRIC_KEYS,
     FLEET_METRIC_KEYS,
+    REPLICATION_METRIC_KEYS,
     REPORT_SCHEMA_KEYS,
     ScenarioCheck,
     ScenarioReport,
@@ -47,6 +48,7 @@ __all__ = [
     "DISSEMINATION_METRIC_KEYS",
     "CACHE_METRIC_KEYS",
     "FLEET_METRIC_KEYS",
+    "REPLICATION_METRIC_KEYS",
     "ScenarioRunner",
     "run_scenario",
     "register",

@@ -31,6 +31,7 @@ FAULT_KINDS = (
     "replayed-head",
     "retired-key-forgery",
     "equivocating-ca",
+    "region-outage",
 )
 
 #: Optional baseline schemes a scenario can compare itself against.
@@ -91,6 +92,14 @@ class FaultSpec:
       key republishes the current head re-signed under that retired key after
       its overlap window has expired; RAs must refuse the signature
       (requires :attr:`ScenarioConfig.key_rotation_periods`);
+    * ``region-outage`` — at ``at_period`` the CDN presence of ``region``
+      fails *and* every RA in that region crashes (durably — each keeps its
+      last checkpoint).  For ``duration_periods`` periods surviving RAs
+      absorb the region's client traffic (their DNS resolution fails over
+      to the nearest healthy region).  On recovery the crashed RAs
+      warm-start from their checkpoints and catch up peer-to-peer via
+      RA→RA anti-entropy (docs/REPLICATION.md) instead of cold-syncing
+      from the CA;
     * ``equivocating-ca`` — the CA plants a fully self-consistent forged
       universe (shadow dictionary, parallel signed root of the same size, its
       own freshness chain) at the CDN edges of one region, targeting the RA
@@ -109,6 +118,9 @@ class FaultSpec:
     #: ``ra-restart`` + ``crash`` only: recover from an RA checkpoint
     #: instead of a cold resync.
     durable: bool = False
+    #: ``region-outage`` only: the CDN/RA region that fails (enum name or
+    #: human value).
+    region: str = ""
 
     def __post_init__(self) -> None:
         """Validate the fault kind, timing fields, and restart mode."""
@@ -129,6 +141,23 @@ class FaultSpec:
             raise ConfigurationError(
                 "durable=True models recovery from a crash; set crash=True too"
             )
+        if self.kind == "region-outage":
+            if not self.region:
+                raise ConfigurationError("a region-outage fault must name its region")
+            _region_for(self.region)  # resolve eagerly, like AgentSpec
+            if self.agent:
+                raise ConfigurationError(
+                    "region-outage targets a whole region, not a named agent"
+                )
+        elif self.region:
+            raise ConfigurationError(
+                f"only region-outage faults take a region, not {self.kind!r}"
+            )
+
+    def geo_region(self) -> Region:
+        """The resolved failed :class:`~repro.cdn.geography.Region`
+        (``region-outage`` faults only)."""
+        return _region_for(self.region)
 
     def covers(self, period: int) -> bool:
         """Whether the fault is active during ``period``."""
@@ -361,6 +390,16 @@ class ScenarioConfig:
                         f"fault {fault.kind!r} at period {fault.at_period} "
                         f"starts after the scenario ends"
                     )
+                if (
+                    fault.kind == "region-outage"
+                    and fault.at_period + fault.duration_periods
+                    >= self.duration_periods
+                ):
+                    raise ConfigurationError(
+                        "a region-outage must end before the scenario does "
+                        "(the restored RAs need at least one period to catch "
+                        "up from a peer)"
+                    )
         effective_names = [spec.name for spec in self.effective_agents()]
         for fault in self.faults:
             if fault.kind in ("ra-restart", "equivocating-ca"):
@@ -373,6 +412,23 @@ class ScenarioConfig:
                         f"{fault.kind} must name its target agent explicitly "
                         "when fleet_size expands the fleet (the implicit "
                         "'last agent' default is ambiguous across clones)"
+                    )
+            if fault.kind == "region-outage":
+                failed = fault.geo_region()
+                inside = [
+                    spec for spec in self.effective_agents()
+                    if spec.geo_region() == failed
+                ]
+                if not inside:
+                    raise ConfigurationError(
+                        f"region-outage fails {failed.name} but no agent is "
+                        "deployed there"
+                    )
+                if len(inside) == len(self.effective_agents()):
+                    raise ConfigurationError(
+                        "region-outage would kill every agent; at least one "
+                        "RA must survive in another region to absorb traffic "
+                        "and serve anti-entropy"
                     )
             if fault.kind == "retired-key-forgery":
                 if not self.key_rotation_periods:

@@ -32,7 +32,7 @@ from repro.crypto.signing import PublicKey, verify_batch
 from repro.errors import DesynchronizedError, DictionaryError
 from repro.pki import SerialNumber
 from repro.ritm import RevocationAgent, attach_agent_to_cas
-from repro.scenarios.config import FaultSpec
+from repro.ritm.replication import rank_peers
 from repro.scenarios.engine.mailbox import Message
 from repro.scenarios.engine.state import AgentRuntime, PendingProvability
 
@@ -202,15 +202,31 @@ class RAActor:
         fault = state.restart_fault_for(runtime, period)
         if fault is not None:
             if fault.crash and period == fault.at_period:
-                self._crash(fault, period)
+                self._crash(period, durable=fault.durable)
             runtime.missed_pulls += 1
             state.event(period, "ra-restart", f"{runtime.spec_name} missed its pull")
+            engine.pull_finished(period)
+            return
+        outage = state.region_outage_fault_for(runtime, period)
+        if outage is not None:
+            if period == outage.at_period:
+                # The region's RAs die with their region — durably: a real
+                # deployment checkpoints continuously, so the restart path
+                # is always warm-start-plus-catch-up, never data loss.
+                self._crash(period, durable=True, mode="region")
+            runtime.missed_pulls += 1
+            state.event(
+                period, "region-outage", f"{runtime.spec_name} down with its region"
+            )
             engine.pull_finished(period)
             return
 
         self._drain_mailbox()
 
         restored_replicas = None
+        peer_result = None
+        peer_name = ""
+        recovery_origin_bytes = 0
         if runtime.pending_restore:
             restored_replicas = runtime.client.restore(runtime.checkpoint_dir)
             runtime.pending_restore = False
@@ -220,6 +236,15 @@ class RAActor:
                 f"{runtime.spec_name} warm-started from its checkpoint "
                 f"({restored_replicas} replica(s))",
             )
+            if runtime.crashed_mode == "region":
+                peer_name, peer_result = self._anti_entropy_catch_up(period, now)
+                # The CA-origin cost of the catch-up itself (restore plus
+                # anti-entropy), before the period's ordinary pull — which
+                # every live RA pays regardless — resumes.
+                recovery_origin_bytes = (
+                    state.cdn.origin_bytes_by_source.get(runtime.spec_name, 0)
+                    - runtime.egress_baseline
+                )
         result = runtime.client.pull(now=now, link=runtime.link)
         state.pull_intervals.append((now, now + result.latency_seconds))
         if runtime.crashed_mode is not None and runtime.recovery is None:
@@ -234,6 +259,34 @@ class RAActor:
                 "restored_replicas": restored_replicas or 0,
                 "completed_at": now + result.latency_seconds,
             }
+            if runtime.crashed_mode == "region":
+                runtime.recovery.update(
+                    {
+                        "peer": peer_name,
+                        "segments_from_peer": (
+                            peer_result.segments_from_peer if peer_result else 0
+                        ),
+                        "peer_bytes": (
+                            peer_result.segment_bytes_downloaded if peer_result else 0
+                        ),
+                        "peer_serials_applied": (
+                            peer_result.serials_applied if peer_result else 0
+                        ),
+                        "cold_sync_fallbacks": (
+                            peer_result.cold_sync_fallbacks if peer_result else 0
+                        ),
+                        "fallback_bytes": (
+                            peer_result.bytes_downloaded
+                            - peer_result.segment_bytes_downloaded
+                            if peer_result
+                            else 0
+                        ),
+                        # Origin bytes this RA's catch-up cost the CA
+                        # (peer relays cost 0; a cold-sync fallback's
+                        # bytes are reported separately above).
+                        "ca_origin_bytes": recovery_origin_bytes,
+                    }
+                )
             state.event(
                 period,
                 "ra-recovered",
@@ -249,7 +302,7 @@ class RAActor:
             state.event(period, "pull-error", error)
         engine.pull_finished(period)
 
-    def _crash(self, fault: FaultSpec, period: int) -> None:
+    def _crash(self, period: int, durable: bool, mode: str = "") -> None:
         """Kill and re-create the agent's process state for a crash restart.
 
         In durable mode the dissemination client checkpoints first —
@@ -258,9 +311,14 @@ class RAActor:
         client are discarded (their pull history is archived for the run's
         dissemination totals) and replaced with a fresh attach, exactly what
         a restarted process would do.
+
+        ``mode`` overrides the recorded crash mode: a ``region-outage``
+        crash is durable mechanically but recovers via peer anti-entropy,
+        and the recovery study tells the two apart by this label.
         """
         state, runtime = self.engine.state, self.runtime
-        if fault.durable:
+        streaming = runtime.client.segment_streaming
+        if durable:
             runtime.checkpoint_dir = tempfile.mkdtemp(
                 prefix=f"ritm-ckpt-{runtime.spec_name}-"
             )
@@ -273,14 +331,52 @@ class RAActor:
         runtime.client = attach_agent_to_cas(
             agent, [state.ca], state.cdn, runtime.location
         )
-        runtime.pending_restore = fault.durable
-        runtime.crashed_mode = "durable" if fault.durable else "cold"
+        runtime.client.segment_streaming = streaming
+        runtime.pending_restore = durable
+        runtime.crashed_mode = mode or ("durable" if durable else "cold")
+        runtime.egress_baseline = state.cdn.origin_bytes_by_source.get(
+            runtime.spec_name, 0
+        )
         state.event(
             period,
             "ra-crash",
             f"{runtime.spec_name} crashed "
-            f"({'durable checkpoint on disk' if fault.durable else 'memory lost'})",
+            f"({'durable checkpoint on disk' if durable else 'memory lost'})",
         )
+
+    def _anti_entropy_catch_up(self, period: int, now: float):
+        """Catch a region-restored agent up from its nearest healthy peer.
+
+        The peer ranking comes straight from the replication layer:
+        regional proximity first, then link similarity, so a restored RA
+        prefers a survivor one hop away over a cross-continent one.  The
+        peer sync's :class:`~repro.ritm.dissemination.PullResult` lands in
+        the client's own pull history; here we only pick the peer, run the
+        sync, and log the outcome.
+        """
+        state, runtime = self.engine.state, self.runtime
+        candidates = [
+            other
+            for other in state.runtimes
+            if other is not runtime and other.crashed_mode is None
+        ]
+        if not candidates:
+            return "", None
+        ranked = rank_peers(
+            runtime.location, [(other.spec_name, other.location) for other in candidates]
+        )
+        by_name = {other.spec_name: other for other in candidates}
+        peer = by_name[ranked[0]]
+        peer_result = runtime.client.sync_from_peer(peer.client, now)
+        state.event(
+            period,
+            "anti-entropy",
+            f"{runtime.spec_name} caught up from {peer.spec_name}: "
+            f"{peer_result.segments_from_peer} segment(s), "
+            f"{peer_result.serials_applied} serial(s), "
+            f"{peer_result.cold_sync_fallbacks} cold-sync fallback(s)",
+        )
+        return peer.spec_name, peer_result
 
     # -- client handshake load -------------------------------------------------------
 

@@ -172,6 +172,10 @@ def build_checks(state: RunState, extras: Dict[str, object]) -> List[ScenarioChe
             )
     if "crash_recovery" in extras:
         checks.extend(crash_checks(extras["crash_recovery"]))
+    if "replication" in extras:
+        checks.extend(
+            region_outage_checks(extras["replication"], cfg.attack_window_seconds())
+        )
     if cfg.gossip_audit and "gossip_audit" in extras:
         audit = extras["gossip_audit"]
         checks.append(
@@ -325,6 +329,53 @@ def crash_checks(study: Dict[str, object]) -> List[ScenarioCheck]:
             )
         )
     return checks
+
+
+def region_outage_checks(
+    study: Dict[str, object], bound: float
+) -> List[ScenarioCheck]:
+    """Pass/fail assertions derived from the region-outage study."""
+    survivors = study["survivors"]
+    restored = study["restored_agents"]
+    worst_survivor = max(
+        (agent["max_lag_seconds"] for agent in survivors.values()), default=0.0
+    )
+    return [
+        ScenarioCheck(
+            "peers-absorb-within-2delta",
+            bool(survivors) and worst_survivor <= bound,
+            f"worst surviving-RA lag {worst_survivor:.1f}s vs bound {bound}s "
+            f"through the {study['failed_region']} outage",
+        ),
+        ScenarioCheck(
+            "ca-egress-less-than-N-cold-syncs",
+            bool(restored)
+            and study["recovery_origin_bytes"] < study["cold_sync_bytes_fleet"],
+            f"recovery cost the CA origin {study['recovery_origin_bytes']} B vs "
+            f"{study['cold_sync_bytes_fleet']} B for {len(restored)} cold sync(s)",
+        ),
+        ScenarioCheck(
+            "restored-ra-syncs-from-peer",
+            bool(restored)
+            and all(
+                agent.get("segments_from_peer", 0) >= 1
+                and agent.get("cold_sync_fallbacks", 0) == 0
+                for agent in restored.values()
+            ),
+            ", ".join(
+                f"{name}: {agent.get('segments_from_peer', 0)} segment(s) "
+                f"from {agent.get('peer', '?')}"
+                for name, agent in restored.items()
+            )
+            or "no agent restored",
+        ),
+        ScenarioCheck(
+            "verdicts-match-unsharded-oracle",
+            study["verdict_mismatches"] == 0 and study["verdicts_checked"] > 0,
+            f"{study['verdicts_checked']} verdict(s), "
+            f"{study['verdict_mismatches']} mismatch(es)",
+        ),
+    ]
 
 
 def rotation_checks(study: Dict[str, object]) -> List[ScenarioCheck]:

@@ -166,10 +166,15 @@ class FleetEngine:
         state.oracle = self._build_oracle(duration)
         self.state = state
 
+        # A region-outage run streams WAL segments fleet-wide: every RA's
+        # normal pulls then build the segment cursors and archives that
+        # peer anti-entropy serves from after the outage.
+        streaming = any(fault.kind == "region-outage" for fault in cfg.faults)
         for index, spec in enumerate(cfg.effective_agents()):
             agent = RevocationAgent(spec.name, ritm_config)
             location = GeoLocation(spec.geo_region())
             client = attach_agent_to_cas(agent, [ca], cdn, location)
+            client.segment_streaming = streaming
             client.pull(now=setup_time + 1)
             state.runtimes.append(
                 AgentRuntime(
@@ -224,9 +229,11 @@ class FleetEngine:
                 chain_length=cfg.effective_chain_length(duration),
                 engine=cfg.store_engine,
             )
-        if any(fault.crash for fault in cfg.faults):
-            # Crash-recovery study: an always-in-memory oracle fed the same
-            # revocations, so the (possibly durable-engine) replicas'
+        if any(
+            fault.crash or fault.kind == "region-outage" for fault in cfg.faults
+        ):
+            # Crash-recovery and region-outage studies: an always-in-memory
+            # oracle fed the same revocations, so the recovered replicas'
             # post-recovery verdicts can be differentially checked.
             return CADictionary(
                 ca_name=cfg.ca_name,
@@ -328,6 +335,8 @@ class FleetEngine:
             extras["sharded_storage"] = studies.sharded_extras(state, end_time)
         if any(fault.crash for fault in cfg.faults):
             extras["crash_recovery"] = studies.crash_recovery_extras(state)
+        if any(fault.kind == "region-outage" for fault in cfg.faults):
+            extras["replication"] = studies.region_outage_extras(state)
         if any(fault.kind == "equivocating-ca" for fault in cfg.faults):
             extras["equivocation"] = studies.equivocation_extras(state)
         if cfg.key_rotation_periods:

@@ -105,6 +105,8 @@ def collect_metrics(state: RunState) -> Dict[str, object]:
     pulls = bytes_downloaded = freshness = issuances = serials = resyncs = errors = 0
     root_cache_hits = root_signatures_verified = 0
     stale_heads = replays = rotations_learned = 0
+    segments_applied = segments_from_peer = segment_bytes = 0
+    peer_syncs = cold_fallbacks = segments_rejected = 0
     latencies: List[float] = []
     per_agent: Dict[str, Dict[str, object]] = {}
     for runtime in state.runtimes:
@@ -124,6 +126,12 @@ def collect_metrics(state: RunState) -> Dict[str, object]:
         stale_heads += sum(pull.stale_heads_ignored for pull in history)
         replays += sum(pull.replays_rejected for pull in history)
         rotations_learned += sum(pull.key_rotations_applied for pull in history)
+        segments_applied += sum(pull.segments_applied for pull in history)
+        segments_from_peer += sum(pull.segments_from_peer for pull in history)
+        segment_bytes += sum(pull.segment_bytes_downloaded for pull in history)
+        peer_syncs += sum(pull.peer_syncs for pull in history)
+        cold_fallbacks += sum(pull.cold_sync_fallbacks for pull in history)
+        segments_rejected += sum(pull.segments_rejected for pull in history)
         if state.config.sharded:
             replicas = runtime.agent.shard_replicas(ca.name)
             per_agent[runtime.spec_name] = {
@@ -187,6 +195,21 @@ def collect_metrics(state: RunState) -> Dict[str, object]:
             if state.config.sharded
             else {}
         ),
+        **(
+            {
+                "replication": {
+                    "segments_published": ca.replication.segments_published,
+                    "segments_applied": segments_applied,
+                    "segments_from_peer": segments_from_peer,
+                    "segment_bytes_downloaded": segment_bytes,
+                    "peer_syncs": peer_syncs,
+                    "cold_sync_fallbacks": cold_fallbacks,
+                    "segments_rejected": segments_rejected,
+                }
+            }
+            if any(f.kind == "region-outage" for f in state.config.faults)
+            else {}
+        ),
         "attack_window": {
             "bound_seconds": state.config.attack_window_seconds(),
             "max_lag_seconds": round(
@@ -217,7 +240,9 @@ def config_dict(state: RunState, duration: int) -> Dict[str, object]:
         "store_engine": cfg.store_engine,
         "agents": [f"{a.name}@{a.region}" for a in cfg.agents],
         "faults": [
-            f"{f.kind}@{f.at_period}+{f.duration_periods}" for f in cfg.faults
+            f"{f.kind}@{f.at_period}+{f.duration_periods}"
+            + (f"({f.region})" if f.region else "")
+            for f in cfg.faults
         ],
         "workload": cfg.workload.kind,
         "victim_host": cfg.victim_host,

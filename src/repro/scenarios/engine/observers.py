@@ -155,6 +155,30 @@ class FaultInjector(EngineObserver):
         if equivocation is not None and period == equivocation.at_period:
             self._plant_equivocation(ctx, state, equivocation)
 
+        # Region outage: fail the region's CDN presence when the window
+        # opens and restore it when the window closes.  Both transitions
+        # happen at CA-duty time — before any pull of the period — so the
+        # first post-outage pulls already see the restored edges.
+        for fault in state.config.faults:
+            if fault.kind != "region-outage":
+                continue
+            region = fault.geo_region()
+            if period == fault.at_period:
+                state.cdn.fail_region(region)
+                state.event(
+                    period,
+                    "region-failed",
+                    f"region {region.value} down: edges offline, "
+                    f"traffic fails over to neighbours",
+                )
+            elif period == fault.at_period + fault.duration_periods:
+                state.cdn.restore_region(region)
+                state.event(
+                    period,
+                    "region-restored",
+                    f"region {region.value} back: edges cold, RAs restart",
+                )
+
     @staticmethod
     def _plant_equivocation(
         ctx: PeriodContext, state: RunState, fault: FaultSpec

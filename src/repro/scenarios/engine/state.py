@@ -61,6 +61,9 @@ class AgentRuntime:
     pending_restore: bool = False
     crashed_mode: Optional[str] = None
     recovery: Optional[Dict[str, object]] = None
+    #: Per-source CA-origin egress attributed to this agent at crash time,
+    #: so recovery cost can be measured as a delta (region-outage study).
+    egress_baseline: int = 0
 
     def pull_results(self) -> List[PullResult]:
         """Every pull this agent completed, across crash restarts."""
@@ -195,6 +198,22 @@ class RunState:
                 continue
             target = fault.agent or self.runtimes[-1].spec_name
             if runtime.spec_name == target:
+                return fault
+        return None
+
+    def region_outage_fault_for(
+        self, runtime: AgentRuntime, period: int
+    ) -> Optional[FaultSpec]:
+        """The ``region-outage`` fault keeping ``runtime`` down this period.
+
+        An agent is down when its own region is the failed one; RAs in
+        other regions ride out the outage (their CDN resolution never even
+        changes) and serve as anti-entropy peers afterwards.
+        """
+        for fault in self.config.faults:
+            if fault.kind != "region-outage" or not fault.covers(period):
+                continue
+            if runtime.location.region == fault.geo_region():
                 return fault
         return None
 

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 from repro.crypto import HashChain, KeyPair
 from repro.crypto.merkle import SortedMerkleTree
 from repro.dictionary.signed_root import SignedRoot
+from repro.dictionary.sync import SyncRequest
 from repro.net.clock import SimulatedClock
 from repro.pki import SerialNumber, TrustStore
 from repro.ritm import GossipExchange, build_close_to_client_deployment
@@ -259,6 +260,77 @@ def crash_recovery_extras(state: RunState) -> Dict[str, object]:
             "bytes_saved": coldstart["bytes_downloaded"] - warm["bytes_downloaded"],
         }
     return study
+
+
+def region_outage_extras(state: RunState) -> Dict[str, object]:
+    """The region-outage replication study results (docs/REPLICATION.md).
+
+    Per restored agent: its anti-entropy recovery record (peer, segments
+    relayed, bytes, CA-origin delta).  Fleet-wide: the survivors' worst
+    dissemination lag through the outage, the CA-origin cost of the whole
+    recovery versus what the same fleet would have paid in cold syncs, and
+    the crash-recovery-style differential verdict sweep of every restored
+    replica against the in-memory oracle.
+    """
+    ca = state.ca
+    fault = next(f for f in state.config.faults if f.kind == "region-outage")
+    region = fault.geo_region()
+    restored: Dict[str, object] = {}
+    survivors: Dict[str, object] = {}
+    mismatches = checked = 0
+    probe_values = [serial.value for _, serial in state.numbered]
+    absent_base = (max(probe_values, default=0) or DECOY_SERIAL) + 1
+    for runtime in state.runtimes:
+        if runtime.crashed_mode != "region":
+            survivors[runtime.spec_name] = {
+                "region": runtime.location.region.value,
+                "max_lag_seconds": runtime.max_lag_seconds,
+                "missed_pulls": runtime.missed_pulls,
+            }
+            continue
+        restored[runtime.spec_name] = dict(
+            runtime.recovery or {"mode": "region"}
+        )
+        replica = runtime.agent.replica_for(ca.name)
+        if replica is None or replica.signed_root is None:
+            mismatches += 1
+            continue
+        for value in probe_values:
+            serial = SerialNumber(value)
+            checked += 1
+            if replica.prove(serial).is_revoked != state.oracle.contains(serial):
+                mismatches += 1
+        for offset in range(5):
+            probe = SerialNumber(absent_base + offset)
+            checked += 1
+            if replica.prove(probe).is_revoked or state.oracle.contains(probe):
+                mismatches += 1
+
+    # What the restored fleet's recovery actually cost the CA origin,
+    # versus the counterfactual where each restored RA cold-synced the
+    # full history straight from the CA.
+    request = SyncRequest(ca_name=ca.name, have_count=0)
+    cold_sync_bytes = request.encoded_size() + ca.sync_server.serve(
+        request
+    ).encoded_size()
+    recovery_origin_bytes = sum(
+        int(record.get("ca_origin_bytes", 0))
+        + int(record.get("fallback_bytes", 0))
+        for record in restored.values()
+    )
+    return {
+        "failed_region": region.value,
+        "outage_periods": fault.duration_periods,
+        "restored_agents": restored,
+        "survivors": survivors,
+        "verdicts_checked": checked,
+        "verdict_mismatches": mismatches,
+        "segments_published": ca.replication.segments_published,
+        "segment_bytes_published": ca.replication.bytes_published,
+        "cold_sync_bytes_each": cold_sync_bytes,
+        "cold_sync_bytes_fleet": cold_sync_bytes * len(restored),
+        "recovery_origin_bytes": recovery_origin_bytes,
+    }
 
 
 def key_rotation_extras(state: RunState) -> Dict[str, object]:

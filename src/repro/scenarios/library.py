@@ -1,6 +1,6 @@
 """The built-in scenario library.
 
-Fifteen scenarios ship with the engine.  Four re-express the original
+Sixteen scenarios ship with the engine.  Four re-express the original
 ``examples/`` scripts (``quickstart``, ``heartbleed``, ``iot-long-lived``,
 ``ca-audit-gossip``); five are new workloads the declarative engine makes
 cheap (``flash-crowd`` with a store-engine comparison, ``degraded-ra``
@@ -13,12 +13,15 @@ adversarial control-plane matrix of docs/THREATS.md (``replayed-head``
 re-presenting captured signed state, ``rotated-ca-key`` driving scheduled
 key rotation plus a retired-key forgery, and ``equivocating-ca`` planting a
 split-world view at one region's CDN edges for the gossip ring to catch);
-and three exercise the fleet engine's concurrency model
+three exercise the fleet engine's concurrency model
 (``thundering-herd`` slamming an expanded jittered fleet plus client load
 into one mass-revocation period, ``staggered-pulls`` spreading the fleet's
 pull offsets across the period to flatten the CDN peak, and
 ``slow-ra-holb`` pinning one RA behind a stalled uplink to show the event
-loop has no head-of-line blocking).
+loop has no head-of-line blocking); and ``region-outage`` kills a whole
+region mid-run — CDN edges and RAs alike — to prove the WAL-segment
+replication stream and RA→RA anti-entropy recover the fleet without a
+cold-sync storm at the CA origin (docs/REPLICATION.md).
 
 Each scenario is a plain :class:`~repro.scenarios.config.ScenarioConfig`;
 adding a new one is a ~30-line :func:`~repro.scenarios.registry.register`
@@ -709,6 +712,80 @@ STAGGERED_PULLS = register(
             },
         },
         tags=("fleet", "concurrency", "operations"),
+    )
+)
+
+REGION_OUTAGE = register(
+    ScenarioConfig(
+        name="region-outage",
+        title="Region outage: WAL-segment replication and RA→RA anti-entropy",
+        summary=(
+            "An entire region — CDN edges and both of its RAs — goes dark "
+            "for four periods while revocations keep flowing; surviving "
+            "regions absorb the failed-over traffic inside the 2Δ bound, "
+            "and the restored RAs catch up peer-to-peer from archived WAL "
+            "segments instead of cold-syncing from the CA origin."
+        ),
+        description=(
+            "The replication story of docs/REPLICATION.md end to end: every "
+            "RA runs in segment-streaming mode, so each pull ships the CA's "
+            "signed, sequence-numbered WAL segments and leaves a verified "
+            "segment archive behind. At the fault period the European "
+            "region fails wholesale — its CDN presence is withdrawn (DNS "
+            "fails surviving traffic over to the nearest healthy region) "
+            "and every RA in the region crashes with its checkpoint on "
+            "disk. Survivors keep pulling through neighbour edges and stay "
+            "inside the 2Δ provability bound. When the region returns, "
+            "each restored RA warm-starts from its checkpoint, ranks the "
+            "survivors by regional proximity, and replays the missed "
+            "segments from its nearest peer's archive — the CA origin "
+            "never serves a full cold sync. The report differentially "
+            "checks every restored verdict against an in-memory oracle and "
+            "pins the CA-egress saving against the N-cold-syncs "
+            "counterfactual."
+        ),
+        delta_seconds=30,
+        duration_periods=16,
+        agents=(
+            AgentSpec("eu-frankfurt-ra", "EUROPE"),
+            AgentSpec("eu-dublin-ra", "EUROPE"),
+            AgentSpec("us-east-ra", "UNITED_STATES"),
+            AgentSpec("ap-tokyo-ra", "JAPAN"),
+        ),
+        workload=WorkloadSpec(
+            kind="scripted",
+            events=tuple(
+                RevocationEvent(at_period=period, count=30, reason="steady stream")
+                for period in range(16)
+            ),
+        ),
+        faults=(
+            FaultSpec(
+                kind="region-outage",
+                at_period=6,
+                duration_periods=4,
+                region="EUROPE",
+            ),
+        ),
+        store_engine="durable",
+        smoke_overrides={
+            "duration_periods": 10,
+            "workload": {
+                "events": tuple(
+                    RevocationEvent(at_period=period, count=12, reason="steady stream")
+                    for period in range(10)
+                )
+            },
+            "faults": (
+                FaultSpec(
+                    kind="region-outage",
+                    at_period=4,
+                    duration_periods=3,
+                    region="EUROPE",
+                ),
+            ),
+        },
+        tags=("fault", "replication", "fleet", "storage"),
     )
 )
 

@@ -55,6 +55,18 @@ CACHE_METRIC_KEYS = (
     "hit_rate",
 )
 
+#: The pinned keys of ``metrics["replication"]`` — the WAL-segment
+#: streaming accounting, present only in region-outage reports.
+REPLICATION_METRIC_KEYS = (
+    "segments_published",
+    "segments_applied",
+    "segments_from_peer",
+    "segment_bytes_downloaded",
+    "peer_syncs",
+    "cold_sync_fallbacks",
+    "segments_rejected",
+)
+
 #: The pinned keys of ``metrics["fleet"]`` — the event engine's per-run
 #: concurrency accounting, present in every report.
 FLEET_METRIC_KEYS = (

@@ -24,6 +24,7 @@ COVERED_FILES = sorted(
         SRC / "ritm" / "dissemination.py",
         SRC / "ritm" / "persistence.py",
         SRC / "ritm" / "consistency.py",
+        SRC / "ritm" / "replication.py",
         SRC / "dictionary" / "sharding.py",
         SRC / "tls" / "connection.py",
         SRC / "cdn" / "edge.py",

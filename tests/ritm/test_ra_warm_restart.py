@@ -8,6 +8,8 @@ never into serving unsigned state.
 """
 
 import json
+import struct
+import zlib
 
 import pytest
 
@@ -21,7 +23,11 @@ from repro.ritm import (
     RevocationAgent,
     attach_agent_to_cas,
 )
-from repro.ritm.persistence import MANIFEST_FILENAME, load_checkpoint
+from repro.ritm.persistence import (
+    MANIFEST_FILENAME,
+    REPLICA_MAGIC,
+    load_checkpoint,
+)
 
 
 def build_stack(engine="incremental", sharded=False, tmp=None):
@@ -347,3 +353,135 @@ class TestShardedCheckpoint:
         serial, expiry = pairs[0]
         replica = restored_agent.replica_for_certificate(ca.name, expiry)
         assert replica is not None and replica.contains(serial)
+
+
+class TestCheckpointFormatEvolution:
+    """The replica-file format version gate (docs/STORAGE.md).
+
+    Format 1 is the pre-extension layout still found in old checkpoints: it
+    must keep warm-starting byte-for-byte.  Format 2 adds skip-unknown typed
+    extension blocks between the leaf dump and the CRC, so a checkpoint
+    written by a *newer* build still restores here.  Anything else — unknown
+    versions, blocks in a format-1 file, truncated blocks — must fail
+    structurally, not half-restore.
+    """
+
+    def _checkpointed_stack(self, tmp_path):
+        config, ca, cdn, agent, client = build_stack()
+        issue_and_pull(ca, client, 120, periods=3)
+        client.checkpoint(tmp_path)
+        return config, ca, cdn, agent
+
+    def _replica_file(self, tmp_path):
+        manifest = json.loads((tmp_path / MANIFEST_FILENAME).read_text())
+        return tmp_path / manifest["replicas"][0]["file"]
+
+    @staticmethod
+    def _reseal(body: bytes) -> bytes:
+        """``body`` (sans CRC) with a freshly computed trailing CRC32."""
+        return body + struct.pack(">I", zlib.crc32(body))
+
+    def _rewrite_version(self, data: bytes, version: int) -> bytes:
+        body = bytearray(data[:-4])
+        struct.pack_into(">H", body, len(REPLICA_MAGIC), version)
+        return self._reseal(bytes(body))
+
+    def _restore_into_fresh_agent(self, config, ca, cdn, tmp_path):
+        agent = RevocationAgent("ra-under-test", config)
+        client = attach_agent_to_cas(agent, [ca], cdn, GeoLocation(Region.EUROPE))
+        return agent, client, client.restore(tmp_path)
+
+    def test_legacy_format1_checkpoint_warm_restores(self, tmp_path):
+        """A checkpoint downgraded to the exact pre-extension format-1 layout
+        (version field + manifest, no trailing blocks) restores warm."""
+        config, ca, cdn, agent = self._checkpointed_stack(tmp_path)
+        replica_file = self._replica_file(tmp_path)
+        replica_file.write_bytes(
+            self._rewrite_version(replica_file.read_bytes(), 1)
+        )
+        manifest_path = tmp_path / MANIFEST_FILENAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = 1
+        manifest_path.write_text(json.dumps(manifest))
+
+        legacy = load_checkpoint(tmp_path)
+        assert legacy.replicas[0].extensions == {}
+        restored_agent, restored_client, restored = self._restore_into_fresh_agent(
+            config, ca, cdn, tmp_path
+        )
+        assert restored == 1
+        original = agent.replica_for(ca.name)
+        warm = restored_agent.replica_for(ca.name)
+        assert warm.root() == original.root()
+        assert warm.size == original.size
+        assert warm.signed_root == original.signed_root
+
+        # the warm restart still delta-fetches, exactly like a format-2 one
+        ca.revoke([SerialNumber(9300)], now=300)
+        result = restored_client.pull(now=305)
+        assert result.serials_applied == 1
+        assert result.resyncs == 0 and not result.errors
+        for a in (agent, restored_agent):
+            a.close()
+        ca.close()
+
+    def test_unknown_extension_block_is_skipped_not_fatal(self, tmp_path):
+        """A format-2 file carrying a block type this build has never heard
+        of (a future field) loads, preserves the block, and restores warm."""
+        config, ca, cdn, agent = self._checkpointed_stack(tmp_path)
+        replica_file = self._replica_file(tmp_path)
+        body = bytearray(replica_file.read_bytes()[:-4])
+        future_block = b"from-a-newer-build"
+        body += struct.pack(">BI", 0xEE, len(future_block)) + future_block
+        replica_file.write_bytes(self._reseal(bytes(body)))
+
+        loaded = load_checkpoint(tmp_path)
+        assert loaded.replicas[0].extensions == {0xEE: future_block}
+        restored_agent, _, restored = self._restore_into_fresh_agent(
+            config, ca, cdn, tmp_path
+        )
+        assert restored == 1
+        assert (
+            restored_agent.replica_for(ca.name).root()
+            == agent.replica_for(ca.name).root()
+        )
+        for a in (agent, restored_agent):
+            a.close()
+        ca.close()
+
+    def test_format1_file_rejects_trailing_extension_bytes(self, tmp_path):
+        """Format 1 predates extension blocks: trailing bytes are corruption
+        there, never silently skipped."""
+        config, ca, cdn, agent = self._checkpointed_stack(tmp_path)
+        replica_file = self._replica_file(tmp_path)
+        body = bytearray(self._rewrite_version(replica_file.read_bytes(), 1)[:-4])
+        body += struct.pack(">BI", 0xEE, 4) + b"ext!"
+        replica_file.write_bytes(self._reseal(bytes(body)))
+        with pytest.raises(StorageError, match="trailing bytes"):
+            load_checkpoint(tmp_path)
+        agent.close()
+        ca.close()
+
+    def test_unsupported_replica_version_is_rejected(self, tmp_path):
+        config, ca, cdn, agent = self._checkpointed_stack(tmp_path)
+        replica_file = self._replica_file(tmp_path)
+        replica_file.write_bytes(
+            self._rewrite_version(replica_file.read_bytes(), 3)
+        )
+        with pytest.raises(StorageError, match="format 3"):
+            load_checkpoint(tmp_path)
+        agent.close()
+        ca.close()
+
+    def test_truncated_extension_block_is_rejected(self, tmp_path):
+        """A block header whose declared length runs past the CRC must fail
+        structurally rather than swallow the checksum as block body."""
+        config, ca, cdn, agent = self._checkpointed_stack(tmp_path)
+        replica_file = self._replica_file(tmp_path)
+        body = bytearray(replica_file.read_bytes()[:-4])
+        body += struct.pack(">BI", 0xEE, 1000) + b"short"
+        replica_file.write_bytes(self._reseal(bytes(body)))
+        with pytest.raises(StorageError, match="truncated"):
+            load_checkpoint(tmp_path)
+        agent.close()
+        ca.close()

@@ -8,6 +8,7 @@ from repro.scenarios import (
     CACHE_METRIC_KEYS,
     DISSEMINATION_METRIC_KEYS,
     FLEET_METRIC_KEYS,
+    REPLICATION_METRIC_KEYS,
     REPORT_SCHEMA_KEYS,
     all_scenarios,
     get,
@@ -41,6 +42,12 @@ def test_report_schema_is_pinned(name):
         assert tuple(sorted(section)) == tuple(sorted(CACHE_METRIC_KEYS))
     fleet = payload["metrics"]["fleet"]
     assert tuple(sorted(fleet)) == tuple(sorted(FLEET_METRIC_KEYS))
+    # the replication block appears iff the scenario injects a region outage
+    if any(fault.startswith("region-outage") for fault in payload["config"]["faults"]):
+        replication = payload["metrics"]["replication"]
+        assert tuple(sorted(replication)) == tuple(sorted(REPLICATION_METRIC_KEYS))
+    else:
+        assert "replication" not in payload["metrics"]
     assert fleet["scheduler_events_processed"] > 0
     assert fleet["fleet_size"] == len(payload["metrics"]["agents"])
     # the whole report must survive a JSON round trip
@@ -195,6 +202,38 @@ def test_sharded_run_converges_across_window_boundary():
     )
     report = run_scenario(config)
     assert report.all_checks_passed, [c.name for c in report.failed_checks()]
+
+
+def test_region_outage_restores_via_peer_anti_entropy():
+    report = report_for("region-outage")
+    assert report.all_checks_passed, [c.name for c in report.failed_checks()]
+    check_names = {check.name for check in report.checks}
+    assert {
+        "peers-absorb-within-2delta",
+        "ca-egress-less-than-N-cold-syncs",
+        "restored-ra-syncs-from-peer",
+        "verdicts-match-unsharded-oracle",
+    } <= check_names
+
+    study = report.extras["replication"]
+    assert study["failed_region"] == "Europe"
+    assert study["verdicts_checked"] > 0
+    assert study["verdict_mismatches"] == 0
+    assert study["recovery_origin_bytes"] < study["cold_sync_bytes_fleet"]
+    assert study["restored_agents"]
+    for record in study["restored_agents"].values():
+        assert record["peer"]  # caught up from a named healthy peer
+        assert record["segments_from_peer"] >= 1
+        assert record["cold_sync_fallbacks"] == 0
+    for survivor in study["survivors"].values():
+        assert survivor["region"] != study["failed_region"]
+
+    replication = report.metrics["replication"]
+    assert replication["segments_published"] >= 1
+    assert replication["segments_from_peer"] >= 1
+    assert replication["cold_sync_fallbacks"] == 0
+    kinds = {event["kind"] for event in report.events}
+    assert {"region-failed", "region-restored", "anti-entropy"} <= kinds
 
 
 def test_tampered_cdn_recovers_via_resync():
