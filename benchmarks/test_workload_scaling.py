@@ -1,0 +1,146 @@
+"""Workload-generator scaling benchmark: throughput and memory vs clients.
+
+Drains a fixed-length streamed trace (50k events) at 10^4, 10^5, and 10^6
+modelled clients and records events/second, the tracemalloc allocation peak
+of the generation loop, and the process high-water RSS for each point in
+``benchmarks/results/workload_scaling.json`` (plus a rendered ``.txt``
+table).  The headline assertion is **client-count independence**: the
+generator materialises O(batch) state, so the tracemalloc peak at a
+million clients must stay within 2x of the 10^4-client peak (RSS is
+recorded for context only — it is a process-wide, allocator-dependent
+number).
+
+``RITM_BENCH_FULL=1`` additionally drains the soak scenario's full-scale
+trace — one million clients over thirty simulated days — and records its
+throughput alongside the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+import tracemalloc
+
+from bench_harness import write_json_result, write_result
+
+from repro.analysis.reporting import format_table
+from repro.workloads.streaming import (
+    DAY_SECONDS,
+    EVENT_BYTES,
+    StreamConfig,
+    StreamingWorkload,
+)
+
+#: Modelled client-population sweep at a fixed 50k-event trace.
+CLIENT_POINTS = (10_000, 100_000, 1_000_000)
+EVENTS_TOTAL = 50_000
+BATCH_SIZE = 8_192
+
+#: Allocation-peak ratio allowed between the largest and smallest point.
+MEMORY_INDEPENDENCE_BOUND = 2.0
+
+
+def _drain(config: StreamConfig) -> dict:
+    """One sweep point: drain the trace, measure time and allocation."""
+    workload = StreamingWorkload(config)
+    tracemalloc.start()
+    started = time.perf_counter()
+    events = 0
+    for batch in workload.batches():
+        events += len(batch.times)
+        for site in batch.sites:
+            workload.site_profile(site)
+    wall_seconds = time.perf_counter() - started
+    _, alloc_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert events == config.events_total
+    return {
+        "clients": config.clients,
+        "sites": config.sites,
+        "events_total": config.events_total,
+        "batch_size": config.batch_size,
+        "wall_clock_seconds": round(wall_seconds, 4),
+        "events_per_second": round(events / wall_seconds, 1),
+        "peak_batch_bytes": workload.peak_batch_bytes,
+        "batch_budget_bytes": EVENT_BYTES * config.batch_size,
+        "generator_footprint_bytes": workload.footprint_bytes(),
+        "tracemalloc_peak_bytes": alloc_peak,
+        "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def test_workload_scaling_memory_is_client_count_independent():
+    """Sweep the client population and pin O(batch) memory behaviour."""
+    samples = []
+    for clients in CLIENT_POINTS:
+        config = StreamConfig(
+            clients=clients,
+            sites=2_000,
+            events_total=EVENTS_TOTAL,
+            duration_seconds=DAY_SECONDS,
+            batch_size=BATCH_SIZE,
+            seed=404,
+        )
+        samples.append(_drain(config))
+
+    full_point = None
+    if os.environ.get("RITM_BENCH_FULL"):
+        full_point = _drain(
+            StreamConfig(
+                clients=1_000_000,
+                sites=40_000,
+                events_total=150_000,
+                duration_seconds=30 * DAY_SECONDS,
+                batch_size=BATCH_SIZE,
+                seed=404,
+            )
+        )
+
+    smallest, largest = samples[0], samples[-1]
+    alloc_ratio = (
+        largest["tracemalloc_peak_bytes"] / smallest["tracemalloc_peak_bytes"]
+    )
+    payload = {
+        "events_total": EVENTS_TOTAL,
+        "batch_size": BATCH_SIZE,
+        "samples": samples,
+        "allocation_peak_ratio_100x_clients": round(alloc_ratio, 3),
+        "memory_independence_bound": MEMORY_INDEPENDENCE_BOUND,
+        "full_scale": full_point,
+    }
+    write_json_result("workload_scaling", payload)
+
+    rows = [
+        (
+            f"{s['clients']:,}",
+            f"{s['events_per_second']:,.0f}",
+            f"{s['peak_batch_bytes']:,} B",
+            f"{s['tracemalloc_peak_bytes']:,} B",
+            f"{s['max_rss_kb']:,} kB",
+        )
+        for s in samples
+    ]
+    text = format_table(
+        ["clients", "events/s", "peak batch", "alloc peak", "max RSS"],
+        rows,
+        title=f"streaming workload generator ({EVENTS_TOTAL:,} events)",
+    )
+    text += (
+        f"\n100x clients move the allocation peak {alloc_ratio:.2f}x "
+        f"(bound {MEMORY_INDEPENDENCE_BOUND}x)"
+    )
+    if full_point:
+        text += (
+            f"\nfull scale: {full_point['clients']:,} clients / 30 days -> "
+            f"{full_point['events_per_second']:,.0f} events/s, "
+            f"max RSS {full_point['max_rss_kb']:,} kB"
+        )
+    write_result("workload_scaling", text)
+
+    for sample in samples:
+        assert sample["peak_batch_bytes"] <= sample["batch_budget_bytes"]
+    assert alloc_ratio < MEMORY_INDEPENDENCE_BOUND, (
+        f"generation allocation grew with the client count: "
+        f"{alloc_ratio:.2f}x across a 100x population sweep"
+    )

@@ -241,6 +241,51 @@ class WorkloadSpec:
 
 
 @dataclass(frozen=True)
+class ClientStreamSpec:
+    """Streamed client-hello load served by the RA fleet (soak scenarios).
+
+    Declares a :class:`repro.workloads.streaming.StreamConfig`-shaped trace —
+    Zipf site popularity, diurnal timing, certificate-lifetime mix — that the
+    engine's ``ClientLoadActor`` walks in ``O(batch_size)`` memory.  Mutually
+    exclusive with the legacy evenly-spread :attr:`ScenarioConfig.client_handshakes`
+    knob.
+    """
+
+    #: Distinct clients in the simulated population.
+    clients: int
+    #: Distinct sites ranked by Zipf popularity.
+    sites: int
+    #: Total client-hello events across the run.
+    events_total: int
+    #: Zipf popularity exponent.
+    zipf_exponent: float = 1.1
+    #: Diurnal intensity swing (must stay below 1.0).
+    diurnal_amplitude: float = 0.7
+    #: Events buffered per compact-array batch (the memory knob).
+    batch_size: int = 8192
+    #: Seed for the stream (independent of the engine's ``rng_seed`` so the
+    #: trace is stable under scheduling-seed sweeps).
+    seed: int = 404
+
+    def __post_init__(self) -> None:
+        """Validate the stream shape eagerly (mirrors ``StreamConfig``)."""
+        if self.clients < 1:
+            raise ConfigurationError("client_stream.clients must be >= 1")
+        if self.sites < 1:
+            raise ConfigurationError("client_stream.sites must be >= 1")
+        if self.events_total < 1:
+            raise ConfigurationError("client_stream.events_total must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigurationError("client_stream.batch_size must be >= 1")
+        if self.zipf_exponent <= 0.0:
+            raise ConfigurationError("client_stream.zipf_exponent must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ConfigurationError(
+                "client_stream.diurnal_amplitude must be in [0, 1)"
+            )
+
+
+@dataclass(frozen=True)
 class AgentSpec:
     """One Revocation Agent in the deployment: its name and CDN region."""
 
@@ -343,6 +388,13 @@ class ScenarioConfig:
     #: Total client status handshakes served across the run, spread evenly
     #: over periods and the RA fleet (0 disables client load).
     client_handshakes: int = 0
+    #: Streamed Zipf/diurnal client load (see :class:`ClientStreamSpec`);
+    #: mutually exclusive with :attr:`client_handshakes`.
+    client_stream: "ClientStreamSpec | None" = None
+    #: Serve steady-state RA pulls from verified WAL segments (the
+    #: docs/REPLICATION.md transport) instead of per-pull batch objects,
+    #: exercising segment replication without needing a region-outage fault.
+    segment_streaming: bool = False
     #: Field overrides applied by :meth:`smoke` for fast CI runs.
     smoke_overrides: Mapping[str, Any] = field(default_factory=dict)
     tags: Tuple[str, ...] = ()
@@ -573,6 +625,22 @@ class ScenarioConfig:
                 "client handshake load is not supported for sharded "
                 "scenarios yet (status sampling needs the unsharded pool)"
             )
+        if self.client_stream is not None:
+            if self.client_handshakes:
+                raise ConfigurationError(
+                    "client_stream and client_handshakes are mutually "
+                    "exclusive ways to drive client load; set one"
+                )
+            if self.sharded:
+                raise ConfigurationError(
+                    "streamed client load is not supported for sharded "
+                    "scenarios yet (status sampling needs the unsharded pool)"
+                )
+        if self.segment_streaming and self.sharded:
+            raise ConfigurationError(
+                "segment streaming is not supported for sharded scenarios "
+                "(the CA publishes a replication log only in unsharded mode)"
+            )
 
     # -- derived values ------------------------------------------------------------
 
@@ -611,12 +679,21 @@ class ScenarioConfig:
         """A re-validated copy with the given fields replaced.
 
         ``workload`` may be given as a dict of :class:`WorkloadSpec` field
-        overrides instead of a full spec.
+        overrides instead of a full spec, and ``client_stream`` likewise as a
+        dict of :class:`ClientStreamSpec` field overrides.
         """
         if isinstance(overrides.get("workload"), Mapping):
             overrides = dict(overrides)
             overrides["workload"] = dataclasses.replace(
                 self.workload, **overrides["workload"]
+            )
+        if (
+            isinstance(overrides.get("client_stream"), Mapping)
+            and self.client_stream is not None
+        ):
+            overrides = dict(overrides)
+            overrides["client_stream"] = dataclasses.replace(
+                self.client_stream, **overrides["client_stream"]
             )
         return dataclasses.replace(self, **overrides)
 

@@ -35,6 +35,7 @@ from repro.ritm import RevocationAgent, attach_agent_to_cas
 from repro.ritm.replication import rank_peers
 from repro.scenarios.engine.mailbox import Message
 from repro.scenarios.engine.state import AgentRuntime, PendingProvability
+from repro.workloads.streaming import ClientEvent, uniform_slot_counts
 
 #: Serial space the absent-probe sampler draws from (3-byte serials).
 _SERIAL_SPACE = 256**3 - 1
@@ -384,7 +385,12 @@ class RAActor:
         """Process queued messages, serving client batches before the pull."""
         for message in self.runtime.mailbox.drain():
             if message.kind == "client-batch":
-                self._serve_clients(int(message.payload["count"]))
+                if "start" in message.payload:
+                    self._serve_stream(
+                        int(message.payload["start"]), int(message.payload["count"])
+                    )
+                else:
+                    self._serve_clients(int(message.payload["count"]))
 
     def _serve_clients(self, count: int) -> None:
         """Serve one batch of status handshakes against the pre-pull replica.
@@ -413,6 +419,50 @@ class RAActor:
         if triples:
             state.handshake_roots_verified += sum(verify_batch(triples))
 
+    def _serve_stream(self, start: int, count: int) -> None:
+        """Serve a contiguous slice of the streamed client-hello trace.
+
+        The message carries only a cursor and a count; the events themselves
+        are regenerated here from the run's shared
+        :class:`~repro.workloads.streaming.StreamingWorkload` in
+        ``O(batch_size)`` memory, so a million-client period never
+        materializes its client population.  Served statuses feed the same
+        counters and sampled batch-verification path as the legacy load.
+        """
+        engine, state, runtime = self.engine, self.engine.state, self.runtime
+        triples: List[Tuple[PublicKey, bytes, bytes]] = []
+        for event in state.client_stream.events(start, start + count):
+            serial = self._stream_serial(event)
+            try:
+                status = runtime.agent.build_status(state.ca.name, serial)
+            except (DictionaryError, DesynchronizedError):
+                continue
+            state.handshakes_served += 1
+            engine.handshake_counter += 1
+            if (
+                engine.verify_every
+                and engine.handshake_counter % engine.verify_every == 0
+            ):
+                root = status.signed_root
+                triples.append((state.ca.public_key, root.payload(), root.signature))
+        if triples:
+            state.handshake_roots_verified += sum(verify_batch(triples))
+
+    def _stream_serial(self, event: ClientEvent) -> SerialNumber:
+        """Status-query serial for one streamed event.
+
+        Every fifth event probes a serial the CA actually revoked (the
+        presence path through proofs and caches); the rest query the visited
+        site's own deterministic certificate serial, which is almost always
+        absent — the realistic steady state — and Zipf-concentrated, so the
+        hot-path caches see genuine popularity skew.
+        """
+        state = self.engine.state
+        if state.numbered and event.index % 5 == 0:
+            _, serial = state.numbered[(event.site + event.index) % len(state.numbered)]
+            return serial
+        return SerialNumber(state.client_stream.site_serial(event.site))
+
     def _sample_serial(self) -> SerialNumber:
         """Draw a status-query serial: 80 % issued, 20 % absent probes."""
         state = self.engine.state
@@ -428,28 +478,53 @@ class RAActor:
 
 
 class ClientLoadActor:
-    """Spreads the configured client-handshake total over periods and RAs.
+    """Schedules the run's client load over periods and the RA fleet.
 
     One drift-free recurring event per period, at the period's midpoint,
     posts a ``client-batch`` message into every RA's mailbox; the RA serves
     the batch when it next drains (normally at its pull, so clients always
     hit the pre-pull replica state — and a restarted RA visibly accumulates
     unserved batches).
+
+    Two load shapes share this actor.  The legacy
+    ``client_handshakes`` knob spreads a flat total evenly over every
+    (period, agent) slot — the original bespoke ``divmod`` loop, now
+    delegated to :func:`repro.workloads.streaming.uniform_slot_counts` and
+    byte-identical to it.  A ``client_stream`` config instead takes its
+    per-period totals from the streaming generator's diurnal schedule and
+    posts *cursors into the trace* rather than bare counts, so the messages
+    stay O(1) no matter how many clients the stream models.
     """
 
     def __init__(self, engine) -> None:
-        """Precompute the per-(period, agent) handshake counts."""
+        """Precompute the per-(period, agent) schedule for the load shape."""
         self.engine = engine
         state = engine.state
         cfg = state.config
         fleet = len(state.runtimes)
-        slots = len(state.periods) * fleet
-        base, remainder = divmod(cfg.client_handshakes, slots)
-        self._counts = [
-            base + (1 if slot < remainder else 0) for slot in range(slots)
-        ]
-        self._fleet = fleet
+        periods = len(state.periods)
         self._period = 0
+        if state.client_stream is not None:
+            delta = cfg.delta_seconds
+            first = state.periods[0][1]
+            boundaries = [first + p * delta for p in range(periods + 1)]
+            counts = state.client_stream.period_counts(boundaries)
+            self._plan: List[List[Tuple[int, int]]] = []
+            cursor = 0
+            for count in counts:
+                entries = []
+                for share in uniform_slot_counts(count, fleet):
+                    entries.append((cursor, share))
+                    cursor += share
+                self._plan.append(entries)
+            self._streamed = True
+        else:
+            counts = uniform_slot_counts(cfg.client_handshakes, periods * fleet)
+            self._plan = [
+                [(0, counts[period * fleet + index]) for index in range(fleet)]
+                for period in range(periods)
+            ]
+            self._streamed = False
 
     def start(self) -> None:
         """Schedule one mid-period batch posting per period."""
@@ -469,12 +544,12 @@ class ClientLoadActor:
         period = self._period
         self._period += 1
         for index, runtime in enumerate(state.runtimes):
-            count = self._counts[period * self._fleet + index]
-            if count:
-                runtime.mailbox.post(
-                    Message(
-                        kind="client-batch",
-                        posted_at=now,
-                        payload={"period": period, "count": count},
-                    )
-                )
+            start, count = self._plan[period][index]
+            if not count:
+                continue
+            payload = {"period": period, "count": count}
+            if self._streamed:
+                payload["start"] = start
+            runtime.mailbox.post(
+                Message(kind="client-batch", posted_at=now, payload=payload)
+            )

@@ -172,6 +172,8 @@ def build_checks(state: RunState, extras: Dict[str, object]) -> List[ScenarioChe
             )
     if "crash_recovery" in extras:
         checks.extend(crash_checks(extras["crash_recovery"]))
+    if "soak" in extras:
+        checks.extend(soak_checks(extras["soak"]))
     if "replication" in extras:
         checks.extend(
             region_outage_checks(extras["replication"], cfg.attack_window_seconds())
@@ -221,6 +223,17 @@ def fleet_checks(state: RunState) -> List[ScenarioCheck]:
                 "client-load-served",
                 state.handshakes_served == cfg.client_handshakes,
                 f"{state.handshakes_served}/{cfg.client_handshakes} handshakes "
+                f"served, {state.handshake_roots_verified} sampled root(s) "
+                f"re-verified",
+            )
+        )
+    if cfg.client_stream is not None:
+        total = cfg.client_stream.events_total
+        checks.append(
+            ScenarioCheck(
+                "client-load-served",
+                state.handshakes_served == total,
+                f"{state.handshakes_served}/{total} streamed handshakes "
                 f"served, {state.handshake_roots_verified} sampled root(s) "
                 f"re-verified",
             )
@@ -329,6 +342,51 @@ def crash_checks(study: Dict[str, object]) -> List[ScenarioCheck]:
             )
         )
     return checks
+
+
+def soak_checks(study: Dict[str, object]) -> List[ScenarioCheck]:
+    """Pass/fail assertions derived from the soak study (docs/WORKLOADS.md)."""
+    memory = study["memory"]
+    subsystems = study["subsystems"]
+    exercised = (
+        bool(subsystems["durable_wal"])
+        and bool(subsystems["segment_streaming"])
+        and subsystems["segments_applied"] > 0
+        and subsystems["proof_cache_hits"] > 0
+        and subsystems["root_cache_lookups"] > 0
+        and subsystems["handshakes_served"] == study["events_total"]
+        and subsystems["handshake_roots_verified"] > 0
+        and subsystems["revocations_issued"] > 0
+        and subsystems["resyncs"] == 0
+    )
+    return [
+        ScenarioCheck(
+            "soak-verdicts-match-oracle",
+            study["verdict_mismatches"] == 0 and study["verdicts_checked"] > 0,
+            f"{study['verdicts_checked']} verdict(s) across the fleet, "
+            f"{study['verdict_mismatches']} mismatch(es)",
+        ),
+        ScenarioCheck(
+            "memory-bounded",
+            bool(memory["bounded"]),
+            f"peak batch {memory['peak_batch_bytes']} B within "
+            f"{memory['batch_budget_bytes']} B; generator footprint "
+            f"{memory['footprint_bytes']} B within "
+            f"{memory['footprint_budget_bytes']} B for "
+            f"{memory['clients']} clients",
+        ),
+        ScenarioCheck(
+            "all-subsystems-exercised",
+            exercised,
+            f"{subsystems['store_engine']} engine, "
+            f"{subsystems['segments_applied']} WAL segment(s) applied, "
+            f"{subsystems['proof_cache_hits']} proof-cache hit(s), "
+            f"{subsystems['root_cache_lookups']} root-cache lookup(s), "
+            f"{subsystems['handshakes_served']} handshake(s), "
+            f"{subsystems['revocations_issued']} revocation(s), "
+            f"{subsystems['resyncs']} resync(s)",
+        ),
+    ]
 
 
 def region_outage_checks(

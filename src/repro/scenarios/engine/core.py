@@ -57,12 +57,14 @@ from repro.scenarios.engine.observers import (
     RotationRecorder,
     SessionKeeper,
     ShardedStorageRecorder,
+    SoakRecorder,
 )
 from repro.scenarios.engine.parallel import ParallelContext
 from repro.scenarios.engine.state import AgentRuntime, RunState, VictimRuntime
 from repro.scenarios.faults import DECOY_SERIAL
 from repro.scenarios.report import ScenarioReport
 from repro.workloads import generate_trace, serials_for_count
+from repro.workloads.streaming import StreamConfig, StreamingWorkload
 
 
 def build_timeline(
@@ -131,11 +133,10 @@ class FleetEngine:
         #: Running total of handshakes served, driving the sampled root
         #: re-verification (every ``verify_every``-th handshake).
         self.handshake_counter = 0
-        self.verify_every = (
-            max(1, config.client_handshakes // 400)
-            if config.client_handshakes
-            else 0
+        load_total = config.client_handshakes or (
+            config.client_stream.events_total if config.client_stream else 0
         )
+        self.verify_every = max(1, load_total // 400) if load_total else 0
         self._issued_set: Set[int] = set()
         self._issued_synced = 0
 
@@ -164,12 +165,31 @@ class FleetEngine:
             counts=counts,
         )
         state.oracle = self._build_oracle(duration)
+        if cfg.client_stream is not None:
+            spec = cfg.client_stream
+            state.client_stream = StreamingWorkload(
+                StreamConfig(
+                    clients=spec.clients,
+                    sites=spec.sites,
+                    events_total=spec.events_total,
+                    duration_seconds=duration * cfg.delta_seconds,
+                    start_time=periods[0][1],
+                    zipf_exponent=spec.zipf_exponent,
+                    diurnal_amplitude=spec.diurnal_amplitude,
+                    batch_size=spec.batch_size,
+                    seed=spec.seed,
+                )
+            )
         self.state = state
 
         # A region-outage run streams WAL segments fleet-wide: every RA's
         # normal pulls then build the segment cursors and archives that
-        # peer anti-entropy serves from after the outage.
-        streaming = any(fault.kind == "region-outage" for fault in cfg.faults)
+        # peer anti-entropy serves from after the outage.  A scenario can
+        # also opt in directly (the soak scenario's steady-state transport).
+        streaming = (
+            any(fault.kind == "region-outage" for fault in cfg.faults)
+            or cfg.segment_streaming
+        )
         for index, spec in enumerate(cfg.effective_agents()):
             agent = RevocationAgent(spec.name, ritm_config)
             location = GeoLocation(spec.geo_region())
@@ -229,12 +249,13 @@ class FleetEngine:
                 chain_length=cfg.effective_chain_length(duration),
                 engine=cfg.store_engine,
             )
-        if any(
-            fault.crash or fault.kind == "region-outage" for fault in cfg.faults
+        if (
+            any(fault.crash or fault.kind == "region-outage" for fault in cfg.faults)
+            or cfg.client_stream is not None
         ):
-            # Crash-recovery and region-outage studies: an always-in-memory
-            # oracle fed the same revocations, so the recovered replicas'
-            # post-recovery verdicts can be differentially checked.
+            # Crash-recovery, region-outage, and soak studies: an
+            # always-in-memory oracle fed the same revocations, so replica
+            # verdicts can be differentially checked after the run.
             return CADictionary(
                 ca_name=cfg.ca_name,
                 keys=KeyPair.generate(f"{cfg.name}-oracle".encode()),
@@ -260,13 +281,16 @@ class FleetEngine:
             ShardedStorageRecorder(),
             SessionKeeper(),
         ]
+        if cfg.client_stream is not None:
+            # Appended last so legacy observer ordering is untouched.
+            self.observers.append(SoakRecorder())
         # Registration order is the same-time tiebreaker: the director's
         # first firing precedes the fleet's first pulls, and the fleet is
         # seeded in declaration order.
         CADirector(self).start()
         for runtime in state.runtimes:
             RAActor(self, runtime).start()
-        if cfg.client_handshakes:
+        if cfg.client_handshakes or cfg.client_stream is not None:
             ClientLoadActor(self).start()
         self.scheduler.run_all()
         state.scheduler_events_processed = self.scheduler.processed_events
@@ -341,6 +365,8 @@ class FleetEngine:
             extras["equivocation"] = studies.equivocation_extras(state)
         if cfg.key_rotation_periods:
             extras["key_rotation"] = studies.key_rotation_extras(state)
+        if cfg.client_stream is not None:
+            extras["soak"] = studies.soak_extras(state)
 
         return ScenarioReport(
             scenario=cfg.name,

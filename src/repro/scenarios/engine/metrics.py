@@ -207,7 +207,10 @@ def collect_metrics(state: RunState) -> Dict[str, object]:
                     "segments_rejected": segments_rejected,
                 }
             }
-            if any(f.kind == "region-outage" for f in state.config.faults)
+            if (
+                any(f.kind == "region-outage" for f in state.config.faults)
+                or state.config.segment_streaming
+            )
             else {}
         ),
         "attack_window": {
@@ -267,6 +270,8 @@ def config_dict(state: RunState, duration: int) -> Dict[str, object]:
         ),
         "tags": list(cfg.tags),
     }
+    if cfg.segment_streaming:
+        base["segment_streaming"] = True
     fleet_active = bool(
         cfg.fleet_size
         or cfg.pull_stagger_seconds
@@ -274,6 +279,7 @@ def config_dict(state: RunState, duration: int) -> Dict[str, object]:
         or cfg.link_profile
         or cfg.link_overrides
         or cfg.client_handshakes
+        or cfg.client_stream is not None
         or cfg.parallelism != "serial"
     )
     if fleet_active:
@@ -287,4 +293,15 @@ def config_dict(state: RunState, duration: int) -> Dict[str, object]:
             "parallelism": cfg.parallelism,
             "client_handshakes": cfg.client_handshakes,
         }
+        if cfg.client_stream is not None:
+            spec = cfg.client_stream
+            base["fleet"]["client_stream"] = {
+                "clients": spec.clients,
+                "sites": spec.sites,
+                "events_total": spec.events_total,
+                "zipf_exponent": spec.zipf_exponent,
+                "diurnal_amplitude": spec.diurnal_amplitude,
+                "batch_size": spec.batch_size,
+                "seed": spec.seed,
+            }
     return base

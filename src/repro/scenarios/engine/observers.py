@@ -18,6 +18,8 @@ event timeline and every derived verdict stay pinned.
 from __future__ import annotations
 
 import random
+import resource
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -357,6 +359,49 @@ class ShardedStorageRecorder(EngineObserver):
                 ),
                 "ra_shard_count": len(replicas),
                 "baseline_storage_bytes": state.oracle.storage_size_bytes(),
+            }
+        )
+
+
+class SoakRecorder(EngineObserver):
+    """Append one memory/throughput sample per period of a soak run.
+
+    Registered only for ``client_stream`` scenarios.  Each sample mixes
+    deterministic counters (handshakes served, revocations, CA/RA storage,
+    the stream generator's own byte accounting) with informational process
+    measurements (wall-clock seconds, ``ru_maxrss``).  Verdict checks must
+    only consume the deterministic fields; the process fields exist for the
+    exported timeline artifact CI uploads.
+    """
+
+    def __init__(self) -> None:
+        """Start the wall clock lazily on the first period sample."""
+        self._wall_start: Optional[float] = None
+
+    def after_pulls(self, ctx: PeriodContext, state: RunState) -> None:
+        """Sample counters, storage, and memory at the period's pull time."""
+        if state.client_stream is None:
+            return
+        if self._wall_start is None:
+            self._wall_start = time.perf_counter()
+        stream = state.client_stream
+        replica_bytes = 0
+        for runtime in state.runtimes:
+            replica = runtime.agent.replica_for(state.ca.name)
+            if replica is not None:
+                replica_bytes += replica.storage_size_bytes()
+        state.soak_timeline.append(
+            {
+                "period": ctx.period,
+                "time": ctx.pull_time,
+                "handshakes_served": state.handshakes_served,
+                "revocations_issued": state.revocations_issued,
+                "ca_storage_bytes": state.ca.storage_size_bytes(),
+                "ra_storage_bytes": replica_bytes,
+                "stream_peak_batch_bytes": stream.peak_batch_bytes,
+                "stream_footprint_bytes": stream.footprint_bytes(),
+                "wall_seconds": round(time.perf_counter() - self._wall_start, 6),
+                "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
             }
         )
 

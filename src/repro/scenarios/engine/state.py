@@ -170,6 +170,14 @@ class RunState:
     handshakes_served: int = 0
     handshake_roots_verified: int = 0
     scheduler_events_processed: int = 0
+    #: The streamed client-load generator
+    #: (:class:`repro.workloads.streaming.StreamingWorkload`) when the config
+    #: declares a ``client_stream``; actors regenerate events from it in
+    #: ``O(batch_size)`` memory.
+    client_stream: Optional[object] = None
+    #: Per-period soak timeline samples (throughput, storage, memory) the
+    #: ``SoakRecorder`` observer appends for client-stream runs.
+    soak_timeline: List[Dict[str, object]] = field(default_factory=list)
 
     # -- helpers shared by actors and observers --------------------------------------
 

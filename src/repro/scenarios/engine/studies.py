@@ -25,6 +25,7 @@ from repro.ritm import GossipExchange, build_close_to_client_deployment
 from repro.scenarios.faults import DECOY_SERIAL
 from repro.scenarios.engine.state import AgentRuntime, RunState, VictimRuntime
 from repro.store import create_store
+from repro.workloads.streaming import EVENT_BYTES
 
 
 def setup_victim(state: RunState, now: float) -> Optional[VictimRuntime]:
@@ -492,3 +493,105 @@ def shard_replicas_converged(state: RunState, runtime: AgentRuntime) -> bool:
         if replica is None or shard is None or replica.size != shard.size:
             return False
     return True
+
+def soak_extras(state: RunState) -> Dict[str, object]:
+    """The soak-run study results (docs/WORKLOADS.md).
+
+    Three pinned verdict groups feed :func:`..checks.build_checks`:
+
+    * **differential correctness** — every revoked serial's verdict from
+      every RA's replica against the in-memory oracle, plus absent probes
+      (the ``soak-verdicts-match-oracle`` check);
+    * **memory accounting** — the stream generator's own deterministic byte
+      accounting against its ``O(sites + batch_size)`` budget (the
+      ``memory-bounded`` check; process RSS stays informational in the
+      timeline because it is not deterministic);
+    * **subsystem coverage** — proof the run actually exercised the durable
+      WAL engine, segment streaming, both hot-path caches, the batch
+      verifier, and the full configured client load (the
+      ``all-subsystems-exercised`` check).
+    """
+    cfg = state.config
+    ca = state.ca
+    spec = cfg.client_stream
+    stream = state.client_stream
+
+    mismatches = checked = 0
+    probe_values = [serial.value for _, serial in state.numbered]
+    absent_base = (max(probe_values, default=0) or DECOY_SERIAL) + 1
+    for runtime in state.runtimes:
+        replica = runtime.agent.replica_for(ca.name)
+        if replica is None or replica.signed_root is None:
+            mismatches += 1
+            continue
+        for value in probe_values:
+            serial = SerialNumber(value)
+            checked += 1
+            if replica.prove(serial).is_revoked != state.oracle.contains(serial):
+                mismatches += 1
+        for offset in range(5):
+            probe = SerialNumber(absent_base + offset)
+            checked += 1
+            if replica.prove(probe).is_revoked or state.oracle.contains(probe):
+                mismatches += 1
+
+    batch_budget = EVENT_BYTES * spec.batch_size
+    footprint_budget = 160 * spec.sites + (1 << 20)
+    peak_batch = stream.peak_batch_bytes
+    footprint = stream.footprint_bytes()
+    memory = {
+        "clients": spec.clients,
+        "batch_size": spec.batch_size,
+        "peak_batch_bytes": peak_batch,
+        "batch_budget_bytes": batch_budget,
+        "footprint_bytes": footprint,
+        "footprint_budget_bytes": footprint_budget,
+        "bounded": peak_batch <= batch_budget and footprint <= footprint_budget,
+    }
+
+    proof_hits = root_lookups = 0
+    segments_applied = segment_bytes = resyncs = 0
+    for runtime in state.runtimes:
+        proof_hits += runtime.agent.proof_cache.stats.hits
+        root_stats = runtime.agent.root_cache.stats
+        root_lookups += root_stats.hits + root_stats.misses
+        for pull in runtime.pull_results():
+            segments_applied += pull.segments_applied
+            segment_bytes += pull.segment_bytes_downloaded
+            resyncs += pull.resyncs
+    subsystems = {
+        "store_engine": cfg.store_engine,
+        "durable_wal": cfg.store_engine in ("durable", "durable-compact"),
+        "segment_streaming": cfg.segment_streaming,
+        "segments_published": ca.replication.segments_published,
+        "segments_applied": segments_applied,
+        "segment_bytes_downloaded": segment_bytes,
+        "proof_cache_hits": proof_hits,
+        "root_cache_lookups": root_lookups,
+        "resyncs": resyncs,
+        "handshakes_served": state.handshakes_served,
+        "handshake_roots_verified": state.handshake_roots_verified,
+        "revocations_issued": state.revocations_issued,
+    }
+
+    sample = state.soak_timeline[-1] if state.soak_timeline else {}
+    wall = float(sample.get("wall_seconds", 0.0)) or None
+    throughput = {
+        "handshakes_served": state.handshakes_served,
+        "wall_seconds": wall,
+        "events_per_second": (
+            round(state.handshakes_served / wall, 1) if wall else None
+        ),
+    }
+
+    return {
+        "clients": spec.clients,
+        "sites": spec.sites,
+        "events_total": spec.events_total,
+        "verdicts_checked": checked,
+        "verdict_mismatches": mismatches,
+        "memory": memory,
+        "subsystems": subsystems,
+        "throughput": throughput,
+        "timeline": state.soak_timeline,
+    }

@@ -1,6 +1,6 @@
 """The built-in scenario library.
 
-Sixteen scenarios ship with the engine.  Four re-express the original
+Seventeen scenarios ship with the engine.  Four re-express the original
 ``examples/`` scripts (``quickstart``, ``heartbleed``, ``iot-long-lived``,
 ``ca-audit-gossip``); five are new workloads the declarative engine makes
 cheap (``flash-crowd`` with a store-engine comparison, ``degraded-ra``
@@ -21,7 +21,11 @@ pull offsets across the period to flatten the CDN peak, and
 loop has no head-of-line blocking); and ``region-outage`` kills a whole
 region mid-run — CDN edges and RAs alike — to prove the WAL-segment
 replication stream and RA→RA anti-entropy recover the fleet without a
-cold-sync storm at the CA origin (docs/REPLICATION.md).
+cold-sync storm at the CA origin (docs/REPLICATION.md).  Finally, ``soak``
+streams a million-client Zipf/diurnal handshake trace through the fleet for
+thirty simulated days on the durable-compact engine with steady-state
+segment streaming, pinning differential verdicts against an in-memory
+oracle and the generator's bounded-memory contract (docs/WORKLOADS.md).
 
 Each scenario is a plain :class:`~repro.scenarios.config.ScenarioConfig`;
 adding a new one is a ~30-line :func:`~repro.scenarios.registry.register`
@@ -32,6 +36,7 @@ from __future__ import annotations
 
 from repro.scenarios.config import (
     AgentSpec,
+    ClientStreamSpec,
     FaultSpec,
     RevocationEvent,
     ScenarioConfig,
@@ -660,6 +665,91 @@ THUNDERING_HERD = register(
             },
         },
         tags=("fleet", "concurrency", "mass-revocation"),
+    )
+)
+
+SOAK = register(
+    ScenarioConfig(
+        name="soak",
+        title="Soak: a million streamed clients over thirty simulated days",
+        summary=(
+            "A six-RA fleet on the durable-compact engine serves a "
+            "million-client Zipf/diurnal handshake stream for 30 simulated "
+            "days of steady revocation churn, with RA pulls riding the WAL "
+            "segment-replication transport; the report pins differential "
+            "verdicts against an in-memory oracle, the generator's "
+            "bounded-memory contract, and that every shipped subsystem was "
+            "genuinely exercised."
+        ),
+        description=(
+            "The ROADMAP's million-user north star as one long-run "
+            "scenario. A streaming workload generator (docs/WORKLOADS.md) "
+            "models one million clients visiting Zipf-distributed sites on "
+            "a diurnal traffic curve; the client-load actor posts cursors "
+            "into that trace, so each RA regenerates its slice in "
+            "O(batch_size) memory — the fleet never materializes its "
+            "client population. The CA revokes certificates every 3-hour Δ "
+            "period (plus a mid-run mass-revocation burst) on the "
+            "durable-compact store engine, and every RA pull streams "
+            "verified WAL segments instead of bespoke batch objects. A "
+            "per-period observer emits a memory/throughput timeline, and "
+            "the closing study sweeps every revoked serial across every "
+            "replica against an in-memory oracle. CI smoke-runs a "
+            "scaled-down copy and re-asserts the pinned verdicts from the "
+            "report artifact."
+        ),
+        delta_seconds=10_800,
+        duration_periods=240,
+        agents=(
+            AgentSpec("soak-us", "UNITED_STATES"),
+            AgentSpec("soak-eu", "EUROPE"),
+            AgentSpec("soak-ap", "JAPAN"),
+        ),
+        workload=WorkloadSpec(
+            kind="scripted",
+            events=tuple(
+                RevocationEvent(at_period=p, count=20, reason="steady churn")
+                for p in range(240)
+            )
+            + (
+                RevocationEvent(
+                    at_period=120, count=2_000, reason="mass compromise"
+                ),
+            ),
+        ),
+        store_engine="durable-compact",
+        segment_streaming=True,
+        fleet_size=6,
+        client_stream=ClientStreamSpec(
+            clients=1_000_000,
+            sites=40_000,
+            events_total=150_000,
+            zipf_exponent=1.1,
+            diurnal_amplitude=0.7,
+            batch_size=8192,
+        ),
+        smoke_overrides={
+            "duration_periods": 24,
+            "fleet_size": 3,
+            "client_stream": {
+                "clients": 150_000,
+                "sites": 2_500,
+                "events_total": 2_400,
+                "batch_size": 512,
+            },
+            "workload": {
+                "events": tuple(
+                    RevocationEvent(at_period=p, count=10, reason="steady churn")
+                    for p in range(24)
+                )
+                + (
+                    RevocationEvent(
+                        at_period=12, count=200, reason="mass compromise"
+                    ),
+                ),
+            },
+        },
+        tags=("fleet", "soak", "streaming", "workloads"),
     )
 )
 

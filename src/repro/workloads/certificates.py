@@ -28,18 +28,22 @@ class CertificateCorpus:
     chains_by_ca: Dict[str, List[CertificateChain]] = field(default_factory=dict)
 
     def ca_public_keys(self) -> Dict[str, object]:
+        """Issuer name -> Ed25519 public key for every modelled CA."""
         return {authority.name: authority.public_key for authority in self.authorities}
 
     def chain_for_domain(self, domain: str) -> Optional[CertificateChain]:
+        """The chain whose leaf certifies ``domain``, if one was generated."""
         for chain in self.chains:
             if chain.leaf.subject == domain:
                 return chain
         return None
 
     def random_chain(self, seed: int = 0) -> CertificateChain:
+        """A seeded-deterministic pick from the generated chains."""
         return random.Random(seed).choice(self.chains)
 
     def authority_by_name(self, name: str) -> Optional[CertificationAuthority]:
+        """Look up one of the corpus CAs by its issuer name."""
         for authority in self.authorities:
             if authority.name == name:
                 return authority

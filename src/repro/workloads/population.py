@@ -37,6 +37,7 @@ class City:
     distance_factor: float
 
     def location(self) -> GeoLocation:
+        """The city as a network location (region + distance factor)."""
         return GeoLocation(region=self.region, distance_factor=self.distance_factor)
 
 
@@ -48,9 +49,11 @@ class PopulationModel:
 
     @property
     def total_population(self) -> int:
+        """Sum of the modelled client population across all cities."""
         return sum(city.population for city in self.cities)
 
     def population_by_region(self) -> Dict[Region, int]:
+        """Client population aggregated per network region."""
         totals: Dict[Region, int] = {region: 0 for region in Region}
         for city in self.cities:
             totals[city.region] += city.population
@@ -66,9 +69,11 @@ class PopulationModel:
         }
 
     def total_ras(self, clients_per_ra: int = DEFAULT_CLIENTS_PER_RA) -> int:
+        """Fleet-wide RA count at the given clients-per-RA provisioning."""
         return sum(self.ras_by_region(clients_per_ra).values())
 
     def largest_cities(self, count: int) -> List[City]:
+        """The ``count`` most populous cities, descending."""
         return sorted(self.cities, key=lambda city: city.population, reverse=True)[:count]
 
     def sample_locations(self, count: int, seed: int = 0) -> List[GeoLocation]:

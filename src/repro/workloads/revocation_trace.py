@@ -66,6 +66,7 @@ class DailyRevocations:
 
     @property
     def unix_midnight(self) -> int:
+        """The day's 00:00 UTC as a unix timestamp."""
         return _date_to_unix(self.day)
 
 
@@ -79,12 +80,15 @@ class RevocationTrace:
 
     @property
     def total(self) -> int:
+        """Total revocations across the whole trace."""
         return sum(entry.count for entry in self.daily)
 
     def days(self) -> List[_dt.date]:
+        """The calendar days the trace covers, in order."""
         return [entry.day for entry in self.daily]
 
     def between(self, start: _dt.date, end: _dt.date) -> List[DailyRevocations]:
+        """The inclusive sub-trace between ``start`` and ``end``."""
         return [entry for entry in self.daily if start <= entry.day <= end]
 
     def monthly_counts(self) -> List[Tuple[str, int]]:
@@ -96,6 +100,7 @@ class RevocationTrace:
         return sorted(buckets.items())
 
     def peak_day(self) -> DailyRevocations:
+        """The single day with the most revocations (the Heartbleed spike)."""
         return max(self.daily, key=lambda entry: entry.count)
 
     def counts_per_bin(

@@ -30,6 +30,7 @@ COVERED_FILES = sorted(
         SRC / "cdn" / "edge.py",
         *(SRC / "scenarios").glob("*.py"),
         *(SRC / "scenarios" / "engine").glob("*.py"),
+        *(SRC / "workloads").glob("*.py"),
     ]
 )
 

@@ -1,0 +1,187 @@
+"""Streamed client load: soak scenario, legacy parity, config validation.
+
+Three guarantees pinned here:
+
+* **Legacy parity** — refactoring :class:`ClientLoadActor` onto
+  :func:`uniform_slot_counts` changed zero bytes of output for the
+  pre-existing ``client_handshakes`` scenarios.  A verbatim copy of the
+  pre-refactor bespoke-``divmod`` actor is monkeypatched in and the
+  thundering-herd smoke report must match byte for byte.
+* **Soak pins** — the registered ``soak`` scenario's smoke run passes all
+  of its checks (including the three soak verdicts) and is deterministic
+  once the wall-clock/RSS observability fields are masked out.
+* **Config validation** — the new ``client_stream`` / ``segment_streaming``
+  knobs reject the combinations the engine cannot honour.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.scenarios import get, run_scenario
+from repro.scenarios.config import (
+    AgentSpec,
+    ClientStreamSpec,
+    ConfigurationError,
+    ScenarioConfig,
+)
+from repro.scenarios.engine.actors import Message
+from repro.scenarios.engine import core as engine_core
+
+
+class LegacyClientLoadActor:
+    """Verbatim pre-refactor actor: bespoke divmod spread, bare counts."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        state = engine.state
+        cfg = state.config
+        fleet = len(state.runtimes)
+        slots = len(state.periods) * fleet
+        base, remainder = divmod(cfg.client_handshakes, slots)
+        self._counts = [
+            base + (1 if slot < remainder else 0) for slot in range(slots)
+        ]
+        self._fleet = fleet
+        self._period = 0
+
+    def start(self):
+        state = self.engine.state
+        delta = state.config.delta_seconds
+        self.engine.scheduler.schedule_every(
+            interval=float(delta),
+            callback=self._on_tick,
+            start=state.periods[0][1] + delta / 2.0,
+            count=len(state.periods),
+            label="client-load",
+        )
+
+    def _on_tick(self, now):
+        state = self.engine.state
+        period = self._period
+        self._period += 1
+        for index, runtime in enumerate(state.runtimes):
+            count = self._counts[period * self._fleet + index]
+            if count:
+                runtime.mailbox.post(
+                    Message(
+                        kind="client-batch",
+                        posted_at=now,
+                        payload={"period": period, "count": count},
+                    )
+                )
+
+
+def masked_payload(report):
+    """Report dict with the intentionally nondeterministic fields removed."""
+    payload = report.to_json_dict()
+    soak = payload.get("extras", {}).get("soak")
+    if soak:
+        soak["throughput"]["wall_seconds"] = None
+        soak["throughput"]["events_per_second"] = None
+        for sample in soak["timeline"]:
+            sample.pop("wall_seconds", None)
+            sample.pop("max_rss_kb", None)
+    return payload
+
+
+def test_refactored_client_load_is_byte_identical_for_legacy_scenarios(
+    monkeypatch,
+):
+    new_report = run_scenario(get("thundering-herd"), smoke=True)
+    monkeypatch.setattr(engine_core, "ClientLoadActor", LegacyClientLoadActor)
+    old_report = run_scenario(get("thundering-herd"), smoke=True)
+    assert json.dumps(new_report.to_json_dict(), sort_keys=True) == json.dumps(
+        old_report.to_json_dict(), sort_keys=True
+    )
+
+
+def test_soak_smoke_passes_every_check():
+    report = run_scenario(get("soak"), smoke=True)
+    failed = [check.name for check in report.failed_checks()]
+    assert not failed, f"soak failed checks: {failed}"
+    names = {check.name for check in report.checks}
+    assert {
+        "soak-verdicts-match-oracle",
+        "memory-bounded",
+        "all-subsystems-exercised",
+        "client-load-served",
+    } <= names
+    soak = report.extras["soak"]
+    assert soak["verdict_mismatches"] == 0
+    assert soak["memory"]["bounded"] is True
+    assert soak["subsystems"]["handshakes_served"] == soak["events_total"]
+    assert len(soak["timeline"]) > 0
+    # replication metrics surface because the soak opts into segment streaming
+    assert report.metrics["replication"]["segments_applied"] > 0
+
+
+def test_soak_smoke_is_deterministic_modulo_wall_clock():
+    first = masked_payload(run_scenario(get("soak"), smoke=True))
+    second = masked_payload(run_scenario(get("soak"), smoke=True))
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+
+def _config(**overrides):
+    base = dict(
+        name="unit",
+        title="unit",
+        description="unit",
+        delta_seconds=3600,
+        duration_periods=4,
+        agents=(AgentSpec(name="ra", region="us"),),
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def test_client_stream_and_client_handshakes_are_mutually_exclusive():
+    stream = ClientStreamSpec(clients=10, sites=5, events_total=20)
+    with pytest.raises(ConfigurationError):
+        _config(client_stream=stream, client_handshakes=100)
+
+
+def test_client_stream_rejects_sharded_runs():
+    stream = ClientStreamSpec(clients=10, sites=5, events_total=20)
+    with pytest.raises(ConfigurationError):
+        _config(
+            client_stream=stream,
+            sharded=True,
+            shard_width_periods=2,
+            cert_lifetime_periods=2,
+        )
+
+
+def test_segment_streaming_rejects_sharded_runs():
+    with pytest.raises(ConfigurationError):
+        _config(
+            segment_streaming=True,
+            sharded=True,
+            shard_width_periods=2,
+            cert_lifetime_periods=2,
+        )
+
+
+def test_client_stream_spec_validates_positive_fields():
+    with pytest.raises(ConfigurationError):
+        ClientStreamSpec(clients=0, sites=5, events_total=20)
+    with pytest.raises(ConfigurationError):
+        ClientStreamSpec(clients=10, sites=5, events_total=20, batch_size=0)
+
+
+def test_smoke_overrides_reach_the_stream_spec():
+    config = get("soak")
+    smoke = config.smoke()
+    assert smoke.client_stream is not None
+    assert smoke.client_stream.clients < config.client_stream.clients
+    assert smoke.client_stream.events_total < config.client_stream.events_total
+    # non-stream fields survive the partial override
+    assert smoke.client_stream.zipf_exponent == config.client_stream.zipf_exponent
+
+
+def test_with_overrides_replaces_stream_mapping_fields():
+    config = get("soak")
+    varied = config.with_overrides(client_stream={"events_total": 99})
+    assert varied.client_stream.events_total == 99
+    assert varied.client_stream.clients == config.client_stream.clients

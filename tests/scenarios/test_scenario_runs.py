@@ -43,7 +43,10 @@ def test_report_schema_is_pinned(name):
     fleet = payload["metrics"]["fleet"]
     assert tuple(sorted(fleet)) == tuple(sorted(FLEET_METRIC_KEYS))
     # the replication block appears iff the scenario injects a region outage
-    if any(fault.startswith("region-outage") for fault in payload["config"]["faults"]):
+    # or opts into always-on WAL segment streaming
+    if any(
+        fault.startswith("region-outage") for fault in payload["config"]["faults"]
+    ) or payload["config"].get("segment_streaming"):
         replication = payload["metrics"]["replication"]
         assert tuple(sorted(replication)) == tuple(sorted(REPLICATION_METRIC_KEYS))
     else:

@@ -1,0 +1,114 @@
+"""Differential suite: streaming generator vs the materialized oracle.
+
+The streaming generator (``repro.workloads.streaming``) produces client
+events lazily in O(batch) memory; ``materialize_trace`` is a deliberately
+naive per-event oracle that shares only the elementary functions (stratum
+RNG recipe, draw order, cumulative-weight accumulation order, and the
+diurnal intensity table) while re-implementing the search and iteration
+machinery from scratch.  These tests prove the two are *event-identical* —
+bit-equal timestamps, clients, and sites — at small N across seeds, Zipf
+exponents, and certificate-lifetime mixes, so the batched fast path can be
+trusted at a million clients where the oracle is unaffordable.
+"""
+
+import pytest
+
+from repro.workloads.streaming import (
+    DAY_SECONDS,
+    DEFAULT_LIFETIME_MIX,
+    StreamConfig,
+    StreamingWorkload,
+    materialize_site_profile,
+    materialize_trace,
+)
+
+SMALL = dict(
+    clients=5_000,
+    sites=200,
+    events_total=2_000,
+    duration_seconds=2 * DAY_SECONDS,
+)
+
+
+def streamed_events(config):
+    """Fully drain the streaming generator into a list of ClientEvents."""
+    return list(StreamingWorkload(config).events(0, config.events_total))
+
+
+def assert_identical(config):
+    """The core differential assertion: streaming == oracle, event for event."""
+    oracle = materialize_trace(config)
+    stream = streamed_events(config)
+    assert len(stream) == len(oracle) == config.events_total
+    for fast, slow in zip(stream, oracle):
+        assert fast.index == slow.index
+        assert fast.time == slow.time  # bit-identical float64, not approx
+        assert fast.client == slow.client
+        assert fast.site == slow.site
+
+
+@pytest.mark.parametrize("seed", [1, 7, 404])
+def test_streaming_matches_oracle_across_seeds(seed):
+    assert_identical(StreamConfig(seed=seed, **SMALL))
+
+
+@pytest.mark.parametrize("exponent", [0.8, 1.1, 1.4])
+def test_streaming_matches_oracle_across_zipf_exponents(exponent):
+    assert_identical(StreamConfig(zipf_exponent=exponent, **SMALL))
+
+
+@pytest.mark.parametrize(
+    "mix",
+    [
+        DEFAULT_LIFETIME_MIX,
+        ((90 * DAY_SECONDS, 1.0),),
+        ((30 * DAY_SECONDS, 0.5), (365 * DAY_SECONDS, 0.5)),
+    ],
+)
+def test_streaming_matches_oracle_across_lifetime_mixes(mix):
+    config = StreamConfig(lifetime_mix=mix, **SMALL)
+    assert_identical(config)
+    workload = StreamingWorkload(config)
+    for site in (0, 1, config.sites - 1):
+        assert workload.site_profile(site) == materialize_site_profile(config, site)
+
+
+def test_streaming_matches_oracle_at_ten_thousand_events():
+    config = StreamConfig(
+        clients=50_000,
+        sites=1_000,
+        events_total=10_000,
+        duration_seconds=5 * DAY_SECONDS,
+        diurnal_amplitude=0.9,
+    )
+    assert_identical(config)
+
+
+def test_batch_size_does_not_change_the_trace():
+    base = StreamConfig(**SMALL)
+    reference = streamed_events(base)
+    for batch_size in (1, 17, 128, 4_096):
+        import dataclasses
+
+        variant = dataclasses.replace(base, batch_size=batch_size)
+        assert streamed_events(variant) == reference
+
+
+def test_offset_start_time_shifts_but_preserves_shape():
+    import dataclasses
+
+    base = StreamConfig(**SMALL)
+    shifted = dataclasses.replace(base, start_time=123_456.0)
+    for fast, slow in zip(streamed_events(shifted), materialize_trace(shifted)):
+        assert fast == slow
+    for at_zero, at_offset in zip(streamed_events(base), streamed_events(shifted)):
+        assert at_offset.time == pytest.approx(at_zero.time + 123_456.0)
+        assert at_offset.client == at_zero.client
+        assert at_offset.site == at_zero.site
+
+
+def test_site_profiles_match_oracle_everywhere():
+    config = StreamConfig(**SMALL)
+    workload = StreamingWorkload(config)
+    for site in range(0, config.sites, 13):
+        assert workload.site_profile(site) == materialize_site_profile(config, site)
